@@ -1,0 +1,102 @@
+(* Benchmark harness.
+
+   Regenerates every experiment table (E1-E8, the reproduction of the
+   paper's theorems - see DESIGN.md and EXPERIMENTS.md), then runs
+   Bechamel wall-clock micro-benchmarks, one per protocol of the paper.
+
+   Usage: dune exec bench/main.exe [-- --full | --tables-only | --bench-only]
+   Default is the quick sweep; --full runs the paper-sized sweeps. *)
+
+open Bap_experiments.Common
+module Pki = Bap_crypto.Pki
+
+let stage = Bechamel.Staged.stage
+
+(* One micro-benchmark per protocol family, all on the same moderate
+   configuration so relative costs are comparable. Each run is a full
+   n-process synchronous execution. *)
+let benches () =
+  let n = 31 in
+  let t = (n - 1) / 3 in
+  let f = t / 2 in
+  let rng = Rng.create 4242 in
+  let w = make_workload ~rng ~n ~t ~f ~target_misclassified:2 () in
+  let faulty = w.faulty and inputs = w.inputs and advice = w.advice in
+  let module T = Bechamel.Test in
+  T.make_grouped ~name:"bap"
+    [
+      T.make ~name:"classify (Alg 2)"
+        (stage (fun () ->
+             S.R.run ~n ~faulty ~adversary:Adversary.silent (fun ctx ->
+                 S.Classify_p.run ctx advice.(S.R.id ctx))));
+      T.make ~name:"graded-consensus unauth (Thm 7)"
+        (stage (fun () ->
+             S.R.run ~n ~faulty ~adversary:Adversary.silent (fun ctx ->
+                 S.Graded_unauth.run ctx ~t ~tag:0 inputs.(S.R.id ctx))));
+      T.make ~name:"graded-consensus auth (Thm 8)"
+        (stage (fun () ->
+             let pki = Pki.create ~n in
+             S.R.run ~n ~faulty ~adversary:Adversary.silent (fun ctx ->
+                 let i = S.R.id ctx in
+                 S.Graded_auth.run ctx ~pki ~key:(Pki.key pki i) ~t ~tag:0 inputs.(i))));
+      T.make ~name:"conditional BA unauth (Alg 5)"
+        (stage (fun () ->
+             S.R.run ~n ~faulty ~adversary:Adversary.silent (fun ctx ->
+                 let i = S.R.id ctx in
+                 let c = S.Classify_p.run ctx advice.(i) in
+                 S.Ba_class_unauth.run ctx ~t ~k:1 ~base_tag:0 inputs.(i) c)));
+      T.make ~name:"conditional BA auth (Alg 7)"
+        (stage (fun () ->
+             let pki = Pki.create ~n in
+             S.R.run ~n ~faulty ~adversary:Adversary.silent (fun ctx ->
+                 let i = S.R.id ctx in
+                 let c = S.Classify_p.run ctx advice.(i) in
+                 S.Ba_class_auth.run ctx ~pki ~key:(Pki.key pki i) ~t ~k:1 ~base_tag:0
+                   inputs.(i) c)));
+      T.make ~name:"early-stopping BA (Thm 9)"
+        (stage (fun () ->
+             S.R.run ~n ~faulty ~adversary:Adversary.silent (fun ctx ->
+                 let gc c ~tag v = S.Graded_unauth.run c ~t ~tag v in
+                 S.Early_stopping.run ctx ~gc ~gc_rounds:2 ~phases:(t + 1) ~base_tag:0
+                   inputs.(S.R.id ctx))));
+      T.make ~name:"wrapper unauth (Alg 1, Thm 11)"
+        (stage (fun () ->
+             S.run_unauth ~t ~faulty ~inputs ~advice ~adversary:Adversary.silent ()));
+      T.make ~name:"wrapper auth (Alg 1, Thm 12)"
+        (stage (fun () -> S.run_auth ~t ~faulty ~inputs ~advice ()));
+      T.make ~name:"dolev-strong BA baseline"
+        (stage (fun () -> B.run_dolev_strong ~t ~faulty ~inputs ()));
+    ]
+
+let run_benches () =
+  let open Bechamel in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ instance ] (benches ()) in
+  let results =
+    Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      instance raw
+  in
+  Printf.printf "\n== Bechamel micro-benchmarks (one full n=31 execution per run) ==\n";
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some [ ns ] -> rows := (name, ns) :: !rows
+      | _ -> ())
+    results;
+  List.iter
+    (fun (name, ns) -> Printf.printf "%-45s %10.2f ms/execution\n" name (ns /. 1e6))
+    (List.sort compare !rows)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let full = List.mem "--full" args in
+  let tables_only = List.mem "--tables-only" args in
+  let bench_only = List.mem "--bench-only" args in
+  if not bench_only then begin
+    Printf.printf "Experiment tables (E1-E13; see DESIGN.md and EXPERIMENTS.md)%s\n"
+      (if full then " [full sweeps]" else " [quick sweeps; pass --full for paper-sized]");
+    Bap_experiments.Runner.run_all ~quick:(not full) ()
+  end;
+  if not tables_only then run_benches ()

@@ -1,0 +1,1 @@
+bin/bap_run.ml: Arg Array Bap_adversary Bap_core Bap_monitor Bap_prediction Bap_sim Cmd Cmdliner Fmt Fun List Option Printf String Term

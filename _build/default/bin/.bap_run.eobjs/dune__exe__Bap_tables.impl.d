@@ -1,0 +1,1 @@
+bin/bap_tables.ml: Arg Bap_experiments Cmd Cmdliner Fmt List String Term

@@ -1,0 +1,1 @@
+bin/bap_tables.mli:

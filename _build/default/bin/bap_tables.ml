@@ -1,0 +1,36 @@
+(* CLI: regenerate the experiment tables (E1-E8, see DESIGN.md and
+   EXPERIMENTS.md).
+
+   Examples:
+     dune exec bin/bap_tables.exe                 # quick sweeps
+     dune exec bin/bap_tables.exe -- --full       # paper-sized sweeps
+     dune exec bin/bap_tables.exe -- --only E5 *)
+
+open Cmdliner
+
+let run full only =
+  let quick = not full in
+  match only with
+  | None -> Bap_experiments.Runner.run_all ~quick ()
+  | Some id ->
+    if not (Bap_experiments.Runner.run_one ~quick id) then begin
+      Fmt.epr "unknown experiment %S; known: %s@." id
+        (String.concat ", " (List.map (fun (i, _, _) -> i) Bap_experiments.Runner.all));
+      exit 1
+    end
+
+let cmd =
+  let full =
+    Arg.(value & flag & info [ "full" ] ~doc:"Paper-sized sweeps (slower).")
+  in
+  let only =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "only" ] ~doc:"Run a single experiment (E1..E8).")
+  in
+  Cmd.v
+    (Cmd.info "bap_tables" ~doc:"Regenerate the reproduction experiment tables")
+    Term.(const run $ full $ only)
+
+let () = exit (Cmd.eval cmd)

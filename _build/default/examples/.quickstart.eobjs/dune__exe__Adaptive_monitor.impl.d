@@ -1,0 +1,1 @@
+examples/adaptive_monitor.ml: Array Bap_adversary Bap_core Bap_monitor Bap_sim Bap_stats Fmt Fun List

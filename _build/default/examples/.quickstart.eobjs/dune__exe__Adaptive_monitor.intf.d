@@ -1,0 +1,1 @@
+examples/adaptive_monitor.mli:

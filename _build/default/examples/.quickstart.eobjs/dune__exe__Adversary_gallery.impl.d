@@ -1,0 +1,1 @@
+examples/adversary_gallery.ml: Array Bap_adversary Bap_core Bap_prediction Bap_sim Bap_stats Fmt Fun List

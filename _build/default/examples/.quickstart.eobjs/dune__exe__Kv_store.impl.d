@@ -1,0 +1,1 @@
+examples/kv_store.ml: Array Bap_adversary Bap_core Bap_monitor Bap_sim Fmt Fun List Option String

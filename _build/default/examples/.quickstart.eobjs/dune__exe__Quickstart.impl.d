@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bap_adversary Bap_core Bap_prediction Bap_sim Fmt List

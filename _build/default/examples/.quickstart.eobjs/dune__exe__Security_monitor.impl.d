@@ -1,0 +1,1 @@
+examples/security_monitor.ml: Array Bap_adversary Bap_baselines Bap_core Bap_prediction Bap_sim Bap_stats Fmt Fun List Printf

@@ -1,0 +1,57 @@
+(* Every adversary strategy in the library against the same workload,
+   side by side: the protocol's guarantees (agreement + validity) hold
+   under all of them; what varies is how long the adversary can stall
+   the decision and how many messages get spent.
+
+   Run with: dune exec examples/adversary_gallery.exe *)
+
+module V = Bap_core.Value.Int
+module Stack = Bap_core.Stack.Make (V)
+module Adv = Bap_adversary.Strategies.Make (V) (Stack.W)
+module Adversary = Bap_sim.Adversary
+module Gen = Bap_prediction.Gen
+module Rng = Bap_sim.Rng
+module Table = Bap_stats.Table
+
+let () =
+  let n = 31 and t = 10 and f = 8 in
+  let faulty = Array.init f Fun.id in
+  let rng = Rng.create 99 in
+  let inputs = Array.init n (fun _ -> Rng.int rng 2) in
+  let advice = Gen.generate ~rng ~n ~faulty ~budget:40 Gen.Uniform in
+  let gallery =
+    [
+      ("passive (protocol-following)", Adversary.passive);
+      ("silent (crash at start)", Adversary.silent);
+      ("silent after round 10", Adversary.silent_after 10);
+      ("staggered crash", Adv.staggered_crash ~interval:10);
+      ("value push", Adv.value_push ~v:1);
+      ("equivocate", Adv.equivocate ~v0:0 ~v1:1);
+      ("advice liar", Adv.advice_liar);
+      ("advice liar then silent", Adv.advice_liar_then_silent);
+      ("echo chaos", Adv.echo_chaos ~v0:0 ~v1:1);
+      ( "adaptive splitter",
+        Adv.adaptive_splitter ~n_minus_t:(n - t) ~junk:(fun r -> -1_000_000 - r) );
+      ("king killer", Adv.king_killer);
+      ("flip flop", Adv.flip_flop);
+      ("partition (starve odd ids)", Adv.partition ~targets:[ 11; 13; 15; 17; 19 ]);
+    ]
+  in
+  Fmt.pr "n=%d, t=%d, f=%d, B=40 uniform advice errors.@.@." n t f;
+  let rows =
+    List.map
+      (fun (name, adversary) ->
+        let o = Stack.run_unauth ~t ~faulty ~inputs ~advice ~adversary () in
+        [
+          name;
+          string_of_int (Stack.decision_round o);
+          string_of_int o.Stack.R.rounds;
+          string_of_int o.Stack.R.honest_sent;
+          (if Stack.agreement o then "yes" else "NO");
+          (if Stack.unanimous_validity ~inputs ~faulty o then "yes" else "NO");
+        ])
+      gallery
+  in
+  Table.print
+    ~headers:[ "adversary"; "decided"; "rounds"; "honest msgs"; "agreement"; "validity" ]
+    rows

@@ -1,0 +1,43 @@
+(* Quickstart: ten replicas agree on a value with help from a slightly
+   noisy security monitor.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module V = Bap_core.Value.Int
+module Stack = Bap_core.Stack.Make (V)
+module Gen = Bap_prediction.Gen
+module Quality = Bap_prediction.Quality
+module Rng = Bap_sim.Rng
+
+let () =
+  let n = 10 in
+  (* Tolerate up to t = 3 Byzantine processes (t < n/3). *)
+  let t = 3 in
+  (* In this execution, replicas 2 and 7 are actually malicious: they
+     follow the protocol but a rushing adversary rewrites everything
+     they say, equivocating between 0 and 1. *)
+  let faulty = [| 2; 7 |] in
+  (* Each replica proposes a value; here they disagree 0/1. *)
+  let inputs = [| 0; 1; 0; 1; 0; 1; 0; 1; 0; 1 |] in
+  (* The security monitor hands every replica a classification of all
+     the others. It is mostly right: we plant 5 wrong bits. *)
+  let rng = Rng.create 2025 in
+  let advice = Gen.generate ~rng ~n ~faulty ~budget:5 Gen.Uniform in
+  let stats = Quality.measure ~n ~faulty advice in
+  Fmt.pr "Security monitor quality: %a@." Quality.pp_stats stats;
+  (* Run Byzantine Agreement with predictions (Algorithm 1,
+     unauthenticated configuration). *)
+  let module Adv = Bap_adversary.Strategies.Make (V) (Stack.W) in
+  let outcome =
+    Stack.run_unauth ~t ~faulty ~inputs ~advice
+      ~adversary:(Adv.equivocate ~v0:0 ~v1:1) ()
+  in
+  Fmt.pr "Execution: %d rounds, %d honest messages@." outcome.Stack.R.rounds
+    outcome.Stack.R.honest_sent;
+  List.iter
+    (fun (i, r) ->
+      Fmt.pr "  replica %d decided %d (fixed in round %d)@." i r.Stack.Wrapper.value
+        r.Stack.Wrapper.decided_round)
+    (Stack.R.honest_decisions outcome);
+  assert (Stack.agreement outcome);
+  Fmt.pr "Agreement: all honest replicas decided the same value.@."

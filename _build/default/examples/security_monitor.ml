@@ -1,0 +1,75 @@
+(* The paper's motivating scenario: a cluster protected by an ML-based
+   network security monitor (think Darktrace / Vectra / Zeek). The
+   monitor flags suspicious replicas; its accuracy varies. This example
+   sweeps the monitor's error rate and shows the promised graceful
+   degradation: decisions are fast while the monitor is good, degrade
+   smoothly, and never get worse than the no-monitor baseline's O(f).
+
+   Run with: dune exec examples/security_monitor.exe *)
+
+module V = Bap_core.Value.Int
+module Stack = Bap_core.Stack.Make (V)
+module B = Bap_baselines.Baseline_runs.Make (V)
+module Adv = Bap_adversary.Strategies.Make (V) (Stack.W)
+module Gen = Bap_prediction.Gen
+module Quality = Bap_prediction.Quality
+module Rng = Bap_sim.Rng
+module Table = Bap_stats.Table
+
+(* A synthetic monitor: each honest replica's view of replica j is wrong
+   independently with probability [error_rate]. *)
+let monitor ~rng ~n ~faulty ~error_rate =
+  let truth = Bap_prediction.Advice.ground_truth ~n ~faulty in
+  let is_faulty = Array.make n false in
+  Array.iter (fun j -> is_faulty.(j) <- true) faulty;
+  Array.init n (fun i ->
+      if is_faulty.(i) then truth
+      else
+        Bap_prediction.Advice.init n (fun j ->
+            let correct = Bap_prediction.Advice.get truth j in
+            if Rng.float rng < error_rate then not correct else correct))
+
+let () =
+  let n = 31 in
+  let t = 10 in
+  let f = 10 in
+  (* The intruders sit on the first king slots and play the strongest
+     generic attack we have. *)
+  let faulty = Array.init f Fun.id in
+  let rng = Rng.create 7 in
+  let inputs = Array.init n (fun _ -> Rng.int rng 2) in
+  Fmt.pr
+    "Cluster of %d replicas, %d compromised; sweeping the monitor's error rate.@.@."
+    n f;
+  let rows =
+    List.map
+      (fun error_rate ->
+        let advice = monitor ~rng ~n ~faulty ~error_rate in
+        let stats = Quality.measure ~n ~faulty advice in
+        let outcome =
+          Stack.run_unauth ~t ~faulty ~inputs ~advice
+            ~adversary:(Adv.adaptive_splitter ~n_minus_t:(n - t) ~junk:(fun r -> -1_000_000 - r))
+            ()
+        in
+        let baseline =
+          B.run_early_stopping ~t ~faulty ~inputs ~adversary:Bap_sim.Adversary.silent ()
+        in
+        [
+          Printf.sprintf "%.0f%%" (error_rate *. 100.);
+          string_of_int stats.Quality.b;
+          Printf.sprintf "%.1f" (float_of_int stats.Quality.b /. float_of_int n);
+          string_of_int (Stack.decision_round outcome);
+          string_of_int baseline.B.decided_round;
+          (if Stack.agreement outcome then "yes" else "NO");
+        ])
+      [ 0.0; 0.01; 0.05; 0.1; 0.25; 0.5 ]
+  in
+  Table.print
+    ~headers:
+      [ "monitor error"; "B"; "B/n"; "with predictions"; "no-monitor O(f)"; "agreement" ]
+    rows;
+  Fmt.pr
+    "@.A good monitor pins the decision to the first phase; as the error rate@.\
+     grows the wrapper degrades gracefully to the same O(f) asymptotics as the@.\
+     prediction-free early-stopping protocol (paying the guess-and-double@.\
+     constant), and agreement holds throughout.@."

@@ -1,0 +1,1 @@
+lib/adversary/strategies.ml: Array Bap_core Bap_crypto Bap_prediction Bap_sim Hashtbl List Option Printf

@@ -1,0 +1,1 @@
+lib/adversary/strategies.mli: Bap_core Bap_crypto Bap_sim

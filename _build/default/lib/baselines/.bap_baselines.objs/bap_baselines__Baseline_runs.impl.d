@@ -1,0 +1,1 @@
+lib/baselines/baseline_runs.ml: Array Bap_core Bap_crypto Bap_sim Dolev_strong Fun List Phase_king

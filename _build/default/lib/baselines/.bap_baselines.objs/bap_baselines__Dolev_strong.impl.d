@@ -1,0 +1,1 @@
+lib/baselines/dolev_strong.ml: Array Bap_core Bap_crypto Bap_sim List

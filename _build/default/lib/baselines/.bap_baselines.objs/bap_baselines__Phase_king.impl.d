@@ -1,0 +1,1 @@
+lib/baselines/phase_king.ml: Array Bap_core Bap_sim List Option

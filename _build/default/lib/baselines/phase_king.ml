@@ -1,0 +1,47 @@
+(* Plain (non-early-stopping) phase-king Byzantine agreement: t + 1
+   phases of graded consensus + king, always run to completion. This is
+   the Berman-Garay-style O(t)-round baseline the paper's early-stopping
+   line of work (and ultimately the predictions result) improves on. *)
+
+module Value = Bap_core.Value
+module Wire = Bap_core.Wire
+
+module Make
+    (V : Value.S)
+    (W : Wire.S with type value = V.t)
+    (R : Bap_sim.Runtime.S with type msg = W.t) : sig
+  type gc = R.ctx -> tag:W.tag -> V.t -> V.t * int
+
+  val rounds : gc_rounds:int -> t:int -> int
+  (** [(t + 1) * (gc_rounds + 1)]. *)
+
+  val run : R.ctx -> gc:gc -> t:int -> base_tag:W.tag -> V.t -> V.t
+  (** Requires the gc's own resilience bound (t < n/3 unauthenticated).
+      Agreement holds after the first honest king's phase; there is
+      always one among t + 1 kings. *)
+end = struct
+  type gc = R.ctx -> tag:W.tag -> V.t -> V.t * int
+
+  let rounds ~gc_rounds ~t = (t + 1) * (gc_rounds + 1)
+
+  let run ctx ~gc ~t ~base_tag x =
+    let n = R.n ctx in
+    let me = R.id ctx in
+    let v = ref x in
+    for p = 1 to t + 1 do
+      let tag = base_tag + (2 * (p - 1)) in
+      let king = (p - 1) mod n in
+      let v1, g = gc ctx ~tag !v in
+      v := v1;
+      let inbox =
+        if me = king then R.broadcast ctx (W.King (tag + 1, !v)) else R.silent_round ctx
+      in
+      let king_value =
+        List.find_map
+          (function W.King (tg, w) when tg = tag + 1 -> Some w | _ -> None)
+          inbox.(king)
+      in
+      if g = 0 then v := Option.value king_value ~default:!v
+    done;
+    !v
+end

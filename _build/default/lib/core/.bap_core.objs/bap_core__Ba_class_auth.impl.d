@@ -1,0 +1,1 @@
+lib/core/ba_class_auth.ml: Array Bap_crypto Bap_prediction Bap_sim Bb_committee Classification List Option Value Wire

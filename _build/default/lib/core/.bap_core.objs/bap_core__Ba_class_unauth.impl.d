@@ -1,0 +1,1 @@
+lib/core/ba_class_unauth.ml: Array Bap_prediction Bap_sim Classification Conciliate Graded_core_set List Option Value Wire

@@ -1,0 +1,1 @@
+lib/core/bb_committee.ml: Array Bap_crypto Bap_sim List Option Value Wire

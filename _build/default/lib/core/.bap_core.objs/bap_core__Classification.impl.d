@@ -1,0 +1,1 @@
+lib/core/classification.ml: Array Bap_prediction Int List

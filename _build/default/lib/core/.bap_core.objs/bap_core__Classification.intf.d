@@ -1,0 +1,1 @@
+lib/core/classification.mli: Bap_prediction

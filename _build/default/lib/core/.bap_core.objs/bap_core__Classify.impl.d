@@ -1,0 +1,1 @@
+lib/core/classify.ml: Bap_prediction Bap_sim Classification Wire

@@ -1,0 +1,1 @@
+lib/core/conciliate.ml: Array Bap_sim List Option Value Wire

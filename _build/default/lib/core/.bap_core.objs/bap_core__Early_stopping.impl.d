@@ -1,0 +1,1 @@
+lib/core/early_stopping.ml: Array Bap_sim List Option Value Wire

@@ -1,0 +1,1 @@
+lib/core/graded_auth.ml: Array Bap_crypto Bap_sim List Option Value Wire

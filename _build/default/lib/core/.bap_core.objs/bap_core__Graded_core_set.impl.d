@@ -1,0 +1,1 @@
+lib/core/graded_core_set.ml: Array Bap_sim List Value Wire

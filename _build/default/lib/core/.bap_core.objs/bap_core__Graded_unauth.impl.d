@@ -1,0 +1,1 @@
+lib/core/graded_unauth.ml: Bap_sim Value Wire

@@ -1,0 +1,1 @@
+lib/core/wire.ml: Bap_crypto Bap_prediction Fmt Int List String Value

@@ -1,0 +1,1 @@
+lib/core/wrapper.ml: Bap_prediction Bap_sim Classify Early_stopping List Option Value Wire

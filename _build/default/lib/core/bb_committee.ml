@@ -1,0 +1,165 @@
+(* Algorithm 6: Byzantine Broadcast with an Implicit Committee.
+
+   A Dolev-Strong signature-chain broadcast truncated to k+1 rounds,
+   where only processes that can attach a committee certificate (t+1
+   signatures on <COMMITTEE, p_j>) may start or extend chains. If at
+   most k faulty processes hold committee certificates, a chain of
+   length k+1 contains an honest committee member's signature, which
+   gives the classic relay guarantee (Lemmas 21-23):
+
+   - Committee Agreement: all honest committee members return the same
+     value;
+   - Validity with Sender Certificate: an honest certified sender's
+     value is returned by everyone;
+   - Default without Sender Certificate: everyone returns bot.
+
+   The module runs any number of instances (distinct senders) in
+   parallel over the same k+1 rounds: Algorithm 7 needs all n instances
+   at once, and running them in lock-step is also how the paper counts
+   its rounds. *)
+
+module Pki = Bap_crypto.Pki
+
+module Make
+    (V : Value.S)
+    (W : Wire.S with type value = V.t)
+    (R : Bap_sim.Runtime.S with type msg = W.t) : sig
+  val rounds : k:int -> int
+  (** Exactly [k + 1]. *)
+
+  val run_parallel :
+    R.ctx ->
+    pki:Pki.t ->
+    key:Pki.key ->
+    t:int ->
+    k:int ->
+    tag:W.tag ->
+    cc:W.committee_cert option ->
+    V.t ->
+    V.t option array
+  (** Run n parallel instances, one per sender; this process's input is
+      used in the instance where it is the sender. Slot [s] of the result
+      is instance [s]'s output ([None] is the paper's bot). *)
+
+  val run_single :
+    R.ctx ->
+    pki:Pki.t ->
+    key:Pki.key ->
+    t:int ->
+    k:int ->
+    tag:W.tag ->
+    cc:W.committee_cert option ->
+    sender:int ->
+    V.t ->
+    V.t option
+  (** A single instance with a designated [sender]; the value argument is
+      only used by the sender itself. Same round count. *)
+end = struct
+  let rounds ~k = k + 1
+
+  type instance_state = {
+    sender : int;
+    mutable accepted : V.t list;  (* X_i, at most two values *)
+    mutable fresh : W.chain list;  (* R_i: valid chains from the last round *)
+  }
+
+  let run_instances ctx ~pki ~key ~t ~k ~tag ~cc ~senders x =
+    let n = R.n ctx in
+    let me = R.id ctx in
+    let quorum = t + 1 in
+    let states = List.map (fun s -> { sender = s; accepted = []; fresh = [] }) senders in
+    let has_cert =
+      match cc with
+      | Some cert ->
+        cert.W.cc_member = me && W.valid_committee_cert pki ~quorum cert
+      | None -> false
+    in
+    let collect inbox ~length =
+      (* Valid chains of the expected length per instance, from any
+         transporter (validity comes from the signatures, not the
+         channel). *)
+      List.iter
+        (fun st ->
+          let chains = ref [] in
+          Array.iter
+            (fun msgs ->
+              List.iter
+                (function
+                  | W.Bb_chain (tg, s, chain)
+                    when tg = tag && s = st.sender
+                         && W.valid_chain pki ~quorum ~sender:st.sender ~length chain ->
+                    chains := chain :: !chains
+                  | _ -> ())
+                msgs)
+            inbox;
+          st.fresh <- List.rev !chains)
+        states
+    in
+    (* Round 1: certified senders start their chains. *)
+    let root_msgs =
+      List.filter_map
+        (fun st ->
+          if st.sender = me && has_cert then begin
+            st.accepted <- [ x ];
+            let cert = Option.get cc in
+            let link_sig = Pki.sign key (W.chain_root_payload x cert) in
+            Some (W.Bb_chain (tag, me, W.Chain_root { value = x; cert; link_sig }))
+          end
+          else None)
+        states
+    in
+    let inbox = R.exchange ctx (fun _ -> root_msgs) in
+    collect inbox ~length:1;
+    (* Rounds 2 .. k+1: accept new values and relay extended chains. *)
+    for j = 2 to k + 1 do
+      let extensions = ref [] in
+      List.iter
+        (fun st ->
+          List.iter
+            (fun chain ->
+              let v = W.chain_value chain in
+              if
+                (not (List.exists (V.equal v) st.accepted))
+                && List.length st.accepted < 2
+              then begin
+                st.accepted <- st.accepted @ [ v ];
+                if has_cert && not (List.mem me (W.chain_signers chain)) then begin
+                  let cert = Option.get cc in
+                  let link_sig = Pki.sign key (W.chain_link_payload chain cert) in
+                  extensions :=
+                    W.Bb_chain
+                      (tag, st.sender, W.Chain_link { prev = chain; signer = me; cert; link_sig })
+                    :: !extensions
+                end
+              end)
+            st.fresh)
+        states;
+      let out = List.rev !extensions in
+      let inbox = R.exchange ctx (fun _ -> out) in
+      collect inbox ~length:j
+    done;
+    (* Final acceptance pass over the chains of round k+1 (no relay). *)
+    List.iter
+      (fun st ->
+        List.iter
+          (fun chain ->
+            let v = W.chain_value chain in
+            if (not (List.exists (V.equal v) st.accepted)) && List.length st.accepted < 2
+            then st.accepted <- st.accepted @ [ v ])
+          st.fresh)
+      states;
+    let result = Array.make n None in
+    List.iter
+      (fun st ->
+        result.(st.sender) <- (match st.accepted with [ v ] -> Some v | [] | _ :: _ :: _ -> None))
+      states;
+    result
+
+  let run_parallel ctx ~pki ~key ~t ~k ~tag ~cc x =
+    let n = R.n ctx in
+    run_instances ctx ~pki ~key ~t ~k ~tag ~cc ~senders:(List.init n (fun s -> s)) x
+
+  let run_single ctx ~pki ~key ~t ~k ~tag ~cc ~sender x =
+    let result = run_instances ctx ~pki ~key ~t ~k ~tag ~cc ~senders:[ sender ] x in
+    result.(sender)
+end

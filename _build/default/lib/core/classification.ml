@@ -1,0 +1,71 @@
+module Advice = Bap_prediction.Advice
+
+let majority_threshold n = (n + 2) / 2
+
+let vote ~n received =
+  let threshold = majority_threshold n in
+  Advice.init n (fun j ->
+      let votes =
+        Array.fold_left
+          (fun acc -> function
+            | Some a when Advice.length a = n && Advice.get a j -> acc + 1
+            | Some _ | None -> acc)
+          0 received
+      in
+      votes >= threshold)
+
+let pi c =
+  let n = Advice.length c in
+  let honest = ref [] and faulty = ref [] in
+  for i = n - 1 downto 0 do
+    if Advice.get c i then honest := i :: !honest else faulty := i :: !faulty
+  done;
+  Array.of_list (!honest @ !faulty)
+
+let position c i =
+  let order = pi c in
+  let rec find j = if order.(j) = i then j else find (j + 1) in
+  find 0
+
+let misclassified_by ~faulty c =
+  let n = Advice.length c in
+  let truth = Advice.ground_truth ~n ~faulty in
+  Advice.error_positions ~truth c
+
+let misclassified_union ~n ~faulty ~honest_classifications =
+  let seen = Array.make n false in
+  List.iter
+    (fun (_, c) -> List.iter (fun j -> seen.(j) <- true) (misclassified_by ~faulty c))
+    honest_classifications;
+  let acc = ref [] in
+  for j = n - 1 downto 0 do
+    if seen.(j) then acc := j :: !acc
+  done;
+  !acc
+
+let k_counts ~n ~faulty ~honest_classifications =
+  let union = misclassified_union ~n ~faulty ~honest_classifications in
+  let is_faulty = Array.make n false in
+  Array.iter (fun j -> is_faulty.(j) <- true) faulty;
+  let k_f = List.length (List.filter (fun j -> is_faulty.(j)) union) in
+  let k_h = List.length union - k_f in
+  (List.length union, k_f, k_h)
+
+let common_window ~honest_classifications ~l ~r =
+  match honest_classifications with
+  | [] -> []
+  | (_, c0) :: _ ->
+    let in_window c =
+      let order = pi c in
+      let members = ref [] in
+      for j = min r (Array.length order - 1) downto l do
+        members := order.(j) :: !members
+      done;
+      !members
+    in
+    let first = in_window c0 in
+    List.filter
+      (fun id ->
+        List.for_all (fun (_, c) -> List.mem id (in_window c)) honest_classifications)
+      first
+    |> List.sort Int.compare

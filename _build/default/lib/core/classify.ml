@@ -1,0 +1,28 @@
+(* Algorithm 2: one round of advice broadcasting followed by the
+   majority vote of {!Classification.vote}. *)
+
+module Advice = Bap_prediction.Advice
+module Inbox = Bap_sim.Inbox
+
+module Make
+    (W : Wire.S)
+    (R : Bap_sim.Runtime.S with type msg = W.t) : sig
+  val rounds : int
+  (** Always 1. *)
+
+  val run : R.ctx -> Advice.t -> Advice.t
+  (** [run ctx advice] broadcasts the advice vector, collects everyone
+      else's, and returns this process's classification [c_i]. A process
+      [j] is classified honest iff at least [ceil((n+1)/2)] received
+      vectors (own included) predict it honest; vectors of the wrong
+      length and duplicate vectors from one sender are ignored. *)
+end = struct
+  let rounds = 1
+
+  let run ctx advice =
+    let inbox = R.broadcast ctx (W.Advice advice) in
+    let received =
+      Inbox.first inbox ~f:(function W.Advice a -> Some a | _ -> None)
+    in
+    Classification.vote ~n:(R.n ctx) received
+end

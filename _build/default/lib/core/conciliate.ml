@@ -1,0 +1,81 @@
+(* Algorithm 4: Conciliation with Core Set.
+
+   One round: processes in their own L broadcast (value, L). Each
+   process builds the "leader graph" on the senders it heard from, with
+   an edge (y, z) whenever y is in the set L_z that z declared, computes
+   for each z in L_i the minimum input among self-listening sources that
+   reach z, and returns the plurality of these minima over its listening
+   set.
+
+   Agreement and strong unanimity (Lemmas 13-14) hold when every honest
+   L_i contains only honest processes, |L_i| = 3k+1, and a core set G of
+   >= 2k+1 honest processes lies in every honest L_i. *)
+
+module Inbox = Bap_sim.Inbox
+
+module Make
+    (V : Value.S)
+    (W : Wire.S with type value = V.t)
+    (R : Bap_sim.Runtime.S with type msg = W.t) : sig
+  val rounds : int
+  (** Always 1. *)
+
+  val run : R.ctx -> l_set:int list -> tag:W.tag -> V.t -> V.t
+end = struct
+  let rounds = 1
+
+  let run ctx ~l_set ~tag v =
+    let n = R.n ctx in
+    let me = R.id ctx in
+    let in_l = List.mem me l_set in
+    let inbox =
+      if in_l then R.broadcast ctx (W.Conc (tag, v, l_set)) else R.silent_round ctx
+    in
+    let received =
+      Inbox.first inbox ~f:(function
+        | W.Conc (tg, w, l) when tg = tag -> Some (w, l)
+        | _ -> None)
+    in
+    (* T_i: identifiers we heard from. E_i: (y, z) with y in z's declared
+       set. A source y qualifies if y listed itself (y in L_y). *)
+    let in_t i = Option.is_some received.(i) in
+    let declared_l z = match received.(z) with Some (_, l) -> l | None -> [] in
+    let value_of y = match received.(y) with Some (w, _) -> Some w | None -> None in
+    let qualifies y = in_t y && List.mem y (declared_l y) in
+    (* Reverse reachability: sources that reach z, including z itself. *)
+    let sources_reaching z =
+      let visited = Array.make n false in
+      let rec explore u =
+        if not visited.(u) then begin
+          visited.(u) <- true;
+          (* predecessors y of u: edge (y, u) iff y in T and y in L_u *)
+          List.iter (fun y -> if in_t y && y <> u then explore y) (declared_l u)
+        end
+      in
+      explore z;
+      visited
+    in
+    let m_of z =
+      let reach = sources_reaching z in
+      let best = ref None in
+      for y = 0 to n - 1 do
+        if reach.(y) && qualifies y then
+          match value_of y with
+          | None -> ()
+          | Some w -> (
+            match !best with
+            | None -> best := Some w
+            | Some b -> if V.compare w b < 0 then best := Some w)
+      done;
+      !best
+    in
+    let minima =
+      List.filter_map (fun z -> if in_t z then m_of z else None) l_set
+    in
+    (* Plurality over the multiset {m_i[j] | j in T_i inter L_i}; ties to
+       the smallest value; input kept if the multiset is empty. *)
+    let counted = Array.of_list (List.map Option.some minima) in
+    match Inbox.plurality counted ~compare:V.compare with
+    | Some (w, _) -> w
+    | None -> v
+end

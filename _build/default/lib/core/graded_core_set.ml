@@ -1,0 +1,66 @@
+(* Algorithm 3: Unauthenticated Graded Consensus with Core Set.
+
+   Each process listens only to the 3k+1 processes in its set L_i.
+   Strong unanimity and coherence (Lemmas 7-9) hold whenever |L_i| = 3k+1
+   for every honest i and some core set G of >= 2k+1 honest processes is
+   contained in every honest L_i. Without the condition the protocol is
+   still safe to run (it always terminates in 2 rounds) but returns
+   arbitrary grades. *)
+
+module Inbox = Bap_sim.Inbox
+
+module Make
+    (V : Value.S)
+    (W : Wire.S with type value = V.t)
+    (R : Bap_sim.Runtime.S with type msg = W.t) : sig
+  val rounds : int
+  (** Always 2. *)
+
+  val run : R.ctx -> k:int -> l_set:int list -> tag:W.tag -> V.t -> V.t * int
+  (** [run ctx ~k ~l_set ~tag v] plays Algorithm 3 with listening set
+      [l_set] (which must have size 3k+1 for the guarantees to apply).
+      Only processes with [id ctx] in their own [l_set] send messages;
+      messages from senders outside [l_set] are ignored. *)
+end = struct
+  let rounds = 2
+
+  let restrict l_set votes =
+    Array.mapi (fun sender v -> if List.mem sender l_set then v else None) votes
+
+  let run ctx ~k ~l_set ~tag v =
+    let me = R.id ctx in
+    let in_l = List.mem me l_set in
+    (* Round 1: members of their own L broadcast their input. *)
+    let inbox =
+      if in_l then R.broadcast ctx (W.Gc_init (tag, v)) else R.silent_round ctx
+    in
+    let votes =
+      restrict l_set
+        (Inbox.first inbox ~f:(function
+          | W.Gc_init (tg, w) when tg = tag -> Some w
+          | _ -> None))
+    in
+    let b =
+      match Inbox.plurality votes ~compare:V.compare with
+      | Some (w, c) when c >= (2 * k) + 1 -> Some w
+      | Some _ | None -> None
+    in
+    (* Round 2: echo b if set. *)
+    let second =
+      match b with Some w when in_l -> [ W.Gc_echo (tag, w) ] | Some _ | None -> []
+    in
+    let inbox' = R.exchange ctx (fun _ -> second) in
+    let echoes =
+      restrict l_set
+        (Inbox.first inbox' ~f:(function
+          | W.Gc_echo (tg, w) when tg = tag -> Some w
+          | _ -> None))
+    in
+    match b with
+    | Some bv ->
+      if Inbox.count echoes ~eq:V.equal bv >= (2 * k) + 1 then (bv, 1) else (bv, 0)
+    | None -> (
+      match Inbox.plurality echoes ~compare:V.compare with
+      | Some (w, c) when c >= k + 1 -> (w, 0)
+      | Some _ | None -> (v, 0))
+end

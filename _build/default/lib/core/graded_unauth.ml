@@ -1,0 +1,61 @@
+(* Plain unauthenticated graded consensus for t < n/3 (the paper's
+   Theorem 7, restated from Civit et al.). It is Algorithm 3 with the
+   listening set fixed to everyone, which turns the thresholds
+   2k+1 / k+1 over |L| = 3k+1 listeners into n-t / t+1 over n.
+
+   Properties (for t < n/3, i.e. n >= 3t + 1):
+
+   - Strong Unanimity: if every honest process inputs v, all n - t >= 2t+1
+     honest INIT votes carry v, so every honest process adopts b = v and
+     echoes it, yielding n - t echoes of v and grade 1 everywhere.
+   - Coherence: if some honest process returns (v, 1) it saw n - t echoes
+     of v, at least n - 2t >= t + 1 of them honest. Every honest process
+     therefore sees >= t + 1 echoes of v. An honest process with b <> bot
+     has b = v (two values cannot each collect n - t first-round votes,
+     and an honest echoer of w <> v would imply w collected n - t votes);
+     an honest process with b = bot sees v at least t + 1 times and no
+     other value more than t times (only faulty echo other values), so it
+     returns (v, 0). *)
+
+module Inbox = Bap_sim.Inbox
+
+module Make
+    (V : Value.S)
+    (W : Wire.S with type value = V.t)
+    (R : Bap_sim.Runtime.S with type msg = W.t) : sig
+  val rounds : int
+  (** Always 2. *)
+
+  val run : R.ctx -> t:int -> tag:W.tag -> V.t -> V.t * int
+  (** Returns [(value, grade)] with grade 0 or 1. Requires t < n/3 for
+      the strong-unanimity and coherence guarantees. *)
+end = struct
+  let rounds = 2
+
+  let run ctx ~t ~tag v =
+    let n = R.n ctx in
+    let inbox = R.broadcast ctx (W.Gc_init (tag, v)) in
+    let votes =
+      Inbox.first inbox ~f:(function
+        | W.Gc_init (tg, w) when tg = tag -> Some w
+        | _ -> None)
+    in
+    let b =
+      match Inbox.plurality votes ~compare:V.compare with
+      | Some (w, c) when c >= n - t -> Some w
+      | Some _ | None -> None
+    in
+    let second = match b with Some w -> [ W.Gc_echo (tag, w) ] | None -> [] in
+    let inbox' = R.exchange ctx (fun _ -> second) in
+    let echoes =
+      Inbox.first inbox' ~f:(function
+        | W.Gc_echo (tg, w) when tg = tag -> Some w
+        | _ -> None)
+    in
+    match b with
+    | Some bv -> if Inbox.count echoes ~eq:V.equal bv >= n - t then (bv, 1) else (bv, 0)
+    | None -> (
+      match Inbox.plurality echoes ~compare:V.compare with
+      | Some (w, c) when c >= t + 1 -> (w, 0)
+      | Some _ | None -> (v, 0))
+end

@@ -1,0 +1,35 @@
+module type S = sig
+  type t
+
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val pp : t Fmt.t
+  val encode : t -> string
+end
+
+module Int = struct
+  type t = int
+
+  let equal = Int.equal
+  let compare = Int.compare
+  let pp = Fmt.int
+  let encode = string_of_int
+end
+
+module Bool = struct
+  type t = bool
+
+  let equal = Bool.equal
+  let compare = Bool.compare
+  let pp = Fmt.bool
+  let encode b = if b then "1" else "0"
+end
+
+module String = struct
+  type t = string
+
+  let equal = String.equal
+  let compare = String.compare
+  let pp = Fmt.string
+  let encode s = s
+end

@@ -1,0 +1,21 @@
+(** Decision-value domains.
+
+    Every protocol in this library is polymorphic in the value being
+    agreed upon, expressed as a functor over {!S}. [encode] must be
+    injective: it is the byte string that gets signed in the
+    authenticated protocols. *)
+
+module type S = sig
+  type t
+
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val pp : t Fmt.t
+
+  val encode : t -> string
+  (** Injective canonical encoding (used as signature payload). *)
+end
+
+module Int : S with type t = int
+module Bool : S with type t = bool
+module String : S with type t = string

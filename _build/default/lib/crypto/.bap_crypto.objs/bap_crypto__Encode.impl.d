@@ -1,0 +1,1 @@
+lib/crypto/encode.ml: List String

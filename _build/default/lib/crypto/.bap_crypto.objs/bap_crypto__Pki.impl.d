@@ -1,0 +1,1 @@
+lib/crypto/pki.ml: Encode Fmt Int String

@@ -1,0 +1,1 @@
+lib/crypto/pki.mli: Fmt

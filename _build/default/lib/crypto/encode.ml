@@ -1,0 +1,10 @@
+(* Every field is rendered as <decimal length> ':' <bytes>, netstring
+   style, so concatenation is unambiguous. *)
+let field s = string_of_int (String.length s) ^ ":" ^ s
+
+let str s = field s
+let int i = field (string_of_int i)
+let pair a b = field a ^ field b
+let triple a b c = field a ^ field b ^ field c
+let list items = field (string_of_int (List.length items)) ^ String.concat "" (List.map field items)
+let tagged tag body = pair tag body

@@ -1,0 +1,16 @@
+(** Canonical, injective string encodings for signed payloads.
+
+    Signatures bind a process to a byte string, so every protocol payload
+    must be serialised injectively: distinct structured values must map to
+    distinct strings, otherwise a signature on one value would verify for
+    another. These combinators length-prefix every field, which guarantees
+    injectivity by construction. *)
+
+val int : int -> string
+val str : string -> string
+val pair : string -> string -> string
+val triple : string -> string -> string -> string
+val list : string list -> string
+val tagged : string -> string -> string
+(** [tagged tag body] distinguishes payload kinds; two [tagged] values are
+    equal only if both tag and body are. *)

@@ -1,0 +1,1 @@
+lib/experiments/common.ml: Array Bap_adversary Bap_baselines Bap_core Bap_prediction Bap_sim Bap_stats Fun Option Printf

@@ -1,0 +1,1 @@
+lib/experiments/e10_communication.ml: Adv Common List Rng S Table

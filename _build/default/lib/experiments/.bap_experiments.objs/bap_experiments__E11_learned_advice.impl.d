@@ -1,0 +1,1 @@
+lib/experiments/e11_learned_advice.ml: Array Bap_adversary Bap_core Bap_monitor Common Fun List Printf Rng Table

@@ -1,0 +1,1 @@
+lib/experiments/e12_value_predictions.ml: Adv Array Common List Printf Rng S Table

@@ -1,0 +1,1 @@
+lib/experiments/e13_component_ablation.ml: Adv Common List Printf Rng S Table

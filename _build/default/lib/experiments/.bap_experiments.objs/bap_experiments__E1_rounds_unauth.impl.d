@@ -1,0 +1,1 @@
+lib/experiments/e1_rounds_unauth.ml: Adv Common List Printf Rng Summary Table

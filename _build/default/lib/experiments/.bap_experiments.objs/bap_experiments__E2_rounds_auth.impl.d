@@ -1,0 +1,1 @@
+lib/experiments/e2_rounds_auth.ml: Adv Common List Printf Rng Summary Table

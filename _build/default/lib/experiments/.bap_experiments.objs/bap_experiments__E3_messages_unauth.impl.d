@@ -1,0 +1,1 @@
+lib/experiments/e3_messages_unauth.ml: Adv Common List Option Rng S Table

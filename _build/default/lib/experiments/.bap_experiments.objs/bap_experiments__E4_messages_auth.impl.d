@@ -1,0 +1,1 @@
+lib/experiments/e4_messages_auth.ml: Adv Common List Printf Rng Table

@@ -1,0 +1,1 @@
+lib/experiments/e5_round_lb.ml: Adv Bap_lowerbound Common List Printf Rng Table

@@ -1,0 +1,1 @@
+lib/experiments/e6_message_lb.ml: Adversary Bap_lowerbound Common List Printf Rng S Table

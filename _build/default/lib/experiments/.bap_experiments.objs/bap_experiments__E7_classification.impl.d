@@ -1,0 +1,1 @@
+lib/experiments/e7_classification.ml: Adv Array Common Gen Hashtbl List Printf Quality Rng Table

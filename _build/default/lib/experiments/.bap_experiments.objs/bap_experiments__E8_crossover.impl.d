@@ -1,0 +1,1 @@
+lib/experiments/e8_crossover.ml: Adv B Bap_sim Common List Printf Rng Table

@@ -1,0 +1,1 @@
+lib/experiments/e9_voting_ablation.ml: Adv Array Bap_core Common Fun Gen List Printf Quality Rng S Table

@@ -1,0 +1,40 @@
+(* E7 (Lemma 1 and Lemma 5): the classification protocol misclassifies
+   at most O(B/n) processes, and every window of leader positions keeps
+   a large common core across the honest orderings. Sweeps the error
+   budget under the three placements. *)
+
+open Common
+
+let run ?(quick = false) () =
+  let n = if quick then 31 else 61 in
+  let t = (n - 1) / 3 in
+  let f = t in
+  header
+    (Printf.sprintf "E7  classification quality vs B  (n=%d, t=f=%d, lying faulty)" n t);
+  let rows = ref [] in
+  List.iter
+    (fun (placement, name) ->
+      List.iter
+        (fun budget ->
+          let rng = Rng.create (budget + Hashtbl.hash name) in
+          let faulty = Array.of_list (Rng.sample_without_replacement rng f n) in
+          let advice = Gen.generate ~rng ~n ~faulty ~budget placement in
+          let b = (Quality.measure ~n ~faulty advice).Quality.b in
+          let w = { n; t; faulty; inputs = Array.make n 0; advice; b } in
+          let k_a = measure_k_a ~adversary:Adv.advice_liar_then_silent w in
+          let bound = b / max 1 (((n + 1) / 2) - f) in
+          rows :=
+            [
+              name;
+              fi b;
+              ff (float_of_int b /. float_of_int n);
+              fi k_a;
+              fi bound;
+              (if k_a <= bound then "yes" else "NO");
+            ]
+            :: !rows)
+        [ 0; n / 2; n; 2 * n; 4 * n ])
+    [ (Gen.Uniform, "uniform"); (Gen.Focused, "focused"); (Gen.Scattered, "scattered") ];
+  Table.print
+    ~headers:[ "placement"; "B"; "B/n"; "k_A"; "B/(n/2 - f)"; "k_A <= bound" ]
+    (List.rev !rows)

@@ -1,0 +1,27 @@
+(* Run the experiment suite (E1-E8 from DESIGN.md). [quick] shrinks the
+   sweeps to bench-friendly sizes. *)
+
+let all = [
+  ("E1", "unauth rounds vs B (Thm 11)", E1_rounds_unauth.run);
+  ("E2", "auth rounds vs B (Thm 12)", E2_rounds_auth.run);
+  ("E3", "unauth messages vs n (Thm 11)", E3_messages_unauth.run);
+  ("E4", "auth messages vs n (Thm 12)", E4_messages_auth.run);
+  ("E5", "round lower bound (Thm 13)", E5_round_lb.run);
+  ("E6", "message lower bound (Thm 14)", E6_message_lb.run);
+  ("E7", "classification quality (Lemma 1)", E7_classification.run);
+  ("E8", "predictions vs baselines", E8_crossover.run);
+  ("E9", "classification-vote ablation", E9_voting_ablation.run);
+  ("E10", "communication complexity in bits", E10_communication.run);
+  ("E11", "learned advice across slots", E11_learned_advice.run);
+  ("E12", "value predictions (extension)", E12_value_predictions.run);
+  ("E13", "component ablation of Algorithm 1", E13_component_ablation.run);
+]
+
+let run_all ?quick () = List.iter (fun (_, _, run) -> run ?quick ()) all
+
+let run_one ?quick id =
+  match List.find_opt (fun (eid, _, _) -> String.lowercase_ascii eid = String.lowercase_ascii id) all with
+  | Some (_, _, run) ->
+    run ?quick ();
+    true
+  | None -> false

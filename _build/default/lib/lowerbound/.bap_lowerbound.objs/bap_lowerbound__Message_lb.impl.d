@@ -1,0 +1,1 @@
+lib/lowerbound/message_lb.ml: Array Bap_sim List Seq

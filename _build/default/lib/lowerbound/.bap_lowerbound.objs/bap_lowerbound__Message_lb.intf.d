@@ -1,0 +1,1 @@
+lib/lowerbound/message_lb.mli:

@@ -1,0 +1,1 @@
+lib/lowerbound/round_lb.mli:

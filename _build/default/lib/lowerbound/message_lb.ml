@@ -1,0 +1,93 @@
+let bound ~t = (t + 1) / 2 * (t / 2)
+
+type audit_result = {
+  total_sent : int;
+  threshold : int;
+  min_received : int * int;
+  isolation_threshold : int;
+  isolable : int list;
+  paid : bool;
+}
+
+let audit ~honest_sent ~honest_received ~t =
+  let threshold = bound ~t in
+  let isolation_threshold = (t + 1) / 2 in
+  let min_received =
+    Array.to_seqi honest_received
+    |> Seq.fold_left
+         (fun (bi, bc) (i, c) -> if c < bc then (i, c) else (bi, bc))
+         (-1, max_int)
+  in
+  let isolable =
+    Array.to_seqi honest_received
+    |> Seq.filter_map (fun (i, c) -> if c < isolation_threshold then Some i else None)
+    |> List.of_seq
+  in
+  {
+    total_sent = honest_sent;
+    threshold;
+    min_received;
+    isolation_threshold;
+    isolable;
+    paid = honest_sent >= threshold || isolable = [];
+  }
+
+module Demo = struct
+  (* The cheap protocol: sender 0 broadcasts its value in round 1; every
+     process decides the value it heard, or the prediction-derived
+     default 0 when it heard nothing. One round, n messages - far below
+     the bound, so the proof's adversary breaks it. *)
+
+  module R = Bap_sim.Runtime.Make (struct
+    type t = int
+  end)
+
+  type outcome = {
+    good_decisions : (int * int) list;
+    bad_decisions : (int * int) list;
+    starved : int;
+    agreement_broken : bool;
+  }
+
+  let cheap_protocol ~sender ~input ctx =
+    let me = R.id ctx in
+    let inbox =
+      if me = sender then R.broadcast ctx input else R.silent_round ctx
+    in
+    match inbox.(sender) with v :: _ -> v | [] -> 0
+
+  let run ~n =
+    if n < 3 then invalid_arg "Message_lb.Demo.run: n >= 3 required";
+    let sender = 0 in
+    let q = n - 1 in
+    (* E_good: everyone honest, sender input 1, predictions all correct.
+       All processes decide 1. *)
+    let good =
+      R.run ~n ~faulty:[||] ~adversary:Bap_sim.Adversary.passive
+        (cheap_protocol ~sender ~input:1)
+    in
+    (* E_bad: the sender is faulty and behaves exactly as in E_good
+       except that it starves q. For q this execution is
+       indistinguishable from one in which the (honest) sender never
+       spoke and the prediction default applies; for everyone else it is
+       indistinguishable from E_good. *)
+    let starve_q =
+      Bap_sim.Adversary.drop_to (fun recipient -> recipient = q)
+    in
+    let bad =
+      R.run ~n ~faulty:[| sender |] ~adversary:starve_q
+        (cheap_protocol ~sender ~input:1)
+    in
+    let good_decisions = R.honest_decisions good in
+    let bad_decisions = R.honest_decisions bad in
+    let q_decision = List.assoc q bad_decisions in
+    let others_agree_on_one =
+      List.for_all (fun (i, v) -> i = q || v = 1) bad_decisions
+    in
+    {
+      good_decisions;
+      bad_decisions;
+      starved = q;
+      agreement_broken = others_agree_on_one && q_decision <> 1;
+    }
+end

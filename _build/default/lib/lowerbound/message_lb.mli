@@ -1,0 +1,53 @@
+(** Theorem 14: the Omega(n + t^2) message lower bound, which holds even
+    in executions whose predictions are 100% correct.
+
+    A lower bound cannot be "run", but its proof mechanics can be:
+
+    - {!bound} and {!audit} check that a protocol execution with perfect
+      predictions pays the price the theorem demands: either the total
+      honest message count reaches [ceil(t/2) * floor(t/2)], or some
+      process receives fewer than [ceil(t/2)] honest messages - in which
+      case the Dolev-Reischuk adversary could have isolated it.
+
+    - {!Demo} executes the proof's indistinguishability construction
+      against a deliberately under-communicating protocol ("trust the
+      prediction, skip the quadratic communication") and exhibits the
+      resulting agreement violation: the honest process [q] that the
+      adversary starves decides differently from everyone else. *)
+
+val bound : t:int -> int
+(** [ceil(t/2) * floor(t/2)], i.e. Theta(t^2). *)
+
+type audit_result = {
+  total_sent : int;
+  threshold : int;  (** The t^2/4 bound. *)
+  min_received : int * int;  (** (process, count): least-contacted process. *)
+  isolation_threshold : int;  (** ceil(t/2): below this a process is isolable. *)
+  isolable : int list;
+      (** Processes receiving fewer than [isolation_threshold] honest
+          messages - candidates for the adversary's starvation attack. *)
+  paid : bool;
+      (** True iff the execution pays the Dolev-Reischuk price: total
+          above the bound or nobody isolable. *)
+}
+
+val audit : honest_sent:int -> honest_received:int array -> t:int -> audit_result
+
+module Demo : sig
+  (** The construction of Theorem 14 run against a cheap
+      prediction-trusting broadcast protocol (the sender broadcasts once
+      and everyone decides what they heard, falling back to the
+      prediction's default when silent - O(n) messages). *)
+
+  type outcome = {
+    good_decisions : (int * int) list;  (** E_good: honest id, decision. *)
+    bad_decisions : (int * int) list;  (** E_bad after the isolation attack. *)
+    starved : int;  (** The process q the adversary isolates in E_bad. *)
+    agreement_broken : bool;
+        (** True (the theorem's point): q decides the prediction default
+            while everyone else decides the sender's value. *)
+  }
+
+  val run : n:int -> outcome
+  (** Requires n >= 3. *)
+end

@@ -1,0 +1,15 @@
+let bound ~n ~t ~f ~b =
+  if not (0 <= f && f <= t && t < n - 1) then invalid_arg "Round_lb.bound";
+  let by_faults = min (f + 2) (t + 1) in
+  let by_advice = min ((b / (n - f)) + 2) ((b / (n - t)) + 1) in
+  min by_faults by_advice
+
+type simulated_system = { n' : int; t' : int; f' : int; crashed_upfront : int }
+
+let simulation ~n ~t ~f ~b =
+  if not (0 <= f && f <= t && t < n - 1) then invalid_arg "Round_lb.simulation";
+  if b >= f * (n - f) then { n' = n; t' = t; f' = f; crashed_upfront = 0 }
+  else begin
+    let x = f - (b / (n - f)) in
+    { n' = n - x; t' = t - x; f' = f - x; crashed_upfront = x }
+  end

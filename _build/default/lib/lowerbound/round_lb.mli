@@ -1,0 +1,28 @@
+(** Theorem 13: the round lower bound for Byzantine agreement with
+    classification predictions.
+
+    For every deterministic algorithm and every [f <= t < n-1] there is
+    an execution with [f] faults taking at least
+    [min (f+2) (t+1) (B/(n-f)+2) (B/(n-t)+1)] rounds. The proof reduces
+    to the classic early-stopping bound by simulating an algorithm
+    without predictions; this module provides the bound itself plus the
+    parameters of the simulated system, so experiments can compare the
+    measured decision round of any implementation against the bound. *)
+
+val bound : n:int -> t:int -> f:int -> b:int -> int
+(** The lower bound [min {f+2, t+1, floor(b/(n-f))+2, floor(b/(n-t))+1}].
+    Requires [0 <= f <= t < n-1]. *)
+
+type simulated_system = {
+  n' : int;  (** Processes in the prediction-free simulated system. *)
+  t' : int;
+  f' : int;
+  crashed_upfront : int;
+      (** Processes the simulation treats as crashed from round 0 -
+          [x = f - floor(B/(n-f))] in the proof of Theorem 13. *)
+}
+
+val simulation : n:int -> t:int -> f:int -> b:int -> simulated_system
+(** The parameters of the reduction used in the proof when
+    [b < f * (n - f)]; with larger [b] the simulated system equals the
+    original one ([crashed_upfront = 0]). *)

@@ -1,0 +1,1 @@
+lib/monitor/observer.ml: Array Bap_core Bap_prediction Bap_sim Fmt Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/monitor/repeated.ml: Array Bap_core Bap_prediction Bap_sim List Observer Reputation

@@ -1,0 +1,1 @@
+lib/monitor/reputation.ml: Array Bap_prediction List

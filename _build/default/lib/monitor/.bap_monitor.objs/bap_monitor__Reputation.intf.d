@@ -1,0 +1,1 @@
+lib/monitor/reputation.mli: Bap_prediction

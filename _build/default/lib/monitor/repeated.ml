@@ -1,0 +1,76 @@
+(* Repeated agreement with a learning monitor: the full feedback loop
+   the paper's introduction sketches. A sequence of agreement instances
+   ("slots", e.g. blocks of a ledger) runs over the same cluster; the
+   network-tap {!Observer} watches each execution and feeds its
+   suspicions into the next slot's predictions. Detectable misbehaviour
+   is therefore self-defeating: it speeds up every subsequent slot. *)
+
+module Advice = Bap_prediction.Advice
+module Quality = Bap_prediction.Quality
+module Trace = Bap_sim.Trace
+
+module Make (V : Bap_core.Value.S) = struct
+  module S = Bap_core.Stack.Make (V)
+  module Observer = Observer.Make (V) (S.W)
+
+  type slot_result = {
+    slot : int;
+    b : int;  (** Incorrect advice bits going into this slot. *)
+    decision : V.t option;  (** The agreed value (None if no honest process). *)
+    decided_round : int;
+    messages : int;
+    agreement : bool;
+    new_suspects : (int * string) list;  (** Evidence found in this slot. *)
+    suspected : int list;  (** Cumulative suspicion after this slot. *)
+  }
+
+  let run_slots ?(trace_limit = 5_000_000) ?inputs_for_slot ?reputation ~slots ~t ~faulty
+      ~inputs ~adversary () =
+    let n = Array.length inputs in
+    let suspected = ref [] in
+    let results = ref [] in
+    for slot = 1 to slots do
+      let inputs =
+        match inputs_for_slot with Some f -> f slot | None -> inputs
+      in
+      let current_suspects =
+        match reputation with
+        | Some rep -> Reputation.suspects rep
+        | None -> !suspected
+      in
+      let advice =
+        Observer.advice_of_verdict ~n
+          { Observer.suspects = current_suspects; evidence = [] }
+      in
+      let b = (Quality.measure ~n ~faulty advice).Quality.b in
+      let trace = Trace.create ~limit:trace_limit () in
+      let outcome = S.run_unauth ~trace ~t ~faulty ~inputs ~advice ~adversary () in
+      let verdict = Observer.observe ~n trace in
+      let fresh =
+        List.filter
+          (fun (who, _) -> not (List.mem who current_suspects))
+          verdict.evidence
+      in
+      suspected := List.sort_uniq compare (!suspected @ verdict.Observer.suspects);
+      (match reputation with
+      | Some rep -> Reputation.observe rep ~suspects:verdict.Observer.suspects
+      | None -> ());
+      results :=
+        {
+          slot;
+          b;
+          decision =
+            (match S.R.honest_decisions outcome with
+            | (_, r) :: _ -> Some r.S.Wrapper.value
+            | [] -> None);
+          decided_round = S.decision_round outcome;
+          messages = outcome.S.R.honest_sent;
+          agreement = S.agreement outcome;
+          new_suspects = fresh;
+          suspected =
+            (match reputation with Some rep -> Reputation.suspects rep | None -> !suspected);
+        }
+        :: !results
+    done;
+    List.rev !results
+end

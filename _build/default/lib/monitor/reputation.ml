@@ -1,0 +1,35 @@
+module Advice = Bap_prediction.Advice
+
+type t = {
+  decay : float;
+  threshold : float;
+  increment : float;
+  scores : float array;
+}
+
+let create ?(decay = 0.7) ?(threshold = 0.9) ?(increment = 1.0) ~n () =
+  if not (0.0 <= decay && decay <= 1.0) then invalid_arg "Reputation.create: decay";
+  { decay; threshold; increment; scores = Array.make n 0.0 }
+
+let observe t ~suspects =
+  Array.iteri (fun i s -> t.scores.(i) <- s *. t.decay) t.scores;
+  List.iter
+    (fun who ->
+      if who >= 0 && who < Array.length t.scores then
+        t.scores.(who) <- t.scores.(who) +. t.increment)
+    suspects
+
+let score t i = t.scores.(i)
+
+let suspects t =
+  let acc = ref [] in
+  for i = Array.length t.scores - 1 downto 0 do
+    if t.scores.(i) >= t.threshold then acc := i :: !acc
+  done;
+  !acc
+
+let advice t =
+  let n = Array.length t.scores in
+  let flagged = suspects t in
+  let a = Advice.init n (fun j -> not (List.mem j flagged)) in
+  Array.make n a

@@ -1,0 +1,28 @@
+(** Reputation scores over repeated executions.
+
+    The plain {!Repeated} harness distrusts a process forever after one
+    piece of evidence. Real monitors weigh evidence and forget: scores
+    rise with each incident and decay geometrically between executions,
+    and only processes above a threshold are predicted faulty. This
+    tolerates occasional false evidence (a process wrongly flagged once
+    is eventually forgiven) at the price of reacting more slowly to a
+    persistent attacker. *)
+
+type t
+
+val create : ?decay:float -> ?threshold:float -> ?increment:float -> n:int -> unit -> t
+(** Fresh tracker for [n] processes. Each {!observe} multiplies every
+    score by [decay] (default 0.7) and adds [increment] (default 1.0)
+    per flagged process; {!suspects} returns processes with score at
+    least [threshold] (default 0.9). *)
+
+val observe : t -> suspects:int list -> unit
+(** Record one execution's evidence. *)
+
+val score : t -> int -> float
+val suspects : t -> int list
+(** Processes above the threshold, ascending. *)
+
+val advice : t -> Bap_prediction.Advice.t array
+(** One advice vector per process (shared network-tap view): suspects
+    predicted faulty, everyone else honest. *)

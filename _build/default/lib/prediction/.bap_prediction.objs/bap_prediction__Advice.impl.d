@@ -1,0 +1,1 @@
+lib/prediction/advice.ml: Array Fmt

@@ -1,0 +1,1 @@
+lib/prediction/gen.ml: Advice Array Bap_sim List

@@ -1,0 +1,1 @@
+lib/prediction/gen.mli: Advice Bap_sim

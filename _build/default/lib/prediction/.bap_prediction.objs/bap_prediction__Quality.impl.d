@@ -1,0 +1,1 @@
+lib/prediction/quality.ml: Advice Array Fmt

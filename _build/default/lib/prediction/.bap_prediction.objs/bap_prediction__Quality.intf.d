@@ -1,0 +1,1 @@
+lib/prediction/quality.mli: Advice Fmt

@@ -1,0 +1,40 @@
+(* Immutable bit vector; advice strings are small (n bits) and copied
+   rarely, so a plain bool array behind a functional interface keeps the
+   code simple and safe from aliasing bugs. *)
+type t = bool array
+
+let length = Array.length
+let make n bit = Array.make n bit
+let init = Array.init
+let get a j = a.(j)
+
+let set a j bit =
+  let a' = Array.copy a in
+  a'.(j) <- bit;
+  a'
+
+let flip a j = set a j (not a.(j))
+
+let ground_truth ~n ~faulty =
+  let a = Array.make n true in
+  Array.iter (fun j -> a.(j) <- false) faulty;
+  a
+
+let errors_against ~truth a =
+  if Array.length truth <> Array.length a then invalid_arg "Advice.errors_against";
+  let c = ref 0 in
+  Array.iteri (fun j bit -> if bit <> truth.(j) then incr c) a;
+  !c
+
+let error_positions ~truth a =
+  if Array.length truth <> Array.length a then invalid_arg "Advice.error_positions";
+  let acc = ref [] in
+  for j = Array.length a - 1 downto 0 do
+    if a.(j) <> truth.(j) then acc := j :: !acc
+  done;
+  !acc
+
+let of_bool_array a = Array.copy a
+let to_bool_array a = Array.copy a
+let equal a b = a = b
+let pp ppf a = Array.iter (fun bit -> Fmt.pf ppf "%c" (if bit then '1' else '0')) a

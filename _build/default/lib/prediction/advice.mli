@@ -1,0 +1,34 @@
+(** Classification-prediction bit vectors.
+
+    An advice vector [a] for a system of [n] processes assigns each
+    process [j] a bit: [get a j = true] means "[p_j] is predicted honest"
+    (the paper's [a_i\[j\] = 1]); [false] means predicted faulty. *)
+
+type t
+
+val length : t -> int
+
+val make : int -> bool -> t
+(** [make n bit] is the constant vector. *)
+
+val init : int -> (int -> bool) -> t
+val get : t -> int -> bool
+val set : t -> int -> bool -> t
+(** Functional update. *)
+
+val flip : t -> int -> t
+
+val ground_truth : n:int -> faulty:int array -> t
+(** The correct classification [c-hat]: honest processes map to [true]. *)
+
+val errors_against : truth:t -> t -> int
+(** Hamming distance to the ground truth: the number of incorrect bits. *)
+
+val error_positions : truth:t -> t -> int list
+(** Indices of the incorrect bits, ascending. *)
+
+val of_bool_array : bool array -> t
+val to_bool_array : t -> bool array
+val equal : t -> t -> bool
+val pp : t Fmt.t
+(** Renders as a 0/1 string, e.g. ["110101"]. *)

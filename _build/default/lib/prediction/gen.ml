@@ -1,0 +1,102 @@
+module Rng = Bap_sim.Rng
+
+type placement = Uniform | Focused | Scattered | All_wrong | Targeted of int
+
+let perfect ~n ~faulty =
+  let truth = Advice.ground_truth ~n ~faulty in
+  Array.init n (fun _ -> truth)
+
+let honest_ids n faulty =
+  let is_faulty = Array.make n false in
+  Array.iter (fun j -> is_faulty.(j) <- true) faulty;
+  let acc = ref [] in
+  for i = n - 1 downto 0 do
+    if not is_faulty.(i) then acc := i :: !acc
+  done;
+  (!acc, is_faulty)
+
+(* Apply a list of (receiver, subject) flips to ground-truth advice. *)
+let apply_flips ~n ~faulty flips =
+  let advice = Array.map Advice.to_bool_array (perfect ~n ~faulty) in
+  List.iter (fun (i, j) -> advice.(i).(j) <- not advice.(i).(j)) flips;
+  Array.map Advice.of_bool_array advice
+
+let uniform ~rng ~n ~faulty ~budget =
+  let honest, _ = honest_ids n faulty in
+  let honest = Array.of_list honest in
+  let h = Array.length honest in
+  let capacity = h * n in
+  let budget = min budget capacity in
+  (* Sample distinct cells of the h x n grid. *)
+  let cells = Rng.sample_without_replacement rng budget capacity in
+  let flips = List.map (fun c -> (honest.(c / n), c mod n)) cells in
+  apply_flips ~n ~faulty flips
+
+let focused_with_cap ~rng ~n ~faulty ~budget ~cap =
+  let honest, _ = honest_ids n faulty in
+  let honest_arr = Array.of_list honest in
+  Rng.shuffle rng honest_arr;
+  (* Subjects in the order we corrupt them: faulty first (making a faulty
+     process look honest is what lets it into leader sets), then honest. *)
+  let subjects = Array.append (Array.copy faulty) (Array.of_list honest) in
+  let h = Array.length honest_arr in
+  let per_subject = min h cap in
+  let budget = min budget (h * n) in
+  let flips = ref [] in
+  let remaining = ref budget in
+  Array.iter
+    (fun j ->
+      if !remaining > 0 then begin
+        let take = min !remaining per_subject in
+        for idx = 0 to take - 1 do
+          flips := (honest_arr.(idx), j) :: !flips
+        done;
+        remaining := !remaining - take
+      end)
+    subjects;
+  apply_flips ~n ~faulty !flips
+
+let scattered ~rng ~n ~faulty ~budget =
+  let honest, _ = honest_ids n faulty in
+  let honest_arr = Array.of_list honest in
+  Rng.shuffle rng honest_arr;
+  let h = Array.length honest_arr in
+  let f = Array.length faulty in
+  (* Even if all f faulty processes vote wrongly about subject j, j stays
+     correctly classified as long as fewer than ceil(n/2) - f honest votes
+     about j are wrong (Observations 1-2). *)
+  let per_subject_cap = max 0 (((n + 1) / 2) - f - 1) in
+  let per_subject_cap = min per_subject_cap h in
+  let budget = min budget (per_subject_cap * n) in
+  let flips = ref [] in
+  let planted = ref 0 in
+  (* Round-robin over subjects, one flip per subject per sweep. *)
+  let sweep = ref 0 in
+  while !planted < budget && !sweep < per_subject_cap do
+    let j = ref 0 in
+    while !planted < budget && !j < n do
+      flips := (honest_arr.((!sweep + !j) mod h), !j) :: !flips;
+      incr planted;
+      incr j
+    done;
+    incr sweep
+  done;
+  (* The round-robin above may revisit the same (receiver, subject) cell
+     when h < n; deduplicate to keep the advice well defined. *)
+  let flips = List.sort_uniq compare !flips in
+  apply_flips ~n ~faulty flips
+
+let all_wrong ~n ~faulty =
+  let truth = Advice.ground_truth ~n ~faulty in
+  let _, is_faulty = honest_ids n faulty in
+  Array.init n (fun i ->
+      if is_faulty.(i) then truth
+      else Advice.init n (fun j -> not (Advice.get truth j)))
+
+let generate ~rng ~n ~faulty ~budget placement =
+  match placement with
+  | Uniform -> uniform ~rng ~n ~faulty ~budget
+  | Focused -> focused_with_cap ~rng ~n ~faulty ~budget ~cap:max_int
+  | Targeted cap -> focused_with_cap ~rng ~n ~faulty ~budget ~cap:(max 1 cap)
+  | Scattered -> scattered ~rng ~n ~faulty ~budget
+  | All_wrong -> all_wrong ~n ~faulty

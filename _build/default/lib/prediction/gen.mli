@@ -1,0 +1,42 @@
+(** Synthetic advice generators with an exact error budget.
+
+    These stand in for the security-monitoring products the paper
+    motivates (Darktrace, Vectra, Zeek): instead of a black box with
+    unknown accuracy, each generator plants a controlled number [budget]
+    of incorrect bits into the honest processes' advice vectors. Only
+    bits handed to honest processes count towards [B] (matching the
+    model in Section 3), so faulty processes always receive the ground
+    truth here — the adversary may ignore or rewrite it anyway. *)
+
+type placement =
+  | Uniform
+      (** [budget] flips spread uniformly at random over all (honest
+          receiver, subject) pairs. The typical "noisy monitor". *)
+  | Focused
+      (** Flips concentrated on as few subject processes as possible,
+          faulty subjects first: the cheapest way for an error budget to
+          cause misclassifications, i.e. the worst case for the
+          algorithm. *)
+  | Scattered
+      (** Flips spread so thinly that no process can be misclassified
+          even with full faulty collusion in the vote (each subject gets
+          at most [ceil(n/2) - f - 1] wrong honest votes): the best case,
+          where B > 0 yet classification is perfect. May use less than
+          the requested budget if the spread capacity is exhausted. *)
+  | All_wrong
+      (** Every honest bit inverted; [budget] is ignored. The totally
+          broken monitor. *)
+  | Targeted of int
+      (** Like [Focused] but plants at most the given number of wrong
+          bits per subject: with [Targeted (majority - f)] and a lying
+          faulty coalition, every corrupted subject is misclassified at
+          the cheapest possible rate, maximising k_A for a budget. *)
+
+val perfect : n:int -> faulty:int array -> Advice.t array
+(** Ground-truth advice for everyone: B = 0. *)
+
+val generate :
+  rng:Bap_sim.Rng.t -> n:int -> faulty:int array -> budget:int -> placement -> Advice.t array
+(** One advice vector per process. The number of planted errors is
+    [min budget capacity] where capacity depends on the placement; use
+    {!Quality.measure} to read back the exact [B] of the result. *)

@@ -1,0 +1,21 @@
+type stats = { b : int; b_f : int; b_h : int; per_subject : int array }
+
+let measure ~n ~faulty advice =
+  if Array.length advice <> n then invalid_arg "Quality.measure: advice length";
+  let is_faulty = Array.make n false in
+  Array.iter (fun j -> is_faulty.(j) <- true) faulty;
+  let truth = Advice.ground_truth ~n ~faulty in
+  let b_f = ref 0 and b_h = ref 0 in
+  let per_subject = Array.make n 0 in
+  for i = 0 to n - 1 do
+    if not is_faulty.(i) then
+      for j = 0 to n - 1 do
+        if Advice.get advice.(i) j <> Advice.get truth j then begin
+          per_subject.(j) <- per_subject.(j) + 1;
+          if is_faulty.(j) then incr b_f else incr b_h
+        end
+      done
+  done;
+  { b = !b_f + !b_h; b_f = !b_f; b_h = !b_h; per_subject }
+
+let pp_stats ppf s = Fmt.pf ppf "B=%d (B_F=%d, B_H=%d)" s.b s.b_f s.b_h

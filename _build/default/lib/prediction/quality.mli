@@ -1,0 +1,19 @@
+(** Accounting of prediction quality for a given execution.
+
+    Implements the model's error counts (Section 3): [b_f] is the number
+    of bits held by honest processes that wrongly predict a faulty process
+    as honest, [b_h] wrongly predicts an honest process as faulty, and
+    [b = b_f + b_h]. Bits given to faulty processes are not counted. *)
+
+type stats = {
+  b : int;
+  b_f : int;
+  b_h : int;
+  per_subject : int array;
+      (** [per_subject.(j)] = number of honest-held incorrect bits about
+          process [j]. *)
+}
+
+val measure : n:int -> faulty:int array -> Advice.t array -> stats
+
+val pp_stats : stats Fmt.t

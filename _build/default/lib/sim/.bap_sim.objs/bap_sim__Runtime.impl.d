@@ -1,0 +1,1 @@
+lib/sim/runtime.ml: Adversary Array Effect List Trace

@@ -1,0 +1,1 @@
+lib/sim/runtime.mli: Adversary Trace

@@ -1,0 +1,34 @@
+let first inbox ~f = Array.map (fun msgs -> List.find_map f msgs) inbox
+
+let all inbox ~f = Array.map (fun msgs -> List.filter_map f msgs) inbox
+
+let count votes ~eq v =
+  Array.fold_left (fun acc -> function Some w when eq v w -> acc + 1 | _ -> acc) 0 votes
+
+let plurality votes ~compare =
+  (* Count multiplicities with an association list keyed by [compare];
+     vote arrays are small (one slot per process). *)
+  let counts = ref [] in
+  Array.iter
+    (function
+      | None -> ()
+      | Some v -> (
+        match List.partition (fun (w, _) -> compare v w = 0) !counts with
+        | [ (_, c) ], rest -> counts := (v, c + 1) :: rest
+        | [], rest -> counts := (v, 1) :: rest
+        | _ :: _ :: _, _ -> assert false))
+    votes;
+  List.fold_left
+    (fun best (v, c) ->
+      match best with
+      | None -> Some (v, c)
+      | Some (bv, bc) ->
+        if c > bc || (c = bc && compare v bv < 0) then Some (v, c) else best)
+    None !counts
+
+let senders votes =
+  let acc = ref [] in
+  for i = Array.length votes - 1 downto 0 do
+    match votes.(i) with Some _ -> acc := i :: !acc | None -> ()
+  done;
+  !acc

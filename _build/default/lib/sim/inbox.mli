@@ -1,0 +1,27 @@
+(** Helpers for reading a round's inbox.
+
+    An inbox (as returned by {!Runtime.S.exchange}) is an array indexed by
+    sender, each slot holding the messages that sender delivered this
+    round. Byzantine senders may deliver several or malformed messages;
+    protocol steps therefore parse with a partial function and, where a
+    threshold is being counted, must take at most one vote per sender —
+    {!first} enforces exactly that. *)
+
+val first : 'msg list array -> f:('msg -> 'a option) -> 'a option array
+(** [first inbox ~f] keeps, per sender, the first message that [f]
+    accepts. *)
+
+val all : 'msg list array -> f:('msg -> 'a option) -> 'a list array
+(** Every accepted message, per sender. *)
+
+val count : 'a option array -> eq:('a -> 'a -> bool) -> 'a -> int
+(** Number of senders whose (unique) accepted value equals the given
+    one. *)
+
+val plurality : 'a option array -> compare:('a -> 'a -> int) -> ('a * int) option
+(** The value accepted from the most senders together with its
+    multiplicity; ties broken towards the smallest value. [None] on an
+    all-[None] array. *)
+
+val senders : 'a option array -> int list
+(** Senders with an accepted value, ascending. *)

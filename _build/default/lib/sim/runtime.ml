@@ -1,0 +1,255 @@
+module type MSG = sig
+  type t
+end
+
+module type S = sig
+  type msg
+  type ctx
+
+  val id : ctx -> int
+  val n : ctx -> int
+  val round : ctx -> int
+  val exchange : ctx -> (int -> msg list) -> msg list array
+  val broadcast : ctx -> msg -> msg list array
+  val send_to : ctx -> (int * msg) list -> msg list array
+  val silent_round : ctx -> msg list array
+  val skip : ctx -> int -> unit
+
+  type 'r outcome = {
+    n : int;
+    faulty : int array;
+    decisions : 'r option array;
+    decision_round : int array;
+    rounds : int;
+    honest_sent : int;
+    honest_per_round : int array;
+    honest_received : int array;
+    honest_bits : int;
+    adversary_sent : int;
+  }
+
+  exception Round_limit_exceeded of int
+
+  val run :
+    ?max_rounds:int ->
+    ?trace:msg Trace.t ->
+    ?msg_size:(msg -> int) ->
+    n:int ->
+    faulty:int array ->
+    adversary:msg Adversary.t ->
+    (ctx -> 'r) ->
+    'r outcome
+
+  val honest_decisions : 'r outcome -> (int * 'r) list
+end
+
+module Make (M : MSG) : S with type msg = M.t = struct
+  type msg = M.t
+  type ctx = { ctx_id : int; ctx_n : int; mutable ctx_round : int }
+
+  let id c = c.ctx_id
+  let n c = c.ctx_n
+  let round c = c.ctx_round
+
+  type _ Effect.t += Exchange : (int -> msg list) -> msg list array Effect.t
+
+  let exchange _ctx outbox = Effect.perform (Exchange outbox)
+  let broadcast ctx m = exchange ctx (fun _ -> [ m ])
+
+  let send_to ctx pairs =
+    let outbox j = List.filter_map (fun (dst, m) -> if dst = j then Some m else None) pairs in
+    exchange ctx outbox
+
+  let silent_round ctx = exchange ctx (fun _ -> [])
+
+  let skip ctx r =
+    for _ = 1 to r do
+      ignore (silent_round ctx)
+    done
+
+  type 'r outcome = {
+    n : int;
+    faulty : int array;
+    decisions : 'r option array;
+    decision_round : int array;
+    rounds : int;
+    honest_sent : int;
+    honest_per_round : int array;
+    honest_received : int array;
+    honest_bits : int;
+    adversary_sent : int;
+  }
+
+  exception Round_limit_exceeded of int
+
+  (* A fiber is either finished with a result or suspended at an
+     [exchange], holding its outbox and the continuation expecting the
+     round's inbox. *)
+  type 'r status =
+    | Finished of 'r
+    | Yielded of (int -> msg list) * (msg list array, 'r status) Effect.Deep.continuation
+
+  let spawn (body : unit -> 'r) : 'r status =
+    Effect.Deep.match_with body ()
+      {
+        retc = (fun r -> Finished r);
+        exnc = raise;
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Exchange outbox ->
+              Some
+                (fun (k : (a, _) Effect.Deep.continuation) -> Yielded (outbox, k))
+            | _ -> None);
+      }
+
+  let run ?(max_rounds = 100_000) ?trace ?msg_size ~n ~faulty ~adversary body =
+    let is_faulty = Array.make n false in
+    Array.iter
+      (fun i ->
+        if i < 0 || i >= n then invalid_arg "Runtime.run: faulty id out of range";
+        is_faulty.(i) <- true)
+      faulty;
+    let handlers = adversary.Adversary.make ~n ~faulty in
+    let ctxs = Array.init n (fun i -> { ctx_id = i; ctx_n = n; ctx_round = 0 }) in
+    let decisions = Array.make n None in
+    let decision_round = Array.make n (-1) in
+    let record e = match trace with Some t -> Trace.record t e | None -> () in
+    let note_finish i r round =
+      decisions.(i) <- Some r;
+      decision_round.(i) <- round;
+      record (Trace.Decide { who = i; round })
+    in
+    let status = Array.init n (fun i -> spawn (fun () -> body ctxs.(i))) in
+    Array.iteri
+      (fun i st -> match st with Finished r -> note_finish i r 0 | Yielded _ -> ())
+      status;
+    let honest_running () =
+      let any = ref false in
+      Array.iteri
+        (fun i st ->
+          match st with Yielded _ when not is_faulty.(i) -> any := true | _ -> ())
+        status;
+      !any
+    in
+    let honest_sent = ref 0 in
+    let honest_bits = ref 0 in
+    let honest_received = Array.make n 0 in
+    let adversary_sent = ref 0 in
+    let per_round = ref [] in
+    let round = ref 0 in
+    while honest_running () do
+      incr round;
+      if !round > max_rounds then raise (Round_limit_exceeded max_rounds);
+      record (Trace.Round_begin !round);
+      Array.iter (fun c -> c.ctx_round <- !round) ctxs;
+      (* Materialise the outboxes so each is evaluated exactly once. *)
+      let out = Array.make_matrix n n [] in
+      Array.iteri
+        (fun src st ->
+          match st with
+          | Yielded (outbox, _) ->
+            for dst = 0 to n - 1 do
+              out.(src).(dst) <- outbox dst
+            done
+          | Finished _ -> ())
+        status;
+      let view =
+        {
+          Adversary.round = !round;
+          n;
+          faulty;
+          honest_out =
+            (fun ~sender ~recipient ->
+              if is_faulty.(sender) then [] else out.(sender).(recipient));
+        }
+      in
+      let eff_out = Array.make_matrix n n [] in
+      for src = 0 to n - 1 do
+        if is_faulty.(src) then begin
+          let puppet dst = out.(src).(dst) in
+          for dst = 0 to n - 1 do
+            eff_out.(src).(dst) <- handlers.Adversary.filter view ~src puppet dst
+          done
+        end
+        else
+          for dst = 0 to n - 1 do
+            eff_out.(src).(dst) <- out.(src).(dst)
+          done
+      done;
+      List.iter
+        (fun { Adversary.src; dst; payload } ->
+          if src < 0 || src >= n || not is_faulty.(src) then
+            invalid_arg "Runtime.run: adversary injected from a non-faulty source";
+          if dst >= 0 && dst < n then eff_out.(src).(dst) <- eff_out.(src).(dst) @ [ payload ])
+        (handlers.Adversary.inject view);
+      let this_round = ref 0 in
+      for src = 0 to n - 1 do
+        for dst = 0 to n - 1 do
+          if src <> dst then begin
+            let c = List.length eff_out.(src).(dst) in
+            if is_faulty.(src) then adversary_sent := !adversary_sent + c
+            else begin
+              this_round := !this_round + c;
+              honest_received.(dst) <- honest_received.(dst) + c;
+              match msg_size with
+              | Some size ->
+                List.iter (fun m -> honest_bits := !honest_bits + size m) eff_out.(src).(dst)
+              | None -> ()
+            end
+          end
+        done
+      done;
+      honest_sent := !honest_sent + !this_round;
+      per_round := !this_round :: !per_round;
+      (match trace with
+      | None -> ()
+      | Some t ->
+        for src = 0 to n - 1 do
+          for dst = 0 to n - 1 do
+            List.iter
+              (fun m ->
+                Trace.record t
+                  (Trace.Deliver { src; dst; msg = m; byzantine = is_faulty.(src) }))
+              eff_out.(src).(dst)
+          done
+        done);
+      Array.iteri
+        (fun i st ->
+          match st with
+          | Finished _ -> ()
+          | Yielded (_, k) ->
+            let inbox =
+              if is_faulty.(i) then
+                Array.init n (fun src ->
+                    handlers.Adversary.filter_in view ~dst:i ~src eff_out.(src).(i))
+              else Array.init n (fun src -> eff_out.(src).(i))
+            in
+            let st' = Effect.Deep.continue k inbox in
+            status.(i) <- st';
+            (match st' with Finished r -> note_finish i r !round | Yielded _ -> ()))
+        status
+    done;
+    {
+      n;
+      faulty;
+      decisions;
+      decision_round;
+      rounds = !round;
+      honest_sent = !honest_sent;
+      honest_per_round = Array.of_list (List.rev !per_round);
+      honest_received;
+      honest_bits = !honest_bits;
+      adversary_sent = !adversary_sent;
+    }
+
+  let honest_decisions outcome =
+    let is_faulty = Array.make outcome.n false in
+    Array.iter (fun i -> is_faulty.(i) <- true) outcome.faulty;
+    let acc = ref [] in
+    for i = outcome.n - 1 downto 0 do
+      if not is_faulty.(i) then
+        match outcome.decisions.(i) with Some v -> acc := (i, v) :: !acc | None -> ()
+    done;
+    !acc
+end

@@ -1,0 +1,101 @@
+(** Lock-step synchronous round runtime.
+
+    The runtime executes one protocol function per process in
+    round-lock-step, exactly matching the synchronous model of the paper:
+    in each round every process sends messages, the (rushing) adversary
+    fixes the faulty processes' messages after seeing the honest ones, and
+    then every process receives the round's messages and computes.
+
+    Protocol code is written in direct style: it calls {!S.exchange} once
+    per round and otherwise is ordinary OCaml. Suspension is implemented
+    with OCaml 5 effect handlers, so sub-protocols compose by plain
+    function calls — Algorithm 1 of the paper is literally a [for] loop
+    over function calls. *)
+
+module type MSG = sig
+  type t
+end
+
+module type S = sig
+  type msg
+
+  type ctx
+  (** Per-process handle: identity plus the current round. *)
+
+  val id : ctx -> int
+  val n : ctx -> int
+
+  val round : ctx -> int
+  (** Rounds start at 1; 0 before the first exchange. *)
+
+  val exchange : ctx -> (int -> msg list) -> msg list array
+  (** [exchange ctx outbox] ends the local computation for this round.
+      [outbox j] is the list of messages sent to process [j] (the function
+      is called exactly once per recipient, including the caller itself,
+      and must be effect-free). The result is the round's inbox: slot [j]
+      holds the messages received from process [j]. Messages to self are
+      delivered but never counted in the message-complexity metrics. *)
+
+  val broadcast : ctx -> msg -> msg list array
+  (** Send one message to everybody (including self). *)
+
+  val send_to : ctx -> (int * msg) list -> msg list array
+  (** Sparse unicast: send each [(recipient, msg)] pair. *)
+
+  val silent_round : ctx -> msg list array
+  (** Send nothing, still receive. *)
+
+  val skip : ctx -> int -> unit
+  (** [skip ctx r] spends [r] silent rounds, discarding the inboxes. Used
+      to pad sub-protocols to a fixed duration. *)
+
+  type 'r outcome = {
+    n : int;
+    faulty : int array;
+    decisions : 'r option array;
+        (** Return value of each process's protocol function. Faulty slots
+            are the *puppet* results (the protocol code the adversary was
+            rewriting) and carry no correctness meaning. *)
+    decision_round : int array;  (** Round of return, [-1] if never. *)
+    rounds : int;  (** Last round executed (= last honest return). *)
+    honest_sent : int;
+        (** Messages sent by honest processes to other processes (self
+            deliveries excluded), i.e. the paper's message complexity. *)
+    honest_per_round : int array;
+    honest_received : int array;
+        (** [honest_received.(j)] counts the messages process [j] received
+            from honest senders (self-deliveries excluded); used by the
+            Dolev-Reischuk message-lower-bound audit. *)
+    honest_bits : int;
+        (** Communication complexity: total size (in bits, as reported by
+            [run]'s [msg_size]) of the honest messages; 0 when no
+            [msg_size] was supplied. *)
+    adversary_sent : int;
+  }
+
+  exception Round_limit_exceeded of int
+
+  val run :
+    ?max_rounds:int ->
+    ?trace:msg Trace.t ->
+    ?msg_size:(msg -> int) ->
+    n:int ->
+    faulty:int array ->
+    adversary:msg Adversary.t ->
+    (ctx -> 'r) ->
+    'r outcome
+  (** Execute one synchronous run. Every process (honest and faulty) runs
+      the given function; faulty copies are puppets whose messages the
+      adversary rewrites or replaces (see {!Adversary}). The run ends when
+      every honest process has returned.
+
+      @raise Round_limit_exceeded after [max_rounds] (default 100_000)
+      rounds with honest processes still running.
+      @raise Invalid_argument if a faulty id is out of range or the
+      adversary injects a message from a non-faulty source. *)
+
+  val honest_decisions : 'r outcome -> (int * 'r) list
+  (** Decisions of the honest processes, as [(id, value)] pairs. *)
+end
+
+module Make (M : MSG) : S with type msg = M.t

@@ -1,0 +1,34 @@
+type 'msg event =
+  | Round_begin of int
+  | Deliver of { src : int; dst : int; msg : 'msg; byzantine : bool }
+  | Decide of { who : int; round : int }
+
+type 'msg t = {
+  limit : int;
+  mutable count : int;
+  mutable dropped : int;
+  mutable rev_events : 'msg event list;
+}
+
+let create ?(limit = 100_000) () = { limit; count = 0; dropped = 0; rev_events = [] }
+
+let record t e =
+  if t.count < t.limit then begin
+    t.rev_events <- e :: t.rev_events;
+    t.count <- t.count + 1
+  end
+  else t.dropped <- t.dropped + 1
+
+let events t = List.rev t.rev_events
+
+let dropped t = t.dropped
+
+let pp_event pp_msg ppf = function
+  | Round_begin r -> Fmt.pf ppf "-- round %d --" r
+  | Deliver { src; dst; msg; byzantine } ->
+    Fmt.pf ppf "%d -> %d%s: %a" src dst (if byzantine then " [byz]" else "") pp_msg msg
+  | Decide { who; round } -> Fmt.pf ppf "process %d returned in round %d" who round
+
+let pp pp_msg ppf t =
+  Fmt.(list ~sep:cut (pp_event pp_msg)) ppf (events t);
+  if t.dropped > 0 then Fmt.pf ppf "@,... (%d events dropped)" t.dropped

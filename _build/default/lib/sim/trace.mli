@@ -1,0 +1,29 @@
+(** Bounded execution trace for debugging protocol runs.
+
+    A trace records delivery and decision events as the runtime executes.
+    Recording is cheap and bounded: once [limit] events have been stored,
+    further events are counted but dropped. *)
+
+type 'msg event =
+  | Round_begin of int  (** A new synchronous round starts. *)
+  | Deliver of { src : int; dst : int; msg : 'msg; byzantine : bool }
+      (** [msg] was delivered from [src] to [dst]; [byzantine] marks
+          messages emitted (or rewritten) by the adversary. *)
+  | Decide of { who : int; round : int }
+      (** Process [who]'s protocol function returned during [round]. *)
+
+type 'msg t
+
+val create : ?limit:int -> unit -> 'msg t
+(** Fresh trace retaining at most [limit] (default 100_000) events. *)
+
+val record : 'msg t -> 'msg event -> unit
+
+val events : 'msg t -> 'msg event list
+(** Events in chronological order. *)
+
+val dropped : 'msg t -> int
+(** Number of events discarded because the limit was reached. *)
+
+val pp : 'msg Fmt.t -> 'msg t Fmt.t
+(** Human-readable rendering, one event per line. *)

@@ -1,0 +1,24 @@
+let linear_fit points =
+  match points with
+  | [] | [ _ ] -> invalid_arg "Series.linear_fit: need at least two points"
+  | _ ->
+    let n = float_of_int (List.length points) in
+    let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 points in
+    let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 points in
+    let sxx = List.fold_left (fun a (x, _) -> a +. (x *. x)) 0.0 points in
+    let sxy = List.fold_left (fun a (x, y) -> a +. (x *. y)) 0.0 points in
+    let denom = (n *. sxx) -. (sx *. sx) in
+    if abs_float denom < 1e-12 then invalid_arg "Series.linear_fit: degenerate x";
+    let slope = ((n *. sxy) -. (sx *. sy)) /. denom in
+    let intercept = (sy -. (slope *. sx)) /. n in
+    (slope, intercept)
+
+let loglog_slope points =
+  let logged =
+    List.map
+      (fun (x, y) ->
+        if x <= 0.0 || y <= 0.0 then invalid_arg "Series.loglog_slope: non-positive";
+        (log x, log y))
+      points
+  in
+  fst (linear_fit logged)

@@ -1,0 +1,14 @@
+(** Least-squares fitting for scaling checks.
+
+    The experiments assert complexity *shapes* (messages ~ n^2, bits ~
+    n^4, ...). {!loglog_slope} turns such a claim into a number: fit
+    log y = a + s log x and return the exponent [s], so a test can
+    assert it lies in the expected band. *)
+
+val linear_fit : (float * float) list -> float * float
+(** [(slope, intercept)] of the least-squares line through the points.
+    Requires at least two points with distinct x. *)
+
+val loglog_slope : (float * float) list -> float
+(** Slope of the log-log fit: the empirical scaling exponent. All
+    coordinates must be positive. *)

@@ -1,0 +1,17 @@
+type t = { count : int; mean : float; min : int; max : int; total : int }
+
+let of_ints = function
+  | [] -> invalid_arg "Summary.of_ints: empty"
+  | xs ->
+    let count = List.length xs in
+    let total = List.fold_left ( + ) 0 xs in
+    {
+      count;
+      total;
+      mean = float_of_int total /. float_of_int count;
+      min = List.fold_left min max_int xs;
+      max = List.fold_left max min_int xs;
+    }
+
+let pp ppf s = Fmt.pf ppf "mean %.1f (min %d, max %d, n=%d)" s.mean s.min s.max s.count
+let mean_string xs = Printf.sprintf "%.1f" (of_ints xs).mean

@@ -1,0 +1,10 @@
+(** Small numeric aggregates over repeated trials. *)
+
+type t = { count : int; mean : float; min : int; max : int; total : int }
+
+val of_ints : int list -> t
+(** Raises [Invalid_argument] on the empty list. *)
+
+val pp : t Fmt.t
+val mean_string : int list -> string
+(** Mean with one decimal, e.g. ["12.3"]. *)

@@ -1,0 +1,21 @@
+let render ~headers rows =
+  let cols = List.length headers in
+  let pad row = row @ List.init (max 0 (cols - List.length row)) (fun _ -> "") in
+  let rows = List.map pad rows in
+  let widths = Array.make (max cols 1) 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> if i < cols then widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    (headers :: rows);
+  let fmt_row row =
+    String.concat "  "
+      (List.mapi (fun i cell -> cell ^ String.make (widths.(i) - String.length cell) ' ') row)
+  in
+  let sep =
+    String.concat "  " (List.init cols (fun i -> String.make widths.(i) '-'))
+  in
+  String.concat "\n" (fmt_row headers :: sep :: List.map fmt_row rows)
+
+let print ~headers rows = print_endline (render ~headers rows)

@@ -1,0 +1,8 @@
+(** Aligned ASCII tables for experiment output. *)
+
+val render : headers:string list -> string list list -> string
+(** Pads every column to its widest cell; rows shorter than the header
+    are padded with empty cells. *)
+
+val print : headers:string list -> string list list -> unit
+(** [render] to stdout, followed by a newline. *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Array Bap_adversary Bap_core Bap_crypto Bap_prediction Bap_sim Fun List Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_ablation.ml: Adv Alcotest Array Bap_core Bap_prediction Fun Helpers Rng S

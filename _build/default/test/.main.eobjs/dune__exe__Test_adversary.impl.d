@@ -1,0 +1,1 @@
+test/test_adversary.ml: Adv Adversary Advice Alcotest Array Bap_crypto Bap_sim Helpers Int List S

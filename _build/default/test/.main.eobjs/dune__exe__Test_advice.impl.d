@@ -1,0 +1,1 @@
+test/test_advice.ml: Alcotest Array Bap_prediction Bap_sim Fmt Printf

@@ -1,0 +1,1 @@
+test/test_ba_class_unauth.ml: Adv Adversary Alcotest Array Bap_core Bap_prediction Helpers List QCheck2 Rng S

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Bap_adversary Bap_baselines Bap_core Bap_sim Helpers List QCheck2 Rng

@@ -1,0 +1,1 @@
+test/test_bb_committee.ml: Adversary Alcotest Array Bap_sim Helpers List Pki QCheck2 Rng S

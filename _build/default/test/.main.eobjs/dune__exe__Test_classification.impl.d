@@ -1,0 +1,1 @@
+test/test_classification.ml: Adv Alcotest Array Bap_core Bap_prediction Bap_sim Fmt Fun Helpers List QCheck2 S

@@ -1,0 +1,1 @@
+test/test_committee.ml: Adv Alcotest Array Bap_core Bap_prediction Fun Helpers List Pki QCheck2 Rng S

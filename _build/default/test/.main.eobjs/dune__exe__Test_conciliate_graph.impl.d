@@ -1,0 +1,1 @@
+test/test_conciliate_graph.ml: Alcotest Array Bap_sim Helpers List S

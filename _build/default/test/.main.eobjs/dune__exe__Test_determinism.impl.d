@@ -1,0 +1,1 @@
+test/test_determinism.ml: Adv Adversary Advice Array Bap_prediction Fmt Helpers List QCheck2 Rng S

@@ -1,0 +1,1 @@
+test/test_differential.ml: Adv Adversary Array Fun Helpers List Pki QCheck2 Rng S

@@ -1,0 +1,1 @@
+test/test_early_stopping.ml: Adv Adversary Alcotest Array Helpers List QCheck2 Rng S

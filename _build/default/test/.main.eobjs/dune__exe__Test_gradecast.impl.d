@@ -1,0 +1,1 @@
+test/test_gradecast.ml: Adversary Alcotest Array Bap_sim Fun Hashtbl Helpers List Pki Printf QCheck2 Rng S

@@ -1,0 +1,1 @@
+test/test_graded_auth.ml: Adversary Alcotest Array Bap_sim Hashtbl Helpers List Pki QCheck2 Rng S

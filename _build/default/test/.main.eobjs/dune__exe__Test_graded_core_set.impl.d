@@ -1,0 +1,1 @@
+test/test_graded_core_set.ml: Adv Adversary Alcotest Array Fun Helpers List QCheck2 Rng S

@@ -1,0 +1,1 @@
+test/test_inbox.ml: Alcotest Bap_sim Int

@@ -1,0 +1,1 @@
+test/test_lowerbound.ml: Adversary Alcotest Array Bap_lowerbound Bap_prediction Helpers List QCheck2 Rng S

@@ -1,0 +1,1 @@
+test/test_monitor.ml: Adv Adversary Advice Alcotest Array Bap_adversary Bap_monitor Bap_prediction Bap_sim Fmt Fun Helpers List Option QCheck2 Rng S V

@@ -1,0 +1,1 @@
+test/test_pki.ml: Alcotest Bap_crypto

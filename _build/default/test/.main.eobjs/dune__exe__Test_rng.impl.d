@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Bap_sim Fun List

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Bap_sim List Printf

@@ -1,0 +1,1 @@
+test/test_scaling.ml: Adversary Alcotest Array Bap_baselines Bap_core Bap_prediction Bap_stats Fun Helpers List Rng S

@@ -1,0 +1,1 @@
+test/test_stack.ml: Adv Advice Alcotest Array Bap_core Bap_prediction Fun Helpers List Pki Rng S

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Bap_core Bap_stats List String

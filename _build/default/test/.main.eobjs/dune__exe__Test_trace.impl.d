@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Bap_sim Fmt List String

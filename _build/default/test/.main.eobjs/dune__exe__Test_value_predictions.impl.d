@@ -1,0 +1,1 @@
+test/test_value_predictions.ml: Adv Adversary Alcotest Array Bap_prediction Fun Helpers List QCheck2 Rng S

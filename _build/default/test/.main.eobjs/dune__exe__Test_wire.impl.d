@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Helpers List Pki S

@@ -1,0 +1,1 @@
+test/test_wire_fuzz.ml: Helpers List Pki QCheck2 Rng S

@@ -1,0 +1,1 @@
+test/test_wrapper_auth.ml: Adv Adversary Alcotest Array Bap_prediction Helpers List Pki QCheck2 Rng S

@@ -1,0 +1,1 @@
+test/test_wrapper_unauth.ml: Adv Adversary Alcotest Array Bap_prediction Helpers List QCheck2 Rng S

@@ -1,0 +1,57 @@
+(* Shared fixtures for the test suites: one integer-valued stack,
+   adversary strategies over it, and mini-harnesses that run a single
+   sub-protocol for every process under a chosen fault set. *)
+
+module V = Bap_core.Value.Int
+module S = Bap_core.Stack.Make (V)
+module Adv = Bap_adversary.Strategies.Make (V) (S.W)
+module Adversary = Bap_sim.Adversary
+module Advice = Bap_prediction.Advice
+module Gen = Bap_prediction.Gen
+module Quality = Bap_prediction.Quality
+module Rng = Bap_sim.Rng
+module Pki = Bap_crypto.Pki
+
+let qcheck ?(count = 40) ~name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* Run one protocol body per process; returns the decisions array and
+   the raw outcome. *)
+let run_protocol ?(adversary = Adversary.passive) ?max_rounds ~n ~faulty body =
+  S.R.run ?max_rounds ~n ~faulty ~adversary body
+
+let honest_values outcome = List.map snd (S.R.honest_decisions outcome)
+
+let all_equal = function
+  | [] -> true
+  | v :: rest -> List.for_all (( = ) v) rest
+
+let is_faulty_array ~n faulty =
+  let a = Array.make n false in
+  Array.iter (fun j -> a.(j) <- true) faulty;
+  a
+
+(* Sample [f] distinct faulty identifiers from an rng. *)
+let random_faulty rng ~n ~f = Array.of_list (Rng.sample_without_replacement rng f n)
+
+(* A generator of small system configurations for property tests:
+   (n, t, faulty set, seed). [t_of_n] bounds t (e.g. (n-1)/3). *)
+let config_gen ?(min_n = 7) ?(max_n = 25) ~t_of_n () =
+  QCheck2.Gen.(
+    let* n = int_range min_n max_n in
+    let t = t_of_n n in
+    let* f = int_range 0 t in
+    let* seed = int_range 0 1_000_000 in
+    let rng = Rng.create seed in
+    let faulty = random_faulty rng ~n ~f in
+    return (n, t, faulty, seed))
+
+let pp_config (n, t, faulty, seed) =
+  Printf.sprintf "n=%d t=%d faulty=[%s] seed=%d" n t
+    (String.concat ";" (Array.to_list (Array.map string_of_int faulty)))
+    seed
+
+(* Honest processes of a configuration, ascending. *)
+let honest_ids ~n ~faulty =
+  let is_faulty = is_faulty_array ~n faulty in
+  List.filter (fun i -> not is_faulty.(i)) (List.init n Fun.id)

@@ -1,0 +1,37 @@
+let () =
+  Alcotest.run "bap"
+    [
+      ("rng", Test_rng.suite);
+      ("inbox", Test_inbox.suite);
+      ("runtime", Test_runtime.suite);
+      ("trace", Test_trace.suite);
+      ("pki", Test_pki.suite);
+      ("advice", Test_advice.suite);
+      ("classification", Test_classification.suite);
+      ("graded-unauth", Test_graded_unauth.suite);
+      ("graded-core-set", Test_graded_core_set.suite);
+      ("graded-auth", Test_graded_auth.suite);
+      ("gradecast", Test_gradecast.suite);
+      ("conciliate", Test_conciliate.suite);
+      ("conciliate-graph", Test_conciliate_graph.suite);
+      ("ba-class-unauth", Test_ba_class_unauth.suite);
+      ("bb-committee", Test_bb_committee.suite);
+      ("ba-class-auth", Test_ba_class_auth.suite);
+      ("committee", Test_committee.suite);
+      ("early-stopping", Test_early_stopping.suite);
+      ("wrapper-unauth", Test_wrapper_unauth.suite);
+      ("wrapper-auth", Test_wrapper_auth.suite);
+      ("baselines", Test_baselines.suite);
+      ("lowerbound", Test_lowerbound.suite);
+      ("wire", Test_wire.suite);
+      ("stats", Test_stats.suite);
+      ("adversary", Test_adversary.suite);
+      ("stack", Test_stack.suite);
+      ("monitor", Test_monitor.suite);
+      ("value-predictions", Test_value_predictions.suite);
+      ("differential", Test_differential.suite);
+      ("wire-fuzz", Test_wire_fuzz.suite);
+      ("determinism", Test_determinism.suite);
+      ("ablation", Test_ablation.suite);
+      ("scaling", Test_scaling.suite);
+    ]

@@ -1,0 +1,73 @@
+(* Negative controls: the ablated wrapper configurations lose exactly
+   the guarantee their component provides, while the full configuration
+   keeps both. This pins down why Algorithm 1 interleaves an
+   early-stopping BA with the conditional classification BA. *)
+
+open Helpers
+module Gen = Bap_prediction.Gen
+module C = Bap_core.Classification
+
+let worst_case ~n ~f ~m =
+  let rng = Rng.create 1 in
+  let faulty = Array.init f Fun.id in
+  let per = max 1 (C.majority_threshold n - f) in
+  let advice = Gen.generate ~rng ~n ~faulty ~budget:(m * per) (Gen.Targeted per) in
+  let inputs = Array.init n (fun _ -> Rng.int rng 2) in
+  (faulty, advice, inputs)
+
+let splitter ~n ~t = Adv.adaptive_splitter ~n_minus_t:(n - t) ~junk:(fun r -> -1_000_000 - r)
+
+let run config ~n ~t ~f ~m =
+  let faulty, advice, inputs = worst_case ~n ~f ~m in
+  let o =
+    S.run_unauth ~t ~faulty ~inputs ~advice ~adversary:(splitter ~n ~t) ~config ()
+  in
+  (S.agreement o && S.unanimous_validity ~inputs ~faulty o, S.decision_round o)
+
+let test_full_wrapper_survives_worst_case () =
+  let n = 31 and t = 10 in
+  let ok, _ = run (S.unauth_config ~t) ~n ~t ~f:t ~m:t in
+  Alcotest.(check bool) "full wrapper agrees" true ok
+
+let test_no_es_loses_agreement () =
+  (* Same worst case without the early-stopping component: the
+     classification BA never becomes feasible for k >= k_A at this n, so
+     the honest processes can finish split. This is the E13 negative
+     control; if it ever starts agreeing, the ablation experiment's
+     narrative needs rechecking. *)
+  let n = 31 and t = 10 in
+  let cfg = { (S.unauth_config ~t) with S.Wrapper.ablate_es = true } in
+  let ok, _ = run cfg ~n ~t ~f:t ~m:t in
+  Alcotest.(check bool) "agreement lost without early stopping" false ok
+
+let test_no_bc_still_safe_but_slow () =
+  let n = 31 and t = 10 in
+  let full_ok, full_round = run (S.unauth_config ~t) ~n ~t ~f:t ~m:0 in
+  let cfg = { (S.unauth_config ~t) with S.Wrapper.ablate_bc = true } in
+  let ok, round = run cfg ~n ~t ~f:t ~m:0 in
+  Alcotest.(check bool) "still safe" true (ok && full_ok);
+  Alcotest.(check bool) "but loses the good-advice speedup" true (round > full_round)
+
+let test_ablation_keeps_schedule () =
+  (* The ablated components are replaced by silence of the same
+     duration, so the deterministic schedule (and hence lock-step) is
+     unchanged. *)
+  let t = 5 in
+  let full = S.unauth_config ~t in
+  let no_es = { full with S.Wrapper.ablate_es = true } in
+  let no_bc = { full with S.Wrapper.ablate_bc = true } in
+  Alcotest.(check int) "no_es same duration" (S.Wrapper.rounds full ~t)
+    (S.Wrapper.rounds no_es ~t);
+  Alcotest.(check int) "no_bc same duration" (S.Wrapper.rounds full ~t)
+    (S.Wrapper.rounds no_bc ~t)
+
+let suite =
+  [
+    Alcotest.test_case "full wrapper survives the worst case" `Quick
+      test_full_wrapper_survives_worst_case;
+    Alcotest.test_case "ablating early stopping loses agreement" `Quick
+      test_no_es_loses_agreement;
+    Alcotest.test_case "ablating class-BA stays safe but slow" `Quick
+      test_no_bc_still_safe_but_slow;
+    Alcotest.test_case "ablations keep the schedule" `Quick test_ablation_keeps_schedule;
+  ]

@@ -1,0 +1,184 @@
+(* Unit tests for the adversary strategy library: each strategy rewrites
+   exactly what it claims to rewrite. *)
+
+open Helpers
+module W = S.W
+
+(* Run one round in which every process broadcasts [msg] and return what
+   process [observer] received from [faulty_id]. *)
+let observe ?(rounds = 1) ~adversary ~msg ~faulty_id ~observer () =
+  let n = 6 in
+  let outcome =
+    run_protocol ~adversary ~n ~faulty:[| faulty_id |] (fun ctx ->
+        let received = ref [] in
+        for _ = 1 to rounds do
+          let inbox = S.R.broadcast ctx msg in
+          received := !received @ inbox.(faulty_id)
+        done;
+        !received)
+  in
+  List.assoc observer (S.R.honest_decisions outcome)
+
+let test_advice_liar_rewrites_advice () =
+  let n = 6 in
+  let truth = Advice.ground_truth ~n ~faulty:[| 0 |] in
+  let got =
+    observe ~adversary:Adv.advice_liar ~msg:(W.Advice truth) ~faulty_id:0 ~observer:3 ()
+  in
+  match got with
+  | [ W.Advice lie ] ->
+    (* The lie claims the faulty process is honest and everyone else
+       faulty. *)
+    Alcotest.(check bool) "faulty claimed honest" true (Advice.get lie 0);
+    for j = 1 to n - 1 do
+      Alcotest.(check bool) "honest claimed faulty" false (Advice.get lie j)
+    done
+  | _ -> Alcotest.fail "expected exactly one advice message"
+
+let test_advice_liar_keeps_other_messages () =
+  let got =
+    observe ~adversary:Adv.advice_liar ~msg:(W.Gc_init (3, 42)) ~faulty_id:0 ~observer:1 ()
+  in
+  Alcotest.(check bool) "gc message untouched" true (got = [ W.Gc_init (3, 42) ])
+
+let test_equivocate_parity () =
+  let even =
+    observe ~adversary:(Adv.equivocate ~v0:7 ~v1:8) ~msg:(W.Gc_init (0, 1)) ~faulty_id:1
+      ~observer:2 ()
+  in
+  let odd =
+    observe ~adversary:(Adv.equivocate ~v0:7 ~v1:8) ~msg:(W.Gc_init (0, 1)) ~faulty_id:1
+      ~observer:3 ()
+  in
+  Alcotest.(check bool) "even gets v0" true (even = [ W.Gc_init (0, 7) ]);
+  Alcotest.(check bool) "odd gets v1" true (odd = [ W.Gc_init (0, 8) ])
+
+let test_value_push () =
+  let got =
+    observe ~adversary:(Adv.value_push ~v:9) ~msg:(W.Gc_echo (5, 1)) ~faulty_id:2
+      ~observer:4 ()
+  in
+  Alcotest.(check bool) "pushed" true (got = [ W.Gc_echo (5, 9) ])
+
+let test_staggered_crash_schedule () =
+  (* Two faulty processes, interval 2: the first goes silent after round
+     2, the second after round 4. *)
+  let n = 5 in
+  let adversary = Adv.staggered_crash ~interval:2 in
+  let outcome =
+    run_protocol ~adversary ~n ~faulty:[| 0; 1 |] (fun ctx ->
+        let seen = ref [] in
+        for _ = 1 to 5 do
+          let inbox = S.R.broadcast ctx (W.Gc_init (0, 1)) in
+          seen := (List.length inbox.(0), List.length inbox.(1)) :: !seen
+        done;
+        List.rev !seen)
+    |> S.R.honest_decisions
+  in
+  let per_round = List.assoc 2 outcome in
+  Alcotest.(check (list (pair int int)))
+    "silence schedule"
+    [ (1, 1); (1, 1); (0, 1); (0, 1); (0, 0) ]
+    per_round
+
+let test_liar_then_silent () =
+  let n = 6 in
+  let truth = Advice.ground_truth ~n ~faulty:[| 0 |] in
+  let adversary = Adv.advice_liar_then_silent in
+  let outcome =
+    run_protocol ~adversary ~n ~faulty:[| 0 |] (fun ctx ->
+        let r1 = S.R.broadcast ctx (W.Advice truth) in
+        let r2 = S.R.broadcast ctx (W.Gc_init (0, 1)) in
+        (List.length r1.(0), List.length r2.(0)))
+    |> S.R.honest_decisions
+  in
+  List.iter
+    (fun (_, (lied, silent)) ->
+      Alcotest.(check (pair int int)) "lie then silence" (1, 0) (lied, silent))
+    outcome
+
+let test_adaptive_splitter_never_completes_quorum () =
+  (* With honest processes split 50/50, the splitter's votes must never
+     let any value reach n - t at any receiver. *)
+  let n = 12 and t = 3 in
+  let adversary = Adv.adaptive_splitter ~n_minus_t:(n - t) ~junk:(fun r -> -r) in
+  let outcome =
+    run_protocol ~adversary ~n ~faulty:[| 0; 1; 2 |] (fun ctx ->
+        let i = S.R.id ctx in
+        let inbox = S.R.broadcast ctx (W.Gc_init (0, i mod 2)) in
+        let votes =
+          Bap_sim.Inbox.first inbox ~f:(function W.Gc_init (_, v) -> Some v | _ -> None)
+        in
+        let count v = Bap_sim.Inbox.count votes ~eq:Int.equal v in
+        max (count 0) (count 1))
+  in
+  List.iter
+    (fun (_, top) -> Alcotest.(check bool) "below quorum" true (top < n - t))
+    (S.R.honest_decisions outcome)
+
+let test_drop_to () =
+  let adversary = Adversary.drop_to (fun r -> r = 3) in
+  let to_victim =
+    observe ~adversary ~msg:(W.Gc_init (0, 5)) ~faulty_id:0 ~observer:3 ()
+  in
+  let to_other =
+    observe ~adversary ~msg:(W.Gc_init (0, 5)) ~faulty_id:0 ~observer:2 ()
+  in
+  Alcotest.(check int) "victim starved" 0 (List.length to_victim);
+  Alcotest.(check int) "others served" 1 (List.length to_other)
+
+let test_king_killer () =
+  let got =
+    observe ~adversary:Adv.king_killer ~msg:(W.King (0, 5)) ~faulty_id:0 ~observer:1 ()
+  in
+  let kept =
+    observe ~adversary:Adv.king_killer ~msg:(W.Gc_init (0, 5)) ~faulty_id:0 ~observer:1 ()
+  in
+  Alcotest.(check int) "king dropped" 0 (List.length got);
+  Alcotest.(check int) "other messages kept" 1 (List.length kept)
+
+let test_vote_withholder () =
+  let n = 6 in
+  let pki = Bap_crypto.Pki.create ~n in
+  let vote = W.Committee_vote (0, Bap_crypto.Pki.sign (Bap_crypto.Pki.key pki 0) "x") in
+  let got = observe ~adversary:Adv.vote_withholder ~msg:vote ~faulty_id:0 ~observer:1 () in
+  Alcotest.(check int) "vote withheld" 0 (List.length got)
+
+let test_flip_flop () =
+  let n = 5 in
+  let outcome =
+    run_protocol ~adversary:Adv.flip_flop ~n ~faulty:[| 0 |] (fun ctx ->
+        let seen = ref [] in
+        for _ = 1 to 4 do
+          let inbox = S.R.broadcast ctx (W.Gc_init (0, 1)) in
+          seen := List.length inbox.(0) :: !seen
+        done;
+        List.rev !seen)
+  in
+  Alcotest.(check (list int)) "odd rounds silent" [ 0; 1; 0; 1 ]
+    (List.assoc 1 (S.R.honest_decisions outcome))
+
+let test_partition () =
+  let adversary = Adv.partition ~targets:[ 3; 4 ] in
+  let starved = observe ~adversary ~msg:(W.Gc_init (0, 1)) ~faulty_id:0 ~observer:3 () in
+  let served = observe ~adversary ~msg:(W.Gc_init (0, 1)) ~faulty_id:0 ~observer:2 () in
+  Alcotest.(check int) "target starved" 0 (List.length starved);
+  Alcotest.(check int) "others served" 1 (List.length served)
+
+let suite =
+  [
+    Alcotest.test_case "advice liar rewrites advice" `Quick test_advice_liar_rewrites_advice;
+    Alcotest.test_case "advice liar keeps other messages" `Quick
+      test_advice_liar_keeps_other_messages;
+    Alcotest.test_case "equivocate splits by parity" `Quick test_equivocate_parity;
+    Alcotest.test_case "value push" `Quick test_value_push;
+    Alcotest.test_case "staggered crash schedule" `Quick test_staggered_crash_schedule;
+    Alcotest.test_case "liar then silent" `Quick test_liar_then_silent;
+    Alcotest.test_case "adaptive splitter stays below quorum" `Quick
+      test_adaptive_splitter_never_completes_quorum;
+    Alcotest.test_case "drop_to starves only the target" `Quick test_drop_to;
+    Alcotest.test_case "king killer" `Quick test_king_killer;
+    Alcotest.test_case "vote withholder" `Quick test_vote_withholder;
+    Alcotest.test_case "flip flop alternates" `Quick test_flip_flop;
+    Alcotest.test_case "partition" `Quick test_partition;
+  ]

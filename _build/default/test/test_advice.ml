@@ -1,0 +1,115 @@
+module Advice = Bap_prediction.Advice
+module Quality = Bap_prediction.Quality
+module Gen = Bap_prediction.Gen
+module Rng = Bap_sim.Rng
+
+let test_ground_truth () =
+  let truth = Advice.ground_truth ~n:5 ~faulty:[| 1; 3 |] in
+  Alcotest.(check (list bool)) "bits" [ true; false; true; false; true ]
+    (Array.to_list (Advice.to_bool_array truth))
+
+let test_set_flip_functional () =
+  let a = Advice.make 4 true in
+  let b = Advice.set a 2 false in
+  Alcotest.(check bool) "original untouched" true (Advice.get a 2);
+  Alcotest.(check bool) "copy changed" false (Advice.get b 2);
+  let c = Advice.flip b 2 in
+  Alcotest.(check bool) "flip back" true (Advice.get c 2)
+
+let test_errors_against () =
+  let truth = Advice.ground_truth ~n:6 ~faulty:[| 0 |] in
+  let a = Advice.flip (Advice.flip truth 0) 5 in
+  Alcotest.(check int) "two errors" 2 (Advice.errors_against ~truth a);
+  Alcotest.(check (list int)) "positions" [ 0; 5 ] (Advice.error_positions ~truth a)
+
+let test_pp () =
+  let a = Advice.of_bool_array [| true; false; true |] in
+  Alcotest.(check string) "render" "101" (Fmt.str "%a" Advice.pp a)
+
+let test_quality_counts () =
+  let n = 6 in
+  let faulty = [| 0; 1 |] in
+  let truth = Advice.ground_truth ~n ~faulty in
+  let advice = Array.make n truth in
+  (* honest process 2 wrongly trusts faulty 0 (B_F) and suspects honest 5 (B_H);
+     faulty process 0's own garbage advice must not count. *)
+  advice.(2) <- Advice.flip (Advice.flip truth 0) 5;
+  advice.(0) <- Advice.init n (fun _ -> false);
+  let stats = Quality.measure ~n ~faulty advice in
+  Alcotest.(check int) "B" 2 stats.Quality.b;
+  Alcotest.(check int) "B_F" 1 stats.Quality.b_f;
+  Alcotest.(check int) "B_H" 1 stats.Quality.b_h;
+  Alcotest.(check int) "per-subject 0" 1 stats.Quality.per_subject.(0);
+  Alcotest.(check int) "per-subject 5" 1 stats.Quality.per_subject.(5)
+
+let test_perfect_has_zero_errors () =
+  let n = 9 and faulty = [| 2; 4 |] in
+  let stats = Quality.measure ~n ~faulty (Gen.perfect ~n ~faulty) in
+  Alcotest.(check int) "B = 0" 0 stats.Quality.b
+
+let test_uniform_budget_exact () =
+  let rng = Rng.create 17 in
+  for budget = 0 to 30 do
+    let n = 10 and faulty = [| 1; 2 |] in
+    let advice = Gen.generate ~rng ~n ~faulty ~budget Gen.Uniform in
+    let stats = Quality.measure ~n ~faulty advice in
+    Alcotest.(check int) (Printf.sprintf "budget %d" budget) budget stats.Quality.b
+  done
+
+let test_uniform_budget_capped () =
+  let rng = Rng.create 17 in
+  let n = 5 and faulty = [| 0 |] in
+  (* capacity = 4 honest * 5 bits = 20 *)
+  let advice = Gen.generate ~rng ~n ~faulty ~budget:1000 Gen.Uniform in
+  let stats = Quality.measure ~n ~faulty advice in
+  Alcotest.(check int) "capped at capacity" 20 stats.Quality.b
+
+let test_all_wrong () =
+  let n = 7 and faulty = [| 3 |] in
+  let advice = Gen.generate ~rng:(Rng.create 1) ~n ~faulty ~budget:0 Gen.All_wrong in
+  let stats = Quality.measure ~n ~faulty advice in
+  Alcotest.(check int) "every honest bit wrong" ((n - 1) * n) stats.Quality.b
+
+let test_focused_misclassifies_cheaply () =
+  (* With a focused budget of (ceil((n+1)/2)) bits about one faulty
+     process, every honest process can be made to trust it after the
+     vote (given the faulty processes also vote for it). *)
+  let n = 11 and faulty = [| 9; 10 |] in
+  let rng = Rng.create 3 in
+  let budget = 6 in
+  let advice = Gen.generate ~rng ~n ~faulty ~budget Gen.Focused in
+  let stats = Quality.measure ~n ~faulty advice in
+  Alcotest.(check int) "budget honoured" budget stats.Quality.b;
+  (* All errors concentrated on the first faulty subject. *)
+  Alcotest.(check int) "concentrated" budget stats.Quality.per_subject.(9)
+
+let test_scattered_never_misclassifies () =
+  let n = 13 and faulty = [| 0; 1 |] in
+  let rng = Rng.create 5 in
+  let advice = Gen.generate ~rng ~n ~faulty ~budget:40 Gen.Scattered in
+  let stats = Quality.measure ~n ~faulty advice in
+  Alcotest.(check bool) "some errors planted" true (stats.Quality.b > 0);
+  (* No subject may reach the misclassification threshold even with all
+     faulty votes colluding: fewer than ceil(n/2) - f wrong honest
+     votes per subject. *)
+  let f = Array.length faulty in
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "below threshold" true (c < ((n + 1) / 2) - f))
+    stats.Quality.per_subject
+
+let suite =
+  [
+    Alcotest.test_case "ground truth" `Quick test_ground_truth;
+    Alcotest.test_case "set/flip are functional" `Quick test_set_flip_functional;
+    Alcotest.test_case "errors against truth" `Quick test_errors_against;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+    Alcotest.test_case "quality counts B_F/B_H" `Quick test_quality_counts;
+    Alcotest.test_case "perfect advice has B=0" `Quick test_perfect_has_zero_errors;
+    Alcotest.test_case "uniform plants exact budget" `Quick test_uniform_budget_exact;
+    Alcotest.test_case "uniform caps at capacity" `Quick test_uniform_budget_capped;
+    Alcotest.test_case "all-wrong inverts every honest bit" `Quick test_all_wrong;
+    Alcotest.test_case "focused concentrates errors" `Quick test_focused_misclassifies_cheaply;
+    Alcotest.test_case "scattered stays below thresholds" `Quick
+      test_scattered_never_misclassifies;
+  ]

@@ -1,0 +1,138 @@
+(* Algorithm 5 (unauthenticated conditional BA with classification):
+   Theorem 5 - agreement and strong unanimity when k bounds the
+   misclassifications and (2k+1)(3k+1) <= n - t - k; fixed round budget;
+   per-process message cap. *)
+
+open Helpers
+module Gen = Bap_prediction.Gen
+module Quality = Bap_prediction.Quality
+module C = Bap_core.Classification
+
+(* Run classify then Algorithm 5 in one execution, as the wrapper
+   does. *)
+let run_ba ?(adversary = Adversary.passive) ~n ~t ~k ~faulty ~advice inputs =
+  let outcome =
+    run_protocol ~adversary ~n ~faulty (fun ctx ->
+        let i = S.R.id ctx in
+        let c = S.Classify_p.run ctx advice.(i) in
+        S.Ba_class_unauth.run ctx ~t ~k ~base_tag:0 inputs.(i) c)
+  in
+  (S.R.honest_decisions outcome, outcome)
+
+let test_feasibility () =
+  Alcotest.(check bool) "k=1 needs n-t >= 13" true
+    (S.Ba_class_unauth.feasible ~n:20 ~t:6 ~k:1);
+  Alcotest.(check bool) "infeasible" false (S.Ba_class_unauth.feasible ~n:12 ~t:4 ~k:1);
+  Alcotest.(check int) "max k grows with n" 2
+    (S.Ba_class_unauth.max_feasible_k ~n:60 ~t:10)
+
+let test_rounds_budget () =
+  Alcotest.(check int) "5(2k+1)" 15 (S.Ba_class_unauth.rounds ~k:1);
+  Alcotest.(check int) "k=3" 35 (S.Ba_class_unauth.rounds ~k:3)
+
+let test_perfect_advice_agreement () =
+  let n = 20 and t = 5 and k = 1 in
+  let faulty = [| 3; 8 |] in
+  let advice = Gen.perfect ~n ~faulty in
+  let inputs = Array.init n (fun i -> i mod 2) in
+  let decisions, outcome = run_ba ~n ~t ~k ~faulty ~advice inputs in
+  Alcotest.(check bool) "agreement" true (all_equal (List.map snd decisions));
+  Alcotest.(check int) "exact duration (classify + 5(2k+1))" 16 outcome.S.R.rounds
+
+let test_unanimity () =
+  let n = 20 and t = 5 and k = 1 in
+  let faulty = [| 1; 2 |] in
+  let advice = Gen.perfect ~n ~faulty in
+  let decisions, _ =
+    run_ba ~adversary:(Adv.equivocate ~v0:3 ~v1:4) ~n ~t ~k ~faulty ~advice
+      (Array.make n 7)
+  in
+  List.iter (fun (_, v) -> Alcotest.(check int) "kept input" 7 v) decisions
+
+let test_message_cap_per_process () =
+  (* Theorem 5: each honest process sends at most 5n messages (and the
+     self-deliveries we do not count only lower this). *)
+  let n = 20 and t = 5 and k = 1 in
+  let faulty = [| 0 |] in
+  let advice = Gen.perfect ~n ~faulty in
+  let inputs = Array.init n (fun i -> i mod 2) in
+  let _, outcome = run_ba ~n ~t ~k ~faulty ~advice inputs in
+  (* Subtract the classify round (n^2 messages) and check the total for
+     Algorithm 5 against (2k+1)(3k+1) + k senders * 5 broadcasts. *)
+  let alg5_messages =
+    Array.fold_left ( + ) 0 outcome.S.R.honest_per_round
+    - outcome.S.R.honest_per_round.(0)
+  in
+  let sender_bound = (((2 * k) + 1) * ((3 * k) + 1)) + k in
+  Alcotest.(check bool) "O(n k^2) total" true
+    (alg5_messages <= sender_bound * 5 * n)
+
+let test_infeasible_k_skips () =
+  let n = 10 and t = 3 and k = 2 in
+  (* (2k+1)(3k+1) = 35 > n - t - k: protocol must skip silently. *)
+  Alcotest.(check bool) "infeasible" false (S.Ba_class_unauth.feasible ~n ~t ~k);
+  let faulty = [| 0 |] in
+  let advice = Gen.perfect ~n ~faulty in
+  let inputs = Array.init n (fun i -> i mod 2) in
+  let decisions, outcome = run_ba ~n ~t ~k ~faulty ~advice inputs in
+  (* Returns inputs unchanged, still consuming the round budget. *)
+  Alcotest.(check int) "budget consumed" (1 + S.Ba_class_unauth.rounds ~k)
+    outcome.S.R.rounds;
+  List.iter
+    (fun (i, v) -> Alcotest.(check int) "input returned" inputs.(i) v)
+    decisions;
+  (* And sends no Algorithm 5 messages at all. *)
+  let alg5_messages =
+    Array.fold_left ( + ) 0 outcome.S.R.honest_per_round
+    - outcome.S.R.honest_per_round.(0)
+  in
+  Alcotest.(check int) "silent" 0 alg5_messages
+
+let prop_agreement_when_k_covers =
+  qcheck ~count:40 ~name:"Theorem 5: agreement when k >= k_A and feasible"
+    QCheck2.Gen.(
+      let* t = int_range 1 5 in
+      let* f = int_range 0 t in
+      let* k = int_range 1 2 in
+      let* budget = int_range 0 3 in
+      let* seed = int_range 0 1_000_000 in
+      (* Choose n comfortably feasible: (2k+1)(3k+1) + k + t <= n. *)
+      let n = (((2 * k) + 1) * ((3 * k) + 1)) + k + t + 5 in
+      return (n, t, f, k, budget, seed))
+    (fun (n, t, f, k, budget, seed) ->
+      let rng = Rng.create seed in
+      let faulty = random_faulty rng ~n ~f in
+      (* Scattered errors never cause misclassification, so k_A = 0 <= k
+         regardless of budget. *)
+      let advice = Gen.generate ~rng ~n ~faulty ~budget Gen.Scattered in
+      let inputs = Array.init n (fun _ -> Rng.int rng 2) in
+      let adversary = if seed mod 2 = 0 then Adversary.silent else Adv.equivocate ~v0:0 ~v1:1 in
+      let decisions, _ = run_ba ~adversary ~n ~t ~k ~faulty ~advice inputs in
+      all_equal (List.map snd decisions))
+
+let prop_termination_always =
+  qcheck ~count:30 ~name:"fixed duration whatever the advice"
+    QCheck2.Gen.(
+      let* seed = int_range 0 1_000_000 in
+      let* k = int_range 1 2 in
+      return (seed, k))
+    (fun (seed, k) ->
+      let n = 40 and t = 5 in
+      let rng = Rng.create seed in
+      let faulty = random_faulty rng ~n ~f:t in
+      let advice = Gen.generate ~rng ~n ~faulty ~budget:(n * n) Gen.All_wrong in
+      let inputs = Array.init n (fun _ -> Rng.int rng 2) in
+      let _, outcome = run_ba ~adversary:Adversary.silent ~n ~t ~k ~faulty ~advice inputs in
+      outcome.S.R.rounds = 1 + S.Ba_class_unauth.rounds ~k)
+
+let suite =
+  [
+    Alcotest.test_case "feasibility condition" `Quick test_feasibility;
+    Alcotest.test_case "round budget formula" `Quick test_rounds_budget;
+    Alcotest.test_case "agreement with perfect advice" `Quick test_perfect_advice_agreement;
+    Alcotest.test_case "strong unanimity" `Quick test_unanimity;
+    Alcotest.test_case "message cap (Theorem 5)" `Quick test_message_cap_per_process;
+    Alcotest.test_case "infeasible k skips silently" `Quick test_infeasible_k_skips;
+    prop_agreement_when_k_covers;
+    prop_termination_always;
+  ]

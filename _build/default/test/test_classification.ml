@@ -1,0 +1,238 @@
+(* Unit and property tests for Section 6: the voting rule, the pi
+   ordering, and executable versions of Lemmas 1-6. *)
+
+module C = Bap_core.Classification
+module Advice = Bap_prediction.Advice
+module Gen = Bap_prediction.Gen
+module Quality = Bap_prediction.Quality
+module Rng = Bap_sim.Rng
+open Helpers
+
+let test_majority_threshold () =
+  Alcotest.(check int) "n=4" 3 (C.majority_threshold 4);
+  Alcotest.(check int) "n=5" 3 (C.majority_threshold 5);
+  Alcotest.(check int) "n=6" 4 (C.majority_threshold 6);
+  Alcotest.(check int) "n=7" 4 (C.majority_threshold 7)
+
+let test_vote_basic () =
+  let n = 5 in
+  let yes = Advice.make n true and no = Advice.make n false in
+  (* 3 of 5 say everyone honest -> all classified honest. *)
+  let c = C.vote ~n [| Some yes; Some yes; Some yes; Some no; Some no |] in
+  Alcotest.(check string) "all honest" "11111" (Fmt.str "%a" Advice.pp c);
+  (* 2 of 5 only -> all classified faulty. *)
+  let c = C.vote ~n [| Some yes; Some yes; Some no; Some no; Some no |] in
+  Alcotest.(check string) "all faulty" "00000" (Fmt.str "%a" Advice.pp c)
+
+let test_vote_ignores_missing_and_malformed () =
+  let n = 4 in
+  let yes = Advice.make n true in
+  let short = Advice.make 2 true in
+  (* Only 2 valid yes-votes out of n = 4: threshold is 3, so faulty. *)
+  let c = C.vote ~n [| Some yes; Some yes; None; Some short |] in
+  Alcotest.(check string) "missing votes are not yes" "0000" (Fmt.str "%a" Advice.pp c)
+
+let test_pi_ordering () =
+  let c = Advice.of_bool_array [| false; true; true; false; true |] in
+  Alcotest.(check (array int)) "honest asc then faulty asc" [| 1; 2; 4; 0; 3 |] (C.pi c)
+
+let test_position () =
+  let c = Advice.of_bool_array [| false; true; true; false; true |] in
+  Alcotest.(check int) "honest front" 0 (C.position c 1);
+  Alcotest.(check int) "faulty back" 3 (C.position c 0);
+  Alcotest.(check int) "last faulty" 4 (C.position c 3)
+
+let test_misclassified_by () =
+  let faulty = [| 0; 3 |] in
+  let c = Advice.of_bool_array [| true; true; true; false; false |] in
+  (* 0 is faulty but classified honest; 4 is honest but classified faulty. *)
+  Alcotest.(check (list int)) "positions" [ 0; 4 ] (C.misclassified_by ~faulty c)
+
+let test_union_and_counts () =
+  let n = 5 in
+  let faulty = [| 0 |] in
+  let truth = Advice.ground_truth ~n ~faulty in
+  let c1 = Advice.flip truth 0 (* trusts faulty 0 *) in
+  let c2 = Advice.flip truth 4 (* suspects honest 4 *) in
+  let honest_classifications = [ (1, c1); (2, c2); (3, truth) ] in
+  Alcotest.(check (list int)) "union" [ 0; 4 ]
+    (C.misclassified_union ~n ~faulty ~honest_classifications);
+  let k_a, k_f, k_h = C.k_counts ~n ~faulty ~honest_classifications in
+  Alcotest.(check (list int)) "counts" [ 2; 1; 1 ] [ k_a; k_f; k_h ]
+
+(* Run Algorithm 2 over generated advice and return the honest
+   processes' classifications. *)
+let classify_execution ~n ~t:_ ~faulty advice =
+  let outcome =
+    run_protocol ~n ~faulty (fun ctx -> S.Classify_p.run ctx advice.(S.R.id ctx))
+  in
+  S.R.honest_decisions outcome
+
+(* Lemma 1: with f < n/2 - eps, at most B / (ceil(n/2) - f) processes are
+   misclassified. *)
+let lemma1 =
+  qcheck ~count:60 ~name:"Lemma 1: k_A <= B / (ceil(n/2) - f)"
+    QCheck2.Gen.(
+      let* n, t, faulty, seed = config_gen ~t_of_n:(fun n -> (n - 1) / 3) () in
+      let* budget = int_range 0 (2 * n) in
+      let* placement = oneofl [ Gen.Uniform; Gen.Focused; Gen.Scattered ] in
+      return (n, t, faulty, seed, budget, placement))
+    (fun (n, t, faulty, seed, budget, placement) ->
+      let rng = Rng.create seed in
+      let advice = Gen.generate ~rng ~n ~faulty ~budget placement in
+      let b = (Quality.measure ~n ~faulty advice).Quality.b in
+      let honest_classifications = classify_execution ~n ~t ~faulty advice in
+      let k_a, _, _ = C.k_counts ~n ~faulty ~honest_classifications in
+      let f = Array.length faulty in
+      let denom = ((n + 1) / 2) - f in
+      denom <= 0 || k_a <= b / denom)
+
+(* Observations 1-2 in contrapositive: with perfect advice nothing is
+   misclassified, whatever the faulty processes broadcast. *)
+let perfect_advice_classifies_perfectly =
+  qcheck ~count:40 ~name:"perfect advice yields zero misclassifications"
+    (config_gen ~t_of_n:(fun n -> (n - 1) / 3) ())
+    (fun (n, _t, faulty, _) ->
+      let advice = Gen.perfect ~n ~faulty in
+      let outcome =
+        run_protocol ~n ~faulty ~adversary:Adv.advice_liar (fun ctx ->
+            S.Classify_p.run ctx advice.(S.R.id ctx))
+      in
+      let honest_classifications = S.R.honest_decisions outcome in
+      let k_a, _, _ = C.k_counts ~n ~faulty ~honest_classifications in
+      k_a = 0)
+
+(* Lemma 2: a properly classified process sits within m positions of its
+   true position, where m = #misclassifications of that vector. *)
+let lemma2 =
+  qcheck ~count:60 ~name:"Lemma 2: position shift bounded by m"
+    QCheck2.Gen.(
+      let* n = int_range 5 20 in
+      let* f = int_range 0 (n / 3) in
+      let* seed = int_range 0 1_000_000 in
+      return (n, f, seed))
+    (fun (n, f, seed) ->
+      let rng = Rng.create seed in
+      let faulty = random_faulty rng ~n ~f in
+      let truth = Advice.ground_truth ~n ~faulty in
+      (* Random vector c obtained by flipping some bits of the truth. *)
+      let flips = Rng.int rng (n + 1) in
+      let c = ref truth in
+      for _ = 1 to flips do
+        c := Advice.flip !c (Rng.int rng n)
+      done;
+      let c = !c in
+      let m = Advice.errors_against ~truth c in
+      List.for_all
+        (fun i ->
+          if Advice.get c i = Advice.get truth i then
+            abs (C.position c i - C.position truth i) <= m
+          else true)
+        (List.init n Fun.id))
+
+(* Lemma 4: two honest processes that both misclassify a faulty process
+   as honest place it within k_A - 1 positions of each other. *)
+let lemma4 =
+  qcheck ~count:60 ~name:"Lemma 4: misclassified positions differ by < k_A"
+    QCheck2.Gen.(
+      let* n, t, faulty, seed = config_gen ~min_n:10 ~t_of_n:(fun n -> (n - 1) / 3) () in
+      let* budget = int_range 0 (2 * n) in
+      return (n, t, faulty, seed, budget))
+    (fun (n, t, faulty, seed, budget) ->
+      let rng = Rng.create seed in
+      let advice = Gen.generate ~rng ~n ~faulty ~budget Gen.Focused in
+      let honest_classifications = classify_execution ~n ~t ~faulty advice in
+      let k_a, _, _ = C.k_counts ~n ~faulty ~honest_classifications in
+      let is_faulty = is_faulty_array ~n faulty in
+      List.for_all
+        (fun j ->
+          if not is_faulty.(j) then true
+          else begin
+            let positions =
+              List.filter_map
+                (fun (_, c) ->
+                  if Advice.get c j then Some (C.position c j) else None)
+                honest_classifications
+            in
+            match positions with
+            | [] -> true
+            | p :: rest ->
+              List.for_all
+                (fun q -> abs (p - q) <= max 0 (k_a - 1))
+                rest
+          end)
+        (List.init n Fun.id))
+
+(* Lemma 5 (core set): for any window of size 3k+1 ending at position
+   <= n - t - k_A, at least 2k+1 identifiers are common to every honest
+   ordering, and with k_A <= k they are honest. *)
+let lemma5 =
+  qcheck ~count:60 ~name:"Lemma 5: common window retains size - k_A members"
+    QCheck2.Gen.(
+      let* n, t, faulty, seed = config_gen ~min_n:10 ~t_of_n:(fun n -> (n - 1) / 4) () in
+      let* budget = int_range 0 n in
+      return (n, t, faulty, seed, budget))
+    (fun (n, t, faulty, seed, budget) ->
+      let rng = Rng.create seed in
+      let advice = Gen.generate ~rng ~n ~faulty ~budget Gen.Uniform in
+      let honest_classifications = classify_execution ~n ~t ~faulty advice in
+      match honest_classifications with
+      | [] -> true
+      | _ ->
+        let k_a, _, _ = C.k_counts ~n ~faulty ~honest_classifications in
+        let is_faulty = is_faulty_array ~n faulty in
+        (* Check every window of width k_a+1 .. keep it cheap: width w =
+           min n (3 k_a + 1). *)
+        let w = min n ((3 * k_a) + 1) in
+        let valid = ref true in
+        let l = ref 0 in
+        while !valid && !l + w <= n - t - k_a do
+          let r = !l + w - 1 in
+          let common = C.common_window ~honest_classifications ~l:!l ~r in
+          if List.length common < w - k_a then valid := false;
+          (* All common members in this prefix range must be honest. *)
+          if List.exists (fun id -> is_faulty.(id)) common then valid := false;
+          l := !l + w
+        done;
+        !valid)
+
+(* Lemma 6: at most r + k_H processes appear within the first r
+   positions of their own ordering. *)
+let lemma6 =
+  qcheck ~count:60 ~name:"Lemma 6: self-inclusion bounded by r + k_H"
+    QCheck2.Gen.(
+      let* n, t, faulty, seed = config_gen ~min_n:10 ~t_of_n:(fun n -> (n - 1) / 4) () in
+      let* budget = int_range 0 n in
+      return (n, t, faulty, seed, budget))
+    (fun (n, t, faulty, seed, budget) ->
+      let rng = Rng.create seed in
+      let advice = Gen.generate ~rng ~n ~faulty ~budget Gen.Uniform in
+      let honest_classifications = classify_execution ~n ~t ~faulty advice in
+      let _, _, k_h = C.k_counts ~n ~faulty ~honest_classifications in
+      let ok = ref true in
+      let r = max 1 ((n - t) / 2) in
+      if r <= n - t - k_h then begin
+        let self_included =
+          List.filter (fun (i, c) -> C.position c i < r) honest_classifications
+        in
+        if List.length self_included > r + k_h then ok := false
+      end;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "majority threshold" `Quick test_majority_threshold;
+    Alcotest.test_case "voting rule" `Quick test_vote_basic;
+    Alcotest.test_case "vote ignores missing/malformed" `Quick
+      test_vote_ignores_missing_and_malformed;
+    Alcotest.test_case "pi ordering" `Quick test_pi_ordering;
+    Alcotest.test_case "position" `Quick test_position;
+    Alcotest.test_case "misclassified_by" `Quick test_misclassified_by;
+    Alcotest.test_case "union and counts" `Quick test_union_and_counts;
+    lemma1;
+    perfect_advice_classifies_perfectly;
+    lemma2;
+    lemma4;
+    lemma5;
+    lemma6;
+  ]

@@ -1,0 +1,113 @@
+(* Algorithm 4 (conciliation with core set): agreement and strong
+   unanimity under the conditions (honest-only L sets with a 2k+1 core),
+   Lemmas 10-14. *)
+
+open Helpers
+
+(* L sets satisfying the conciliation conditions: all honest members,
+   shared core of size 2k+1, k honest extras that may differ. *)
+let build_l_sets rng ~n ~faulty ~k =
+  let honest = honest_ids ~n ~faulty in
+  assert (List.length honest >= (3 * k) + 1);
+  let core = List.filteri (fun idx _ -> idx < (2 * k) + 1) honest in
+  let spares = List.filter (fun i -> not (List.mem i core)) honest in
+  Array.init n (fun _ ->
+      let pool = Array.of_list spares in
+      Rng.shuffle rng pool;
+      core @ Array.to_list (Array.sub pool 0 k))
+
+let run_conc ?(adversary = Adversary.passive) ~n ~faulty ~k ~l_sets inputs =
+  let outcome =
+    run_protocol ~adversary ~n ~faulty (fun ctx ->
+        let i = S.R.id ctx in
+        ignore k;
+        S.Conciliate.run ctx ~l_set:l_sets.(i) ~tag:2 inputs.(i))
+  in
+  (S.R.honest_decisions outcome, outcome)
+
+let scenario_gen =
+  QCheck2.Gen.(
+    let* k = int_range 1 3 in
+    let* extra = int_range 0 5 in
+    let* f = int_range 0 k in
+    let* seed = int_range 0 1_000_000 in
+    let n = ((3 * k) + 1) + k + f + extra in
+    return (n, k, f, seed))
+
+let test_agreement_basic () =
+  let n = 10 and k = 1 in
+  let rng = Rng.create 13 in
+  let faulty = [| 9 |] in
+  let l_sets = build_l_sets rng ~n ~faulty ~k in
+  let inputs = Array.init n (fun i -> i mod 3) in
+  let decisions, outcome = run_conc ~n ~faulty ~k ~l_sets inputs in
+  Alcotest.(check bool) "agree" true (all_equal (List.map snd decisions));
+  Alcotest.(check int) "one round" 1 outcome.S.R.rounds
+
+let test_unanimity_basic () =
+  let n = 10 and k = 1 in
+  let rng = Rng.create 14 in
+  let faulty = [| 0 |] in
+  let l_sets = build_l_sets rng ~n ~faulty ~k in
+  let decisions, _ = run_conc ~n ~faulty ~k ~l_sets (Array.make n 5) in
+  List.iter (fun (_, v) -> Alcotest.(check int) "value kept" 5 v) decisions
+
+let prop_agreement =
+  qcheck ~count:80 ~name:"conciliation agreement under chaos"
+    QCheck2.Gen.(
+      let* cfg = scenario_gen in
+      let* which = int_range 0 2 in
+      return (cfg, which))
+    (fun ((n, k, f, seed), which) ->
+      let rng = Rng.create seed in
+      let faulty = random_faulty rng ~n ~f in
+      if List.length (honest_ids ~n ~faulty) < (3 * k) + 1 + k then true
+      else begin
+        let l_sets = build_l_sets rng ~n ~faulty ~k in
+        let inputs = Array.init n (fun _ -> Rng.int rng 4) in
+        let adversary =
+          match which with
+          | 0 -> Adversary.passive
+          | 1 -> Adversary.silent
+          | _ -> Adv.echo_chaos ~v0:0 ~v1:3
+        in
+        let decisions, _ = run_conc ~adversary ~n ~faulty ~k ~l_sets inputs in
+        all_equal (List.map snd decisions)
+      end)
+
+let prop_unanimity =
+  qcheck ~count:60 ~name:"conciliation strong unanimity"
+    scenario_gen
+    (fun (n, k, f, seed) ->
+      let rng = Rng.create seed in
+      let faulty = random_faulty rng ~n ~f in
+      if List.length (honest_ids ~n ~faulty) < (3 * k) + 1 + k then true
+      else begin
+        let l_sets = build_l_sets rng ~n ~faulty ~k in
+        let decisions, _ =
+          run_conc ~adversary:(Adv.value_push ~v:9) ~n ~faulty ~k ~l_sets
+            (Array.make n 2)
+        in
+        List.for_all (fun (_, v) -> v = 2) decisions
+      end)
+
+(* Outside the conditions (faulty members inside L sets), conciliation
+   may disagree but must terminate in its single round. *)
+let test_terminates_with_faulty_l () =
+  let n = 10 and k = 1 in
+  let l_sets = Array.make n [ 0; 1; 2; 3 ] in
+  let inputs = Array.init n (fun i -> i mod 2) in
+  let _, outcome =
+    run_conc ~adversary:(Adv.equivocate ~v0:0 ~v1:1) ~n ~faulty:[| 0; 1 |] ~k ~l_sets
+      inputs
+  in
+  Alcotest.(check int) "one round" 1 outcome.S.R.rounds
+
+let suite =
+  [
+    Alcotest.test_case "agreement" `Quick test_agreement_basic;
+    Alcotest.test_case "strong unanimity" `Quick test_unanimity_basic;
+    prop_agreement;
+    prop_unanimity;
+    Alcotest.test_case "terminates with faulty in L" `Quick test_terminates_with_faulty_l;
+  ]

@@ -1,0 +1,71 @@
+(* Reproducibility: the whole system is deterministic - identical
+   parameters and seeds produce byte-identical outcomes, whatever the
+   protocol, adversary or advice. This is what makes the experiment
+   tables machine-independent. *)
+
+open Helpers
+module Gen = Bap_prediction.Gen
+
+let outcome_fingerprint (o : _ S.R.outcome) =
+  ( o.S.R.rounds,
+    o.S.R.honest_sent,
+    o.S.R.honest_bits,
+    o.S.R.adversary_sent,
+    Array.to_list o.S.R.decision_round,
+    List.map
+      (fun (i, r) -> (i, r.S.Wrapper.value, r.S.Wrapper.decided_round))
+      (S.R.honest_decisions o) )
+
+let prop_wrapper_deterministic =
+  qcheck ~count:20 ~name:"identical runs produce identical outcomes"
+    QCheck2.Gen.(
+      let* n = int_range 7 18 in
+      let t = (n - 1) / 3 in
+      let* f = int_range 0 t in
+      let* seed = int_range 0 1_000_000 in
+      let* budget = int_range 0 n in
+      let* which = int_range 0 3 in
+      return (n, t, f, seed, budget, which))
+    (fun (n, t, f, seed, budget, which) ->
+      let run () =
+        let rng = Rng.create seed in
+        let faulty = random_faulty rng ~n ~f in
+        let inputs = Array.init n (fun _ -> Rng.int rng 2) in
+        let advice = Gen.generate ~rng ~n ~faulty ~budget Gen.Uniform in
+        let adversary =
+          match which with
+          | 0 -> Adversary.passive
+          | 1 -> Adversary.silent
+          | 2 -> Adv.equivocate ~v0:0 ~v1:1
+          | _ -> Adv.adaptive_splitter ~n_minus_t:(n - t) ~junk:(fun r -> -r)
+        in
+        outcome_fingerprint (S.run_unauth ~t ~faulty ~inputs ~advice ~adversary ())
+      in
+      run () = run ())
+
+let prop_generators_deterministic =
+  qcheck ~count:40 ~name:"advice generators reproduce from seeds"
+    QCheck2.Gen.(
+      let* n = int_range 5 30 in
+      let* f = int_range 0 (n / 3) in
+      let* seed = int_range 0 1_000_000 in
+      let* budget = int_range 0 (n * 2) in
+      let* placement = int_range 0 3 in
+      return (n, f, seed, budget, placement))
+    (fun (n, f, seed, budget, placement) ->
+      let make () =
+        let rng = Rng.create seed in
+        let faulty = random_faulty rng ~n ~f in
+        let p =
+          match placement with
+          | 0 -> Gen.Uniform
+          | 1 -> Gen.Focused
+          | 2 -> Gen.Scattered
+          | _ -> Gen.Targeted 3
+        in
+        let advice = Gen.generate ~rng ~n ~faulty ~budget p in
+        Array.to_list (Array.map (fun a -> Fmt.str "%a" Advice.pp a) advice)
+      in
+      make () = make ())
+
+let suite = [ prop_wrapper_deterministic; prop_generators_deterministic ]

@@ -1,0 +1,83 @@
+(* Differential tests: independent implementations (or instantiations)
+   that must behave identically on the same inputs.
+
+   1. Plain unauthenticated graded consensus vs Algorithm 3 with
+      L = {0..n-1} and k = t on a system with n = 3t + 1: the thresholds
+      coincide (2k+1 = n-t, k+1 = t+1), so outputs must match exactly.
+   2. Byzantine broadcast: [run_single] vs the same instance inside
+      [run_parallel]. *)
+
+open Helpers
+
+let prop_gc_plain_vs_core_set =
+  qcheck ~count:50 ~name:"plain GC == Alg 3 with full L at n = 3t+1"
+    QCheck2.Gen.(
+      let* t = int_range 1 5 in
+      let n = (3 * t) + 1 in
+      let* f = int_range 0 t in
+      let* seed = int_range 0 1_000_000 in
+      let* which = int_range 0 2 in
+      return (n, t, f, seed, which))
+    (fun (n, t, f, seed, which) ->
+      let rng = Rng.create seed in
+      let faulty = random_faulty rng ~n ~f in
+      let inputs = Array.init n (fun _ -> Rng.int rng 3) in
+      let adversary () =
+        match which with
+        | 0 -> Adversary.passive
+        | 1 -> Adversary.silent
+        | _ -> Adv.equivocate ~v0:0 ~v1:1
+      in
+      let all = List.init n Fun.id in
+      let plain =
+        run_protocol ~adversary:(adversary ()) ~n ~faulty (fun ctx ->
+            S.Graded_unauth.run ctx ~t ~tag:7 inputs.(S.R.id ctx))
+      in
+      let core =
+        run_protocol ~adversary:(adversary ()) ~n ~faulty (fun ctx ->
+            S.Graded_core_set.run ctx ~k:t ~l_set:all ~tag:7 inputs.(S.R.id ctx))
+      in
+      S.R.honest_decisions plain = S.R.honest_decisions core)
+
+let prop_bb_single_vs_parallel =
+  qcheck ~count:40 ~name:"BB run_single == its slot of run_parallel"
+    QCheck2.Gen.(
+      let* n = int_range 5 12 in
+      let* t = int_range 1 (n / 2) in
+      let* k = int_range 1 3 in
+      let* sender = int_range 0 (n - 1) in
+      let* seed = int_range 0 1_000_000 in
+      return (n, t, k, sender, seed))
+    (fun (n, t, k, sender, seed) ->
+      let rng = Rng.create seed in
+      let inputs = Array.init n (fun _ -> Rng.int rng 5) in
+      (* Everyone is on the committee (certs for all), no faults: the
+         parallel run must reproduce the single run slot for slot. *)
+      let make_run single =
+        let pki = Pki.create ~n in
+        let cert i =
+          Some
+            {
+              S.W.cc_member = i;
+              cc_sigs =
+                List.init (t + 1) (fun j ->
+                    (j, Pki.sign (Pki.key pki j) (S.W.committee_payload i)));
+            }
+        in
+        run_protocol ~n ~faulty:[||] (fun ctx ->
+            let i = S.R.id ctx in
+            if single then
+              [| S.Bb_committee.run_single ctx ~pki ~key:(Pki.key pki i) ~t ~k ~tag:4
+                   ~cc:(cert i) ~sender inputs.(i) |]
+            else
+              let all =
+                S.Bb_committee.run_parallel ctx ~pki ~key:(Pki.key pki i) ~t ~k ~tag:4
+                  ~cc:(cert i) inputs.(i)
+              in
+              [| all.(sender) |])
+      in
+      let single = make_run true and parallel = make_run false in
+      List.map snd (S.R.honest_decisions single)
+      = List.map snd (S.R.honest_decisions parallel))
+
+let suite = [ prop_gc_plain_vs_core_set; prop_bb_single_vs_parallel ]

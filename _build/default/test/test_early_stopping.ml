@@ -1,0 +1,106 @@
+(* Early-stopping phase-king BA: agreement, validity, and the O(f)
+   early-stopping behaviour (decision within f+1 phases). *)
+
+open Helpers
+
+let gc_rounds = S.Graded_unauth.rounds
+
+let run_es ?(adversary = Adversary.passive) ~n ~t ~phases ~faulty inputs =
+  let outcome =
+    run_protocol ~adversary ~n ~faulty (fun ctx ->
+        let gc c ~tag v = S.Graded_unauth.run c ~t ~tag v in
+        S.Early_stopping.run ctx ~gc ~gc_rounds ~phases ~base_tag:0
+          inputs.(S.R.id ctx))
+  in
+  (S.R.honest_decisions outcome, outcome)
+
+let phase_len = (2 * gc_rounds) + 1
+
+let test_no_faults_one_phase () =
+  let n = 7 and t = 2 in
+  let inputs = Array.init n (fun i -> i mod 2) in
+  let decisions, _ = run_es ~n ~t ~phases:(t + 1) ~faulty:[||] inputs in
+  Alcotest.(check bool) "agree" true (all_equal (List.map (fun (_, r) -> r.S.Early_stopping.value) decisions));
+  List.iter
+    (fun (_, r) ->
+      Alcotest.(check bool) "decided in phase 1" true
+        (r.S.Early_stopping.decided_round <= phase_len))
+    decisions
+
+let test_validity () =
+  let n = 10 and t = 3 in
+  let decisions, _ =
+    run_es ~adversary:(Adv.value_push ~v:9) ~n ~t ~phases:(t + 1) ~faulty:[| 0; 1; 2 |]
+      (Array.make n 4)
+  in
+  List.iter
+    (fun (_, r) -> Alcotest.(check int) "unanimity" 4 r.S.Early_stopping.value)
+    decisions
+
+let test_early_stopping_speed () =
+  (* With f silent faults among the first kings, decision comes within
+     f+1 phases (first honest king). Faulty = {0} kills king 1 only. *)
+  let n = 10 and t = 3 in
+  let inputs = Array.init n (fun i -> i mod 2) in
+  let decisions, _ =
+    run_es ~adversary:Adversary.silent ~n ~t ~phases:(t + 1) ~faulty:[| 0 |] inputs
+  in
+  List.iter
+    (fun (_, r) ->
+      Alcotest.(check bool) "decided by phase 2" true
+        (r.S.Early_stopping.decided_round <= 2 * phase_len))
+    decisions
+
+let test_fixed_duration () =
+  let n = 7 and t = 2 in
+  let inputs = Array.init n (fun i -> i mod 2) in
+  let _, outcome = run_es ~n ~t ~phases:(t + 1) ~faulty:[||] inputs in
+  Alcotest.(check int) "padded to full duration" ((t + 1) * phase_len)
+    outcome.S.R.rounds
+
+let prop_agreement_validity =
+  qcheck ~count:60 ~name:"ES agreement + validity under adversaries"
+    QCheck2.Gen.(
+      let* n, t, faulty, seed = config_gen ~t_of_n:(fun n -> (n - 1) / 3) () in
+      let* which = int_range 0 3 in
+      return (n, t, faulty, seed, which))
+    (fun (n, t, faulty, seed, which) ->
+      let rng = Rng.create seed in
+      let inputs = Array.init n (fun _ -> Rng.int rng 2) in
+      let adversary =
+        match which with
+        | 0 -> Adversary.passive
+        | 1 -> Adversary.silent
+        | 2 -> Adv.equivocate ~v0:0 ~v1:1
+        | _ -> Adv.staggered_crash ~interval:phase_len
+      in
+      let decisions, _ = run_es ~adversary ~n ~t ~phases:(t + 1) ~faulty inputs in
+      let values = List.map (fun (_, r) -> r.S.Early_stopping.value) decisions in
+      let honest = honest_ids ~n ~faulty in
+      let honest_inputs = List.sort_uniq compare (List.map (fun i -> inputs.(i)) honest) in
+      all_equal values
+      && match honest_inputs with [ v ] -> List.for_all (( = ) v) values | _ -> true)
+
+let prop_early_stopping_bound =
+  qcheck ~count:40 ~name:"ES decides within f+1 phases (silent faults)"
+    (config_gen ~t_of_n:(fun n -> (n - 1) / 3) ())
+    (fun (n, t, faulty, seed) ->
+      let rng = Rng.create seed in
+      let inputs = Array.init n (fun _ -> Rng.int rng 2) in
+      let decisions, _ =
+        run_es ~adversary:Adversary.silent ~n ~t ~phases:(t + 1) ~faulty inputs
+      in
+      let f = Array.length faulty in
+      List.for_all
+        (fun (_, r) -> r.S.Early_stopping.decided_round <= (f + 1) * phase_len)
+        decisions)
+
+let suite =
+  [
+    Alcotest.test_case "fault-free decides in phase 1" `Quick test_no_faults_one_phase;
+    Alcotest.test_case "validity" `Quick test_validity;
+    Alcotest.test_case "early stopping speed" `Quick test_early_stopping_speed;
+    Alcotest.test_case "fixed duration" `Quick test_fixed_duration;
+    prop_agreement_validity;
+    prop_early_stopping_bound;
+  ]

@@ -1,0 +1,125 @@
+(* Authenticated graded consensus (Theorem 8 stand-in, t < n/2):
+   strong unanimity, coherence, 3-round duration, resilience beyond n/3,
+   under signature-equipped adversaries. *)
+
+open Helpers
+
+let run_gc ?adversary ~n ~t ~faulty inputs =
+  let pki = Pki.create ~n in
+  let adversary =
+    match adversary with Some make -> make pki | None -> Adversary.passive
+  in
+  let outcome =
+    run_protocol ~adversary ~n ~faulty (fun ctx ->
+        let i = S.R.id ctx in
+        S.Graded_auth.run ctx ~pki ~key:(Pki.key pki i) ~t ~tag:1 inputs.(i))
+  in
+  (S.R.honest_decisions outcome, outcome)
+
+let test_unanimity () =
+  let n = 7 and t = 3 in
+  (* t = 3 of n = 7 is beyond n/3: only possible with authentication. *)
+  let decisions, outcome = run_gc ~n ~t ~faulty:[| 0; 1; 2 |] (Array.make n 4) in
+  Alcotest.(check int) "3 rounds" 3 outcome.S.R.rounds;
+  List.iter
+    (fun (_, (v, g)) -> Alcotest.(check (pair int int)) "grade 1" (4, 1) (v, g))
+    decisions
+
+let test_unanimity_under_silence () =
+  let n = 9 and t = 4 in
+  let decisions, _ =
+    run_gc ~adversary:(fun _ -> Adversary.silent) ~n ~t ~faulty:[| 0; 2; 4; 6 |]
+      (Array.make n 8)
+  in
+  List.iter
+    (fun (_, (v, g)) -> Alcotest.(check (pair int int)) "grade 1" (8, 1) (v, g))
+    decisions
+
+(* A dealer-equivocation adversary: faulty dealers sign different values
+   for different recipients in the gradecast init round. *)
+let equivocating_dealer pki : Helpers.S.W.t Bap_sim.Adversary.t =
+  Adversary.
+    {
+      name = "equivocating-dealer";
+      make =
+        (fun ~n:_ ~faulty ->
+          let keys = Hashtbl.create 8 in
+          Array.iter (fun j -> Hashtbl.replace keys j (Pki.key pki j)) faulty;
+          let filter _view ~src outbox dst =
+            List.map
+              (fun m ->
+                match m with
+                | S.W.Gcast_init (tg, sv) when sv.S.W.sv_dealer = src ->
+                  let v = if dst mod 2 = 0 then 100 else 200 in
+                  let key = Hashtbl.find keys src in
+                  let sv' =
+                    {
+                      S.W.sv_dealer = src;
+                      sv_value = v;
+                      sv_sig = Pki.sign key (S.W.dealer_payload ~dealer:src v);
+                    }
+                  in
+                  S.W.Gcast_init (tg, sv')
+                | m -> m)
+              (outbox dst)
+          in
+          handlers ~filter ());
+    }
+
+let coherent decisions =
+  match List.filter (fun (_, (_, g)) -> g = 1) decisions with
+  | [] -> true
+  | (_, (v, _)) :: _ -> List.for_all (fun (_, (w, _)) -> w = v) decisions
+
+let test_equivocating_dealers () =
+  let n = 9 and t = 4 in
+  let inputs = Array.init n (fun i -> i mod 2) in
+  let decisions, _ =
+    run_gc ~adversary:equivocating_dealer ~n ~t ~faulty:[| 0; 2; 4; 6 |] inputs
+  in
+  Alcotest.(check bool) "coherence despite equivocation" true (coherent decisions)
+
+let prop_unanimity =
+  qcheck ~count:50 ~name:"auth GC strong unanimity, t < n/2"
+    QCheck2.Gen.(
+      let* n, t, faulty, seed = config_gen ~max_n:17 ~t_of_n:(fun n -> (n - 1) / 2) () in
+      let* v = int_range 0 5 in
+      let* which = int_range 0 2 in
+      return (n, t, faulty, seed, v, which))
+    (fun (n, t, faulty, _seed, v, which) ->
+      let adversary pki =
+        match which with
+        | 0 -> Adversary.passive
+        | 1 -> Adversary.silent
+        | _ -> equivocating_dealer pki
+      in
+      let decisions, _ = run_gc ~adversary ~n ~t ~faulty (Array.make n v) in
+      List.for_all (fun (_, (w, g)) -> w = v && g = 1) decisions)
+
+let prop_coherence =
+  qcheck ~count:50 ~name:"auth GC coherence, t < n/2"
+    QCheck2.Gen.(
+      let* n, t, faulty, seed = config_gen ~max_n:17 ~t_of_n:(fun n -> (n - 1) / 2) () in
+      let* which = int_range 0 2 in
+      return (n, t, faulty, seed, which))
+    (fun (n, t, faulty, seed, which) ->
+      let rng = Rng.create seed in
+      let inputs = Array.init n (fun _ -> Rng.int rng 3) in
+      let adversary pki =
+        match which with
+        | 0 -> Adversary.passive
+        | 1 -> Adversary.silent
+        | _ -> equivocating_dealer pki
+      in
+      let decisions, _ = run_gc ~adversary ~n ~t ~faulty inputs in
+      coherent decisions)
+
+let suite =
+  [
+    Alcotest.test_case "strong unanimity beyond n/3" `Quick test_unanimity;
+    Alcotest.test_case "unanimity under silence" `Quick test_unanimity_under_silence;
+    Alcotest.test_case "coherence under dealer equivocation" `Quick
+      test_equivocating_dealers;
+    prop_unanimity;
+    prop_coherence;
+  ]

@@ -1,0 +1,120 @@
+(* Algorithm 3 (graded consensus with core set): Lemmas 7-9 under the
+   stated conditions, plus safe termination when the conditions are
+   violated. *)
+
+open Helpers
+
+(* Build a scenario satisfying the conditions: every honest i gets an
+   L_i of size 3k+1 containing a common core G of 2k+1 honest
+   processes; the remaining k slots may differ and may include faulty
+   processes. *)
+let build_l_sets rng ~n ~faulty ~k =
+  let honest = honest_ids ~n ~faulty in
+  let core = List.filteri (fun idx _ -> idx < (2 * k) + 1) honest in
+  let pool = List.filter (fun i -> not (List.mem i core)) (List.init n Fun.id) in
+  Array.init n (fun _ ->
+      let pool = Array.of_list pool in
+      Rng.shuffle rng pool;
+      core @ Array.to_list (Array.sub pool 0 k))
+
+let run_gc ?(adversary = Adversary.passive) ~n ~k ~faulty ~l_sets inputs =
+  let outcome =
+    run_protocol ~adversary ~n ~faulty (fun ctx ->
+        let i = S.R.id ctx in
+        S.Graded_core_set.run ctx ~k ~l_set:l_sets.(i) ~tag:3 inputs.(i))
+  in
+  (S.R.honest_decisions outcome, outcome)
+
+let scenario_gen =
+  QCheck2.Gen.(
+    let* k = int_range 1 3 in
+    let* extra = int_range 0 6 in
+    let* f = int_range 0 k in
+    let* seed = int_range 0 1_000_000 in
+    (* need n >= 3k+1 + k spares + f faulty *)
+    let n = ((3 * k) + 1) + k + f + extra in
+    return (n, k, f, seed))
+
+let make_config (n, k, f, seed) =
+  let rng = Rng.create seed in
+  let faulty = random_faulty rng ~n ~f in
+  let l_sets = build_l_sets rng ~n ~faulty ~k in
+  (rng, faulty, l_sets)
+
+let test_unanimity () =
+  let n, k, f, seed = (12, 2, 2, 7) in
+  let _, faulty, l_sets = make_config (n, k, f, seed) in
+  let decisions, outcome = run_gc ~n ~k ~faulty ~l_sets (Array.make n 9) in
+  List.iter
+    (fun (_, (v, g)) -> Alcotest.(check (pair int int)) "grade 1" (9, 1) (v, g))
+    decisions;
+  Alcotest.(check int) "2 rounds" 2 outcome.S.R.rounds
+
+let test_only_l_members_speak () =
+  let n, k, f, seed = (12, 2, 0, 11) in
+  let _, faulty, l_sets = make_config (n, k, f, seed) in
+  (* Make every L identical so the senders are exactly 3k+1 processes:
+     per round at most (3k+1) * n messages. *)
+  let shared = l_sets.(0) in
+  let l_sets = Array.make n shared in
+  let _, outcome = run_gc ~n ~k ~faulty ~l_sets (Array.make n 1) in
+  let per_round_cap = ((3 * k) + 1) * (n - 1) in
+  Array.iter
+    (fun c -> Alcotest.(check bool) "sender cap" true (c <= per_round_cap))
+    outcome.S.R.honest_per_round
+
+let prop_unanimity =
+  qcheck ~count:60 ~name:"strong unanimity with core set"
+    scenario_gen
+    (fun cfg ->
+      let n, k, _, _ = cfg in
+      let _, faulty, l_sets = make_config cfg in
+      let decisions, _ =
+        run_gc ~adversary:(Adv.equivocate ~v0:1 ~v1:2) ~n ~k ~faulty ~l_sets
+          (Array.make n 7)
+      in
+      List.for_all (fun (_, (v, g)) -> v = 7 && g = 1) decisions)
+
+let prop_coherence =
+  qcheck ~count:60 ~name:"coherence with core set"
+    QCheck2.Gen.(
+      let* cfg = scenario_gen in
+      let* adv = int_range 0 2 in
+      return (cfg, adv))
+    (fun ((n, k, f, seed), which) ->
+      let _, faulty, l_sets = make_config (n, k, f, seed) in
+      let rng2 = Rng.create (seed + 1) in
+      let inputs = Array.init n (fun _ -> Rng.int rng2 3) in
+      let adversary =
+        match which with
+        | 0 -> Adversary.passive
+        | 1 -> Adversary.silent
+        | _ -> Adv.echo_chaos ~v0:0 ~v1:1
+      in
+      let decisions, _ = run_gc ~adversary ~n ~k ~faulty ~l_sets inputs in
+      match List.filter (fun (_, (_, g)) -> g = 1) decisions with
+      | [] -> true
+      | (_, (v, _)) :: _ -> List.for_all (fun (_, (w, _)) -> w = v) decisions)
+
+(* When the conditions are violated (no common core), the protocol must
+   still terminate in 2 rounds - only the grades become meaningless. *)
+let test_no_core_set_still_terminates () =
+  let n = 12 and k = 1 in
+  let rng = Rng.create 5 in
+  let l_sets =
+    Array.init n (fun _ ->
+        Array.to_list
+          (Array.of_list (Rng.sample_without_replacement rng ((3 * k) + 1) n)))
+  in
+  let inputs = Array.init n (fun i -> i mod 2) in
+  let _, outcome = run_gc ~n ~k ~faulty:[| 0 |] ~l_sets inputs in
+  Alcotest.(check int) "2 rounds" 2 outcome.S.R.rounds
+
+let suite =
+  [
+    Alcotest.test_case "strong unanimity" `Quick test_unanimity;
+    Alcotest.test_case "only L members broadcast" `Quick test_only_l_members_speak;
+    prop_unanimity;
+    prop_coherence;
+    Alcotest.test_case "terminates without core set" `Quick test_no_core_set_still_terminates;
+  ]

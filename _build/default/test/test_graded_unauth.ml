@@ -1,0 +1,106 @@
+(* Plain unauthenticated graded consensus (Theorem 7, t < n/3):
+   strong unanimity, coherence, fixed duration, under several
+   adversaries. *)
+
+open Helpers
+
+let run_gc ?(adversary = Adversary.passive) ~n ~t ~faulty inputs =
+  let outcome =
+    run_protocol ~adversary ~n ~faulty (fun ctx ->
+        S.Graded_unauth.run ctx ~t ~tag:7 inputs.(S.R.id ctx))
+  in
+  (S.R.honest_decisions outcome, outcome)
+
+let test_unanimity () =
+  let n = 7 and t = 2 in
+  let decisions, outcome = run_gc ~n ~t ~faulty:[| 0; 3 |] (Array.make n 42) in
+  List.iter
+    (fun (_, (v, g)) ->
+      Alcotest.(check (pair int int)) "grade 1 on input" (42, 1) (v, g))
+    decisions;
+  Alcotest.(check int) "two rounds" 2 outcome.S.R.rounds
+
+let test_unanimity_under_value_push () =
+  let n = 10 and t = 3 in
+  let decisions, _ =
+    run_gc ~adversary:(Adv.value_push ~v:99) ~n ~t ~faulty:[| 1; 2; 3 |]
+      (Array.make n 5)
+  in
+  List.iter
+    (fun (_, (v, g)) -> Alcotest.(check (pair int int)) "unanimity holds" (5, 1) (v, g))
+    decisions
+
+let test_split_inputs_terminate () =
+  let n = 7 and t = 2 in
+  let inputs = Array.init n (fun i -> i mod 2) in
+  let decisions, outcome = run_gc ~n ~t ~faulty:[| 0 |] inputs in
+  Alcotest.(check int) "everyone returns" (n - 1) (List.length decisions);
+  Alcotest.(check int) "still two rounds" 2 outcome.S.R.rounds
+
+let coherence_check decisions =
+  let grade1 = List.filter (fun (_, (_, g)) -> g = 1) decisions in
+  match grade1 with
+  | [] -> true
+  | (_, (v, _)) :: _ -> List.for_all (fun (_, (w, _)) -> w = v) decisions
+
+let prop_coherence =
+  qcheck ~count:80 ~name:"coherence under random splits and equivocation"
+    QCheck2.Gen.(
+      let* n, t, faulty, seed = config_gen ~t_of_n:(fun n -> (n - 1) / 3) () in
+      let* adversary = int_range 0 3 in
+      return (n, t, faulty, seed, adversary))
+    (fun (n, t, faulty, seed, which) ->
+      let rng = Rng.create seed in
+      let inputs = Array.init n (fun _ -> Rng.int rng 3) in
+      let adversary =
+        match which with
+        | 0 -> Adversary.passive
+        | 1 -> Adversary.silent
+        | 2 -> Adv.equivocate ~v0:0 ~v1:1
+        | _ -> Adv.echo_chaos ~v0:0 ~v1:2
+      in
+      let decisions, _ = run_gc ~adversary ~n ~t ~faulty inputs in
+      coherence_check decisions)
+
+let prop_unanimity =
+  qcheck ~count:80 ~name:"strong unanimity under adversaries"
+    QCheck2.Gen.(
+      let* n, t, faulty, seed = config_gen ~t_of_n:(fun n -> (n - 1) / 3) () in
+      let* adversary = int_range 0 3 in
+      let* v = int_range 0 5 in
+      return (n, t, faulty, seed, adversary, v))
+    (fun (n, t, faulty, _seed, which, v) ->
+      let adversary =
+        match which with
+        | 0 -> Adversary.passive
+        | 1 -> Adversary.silent
+        | 2 -> Adv.equivocate ~v0:(v + 1) ~v1:(v + 2)
+        | _ -> Adv.value_push ~v:(v + 1)
+      in
+      let decisions, _ = run_gc ~adversary ~n ~t ~faulty (Array.make n v) in
+      List.for_all (fun (_, (w, g)) -> w = v && g = 1) decisions)
+
+(* Validity of outputs: a returned value is an honest input or the
+   process's own input (no value invention), when the adversary is
+   silent. *)
+let prop_no_invention_silent =
+  qcheck ~count:60 ~name:"no invented values against silent faults"
+    (config_gen ~t_of_n:(fun n -> (n - 1) / 3) ())
+    (fun (n, t, faulty, seed) ->
+      let rng = Rng.create seed in
+      let inputs = Array.init n (fun _ -> Rng.int rng 4) in
+      let honest = honest_ids ~n ~faulty in
+      let honest_inputs = List.map (fun i -> inputs.(i)) honest in
+      let decisions, _ = run_gc ~adversary:Adversary.silent ~n ~t ~faulty inputs in
+      List.for_all (fun (_, (v, _)) -> List.mem v honest_inputs) decisions)
+
+let suite =
+  [
+    Alcotest.test_case "strong unanimity" `Quick test_unanimity;
+    Alcotest.test_case "unanimity under value push" `Quick test_unanimity_under_value_push;
+    Alcotest.test_case "split inputs terminate in 2 rounds" `Quick
+      test_split_inputs_terminate;
+    prop_coherence;
+    prop_unanimity;
+    prop_no_invention_silent;
+  ]

@@ -1,0 +1,50 @@
+module Inbox = Bap_sim.Inbox
+
+let parse = function `A x -> Some x | `B -> None
+
+let test_first_takes_one_per_sender () =
+  let inbox = [| [ `A 1; `A 2 ]; [ `B; `A 3 ]; []; [ `B ] |] in
+  let got = Inbox.first inbox ~f:parse in
+  Alcotest.(check (array (option int))) "first match per sender"
+    [| Some 1; Some 3; None; None |] got
+
+let test_all_keeps_everything () =
+  let inbox = [| [ `A 1; `A 2 ]; [ `B; `A 3 ] |] in
+  let got = Inbox.all inbox ~f:parse in
+  Alcotest.(check (array (list int))) "all matches" [| [ 1; 2 ]; [ 3 ] |] got
+
+let test_count () =
+  let votes = [| Some 1; Some 2; Some 1; None; Some 1 |] in
+  Alcotest.(check int) "count of 1" 3 (Inbox.count votes ~eq:Int.equal 1);
+  Alcotest.(check int) "count of 2" 1 (Inbox.count votes ~eq:Int.equal 2);
+  Alcotest.(check int) "count of 9" 0 (Inbox.count votes ~eq:Int.equal 9)
+
+let test_plurality () =
+  let votes = [| Some 5; Some 3; Some 5; Some 3; Some 1 |] in
+  (* tie between 5 and 3 broken towards the smaller value *)
+  Alcotest.(check (option (pair int int))) "tie to smallest" (Some (3, 2))
+    (Inbox.plurality votes ~compare:Int.compare)
+
+let test_plurality_clear_winner () =
+  let votes = [| Some 5; Some 5; Some 3; Some 5; None |] in
+  Alcotest.(check (option (pair int int))) "clear winner" (Some (5, 3))
+    (Inbox.plurality votes ~compare:Int.compare)
+
+let test_plurality_empty () =
+  Alcotest.(check (option (pair int int))) "all none" None
+    (Inbox.plurality [| None; None |] ~compare:Int.compare)
+
+let test_senders () =
+  let votes = [| Some 'x'; None; Some 'y'; None; Some 'z' |] in
+  Alcotest.(check (list int)) "sender ids" [ 0; 2; 4 ] (Inbox.senders votes)
+
+let suite =
+  [
+    Alcotest.test_case "first takes one per sender" `Quick test_first_takes_one_per_sender;
+    Alcotest.test_case "all keeps everything" `Quick test_all_keeps_everything;
+    Alcotest.test_case "count" `Quick test_count;
+    Alcotest.test_case "plurality ties to smallest" `Quick test_plurality;
+    Alcotest.test_case "plurality clear winner" `Quick test_plurality_clear_winner;
+    Alcotest.test_case "plurality of empty" `Quick test_plurality_empty;
+    Alcotest.test_case "senders" `Quick test_senders;
+  ]

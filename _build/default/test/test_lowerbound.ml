@@ -1,0 +1,122 @@
+(* Theorems 13 and 14: the lower-bound formula, the message audit, the
+   executable Dolev-Reischuk demonstration, and the tightness of the
+   implementation against the round bound. *)
+
+open Helpers
+module Round_lb = Bap_lowerbound.Round_lb
+module Message_lb = Bap_lowerbound.Message_lb
+module Gen = Bap_prediction.Gen
+module Quality = Bap_prediction.Quality
+
+let test_round_bound_formula () =
+  (* Large B: predictions useless, classic min(f+2, t+1). *)
+  Alcotest.(check int) "f small" 5 (Round_lb.bound ~n:10 ~t:7 ~f:3 ~b:100);
+  Alcotest.(check int) "f = t" 8 (Round_lb.bound ~n:10 ~t:7 ~f:7 ~b:1000);
+  (* B = 0 with f > 0: the advice pins everything down to O(1). *)
+  Alcotest.(check int) "perfect advice" 1 (Round_lb.bound ~n:10 ~t:7 ~f:3 ~b:0);
+  (* Intermediate: b/(n-f)+2 bites. *)
+  Alcotest.(check int) "intermediate" 3 (Round_lb.bound ~n:10 ~t:7 ~f:5 ~b:7)
+
+let test_round_bound_args () =
+  Alcotest.check_raises "f > t" (Invalid_argument "Round_lb.bound") (fun () ->
+      ignore (Round_lb.bound ~n:10 ~t:2 ~f:3 ~b:0))
+
+let test_simulation_params () =
+  let s = Round_lb.simulation ~n:10 ~t:7 ~f:5 ~b:7 in
+  (* x = f - floor(b/(n-f)) = 5 - 1 = 4 *)
+  Alcotest.(check int) "crashed upfront" 4 s.Round_lb.crashed_upfront;
+  Alcotest.(check int) "n'" 6 s.Round_lb.n';
+  Alcotest.(check int) "t'" 3 s.Round_lb.t';
+  Alcotest.(check int) "f'" 1 s.Round_lb.f';
+  let s = Round_lb.simulation ~n:10 ~t:7 ~f:3 ~b:100 in
+  Alcotest.(check int) "large B: no crash" 0 s.Round_lb.crashed_upfront
+
+let test_message_bound () =
+  Alcotest.(check int) "t=4" 4 (Message_lb.bound ~t:4);
+  Alcotest.(check int) "t=5" 6 (Message_lb.bound ~t:5);
+  Alcotest.(check int) "t=0" 0 (Message_lb.bound ~t:0)
+
+let test_audit_pays () =
+  let r =
+    Message_lb.audit ~honest_sent:1000 ~honest_received:(Array.make 10 50) ~t:6
+  in
+  Alcotest.(check bool) "paid" true r.Message_lb.paid;
+  Alcotest.(check (list int)) "nobody isolable" [] r.Message_lb.isolable
+
+let test_audit_detects_isolation () =
+  let received = Array.make 10 50 in
+  received.(3) <- 1;
+  let r = Message_lb.audit ~honest_sent:5 ~honest_received:received ~t:6 in
+  Alcotest.(check bool) "not paid" false r.Message_lb.paid;
+  Alcotest.(check (list int)) "process 3 isolable" [ 3 ] r.Message_lb.isolable;
+  Alcotest.(check (pair int int)) "min received" (3, 1) r.Message_lb.min_received
+
+let test_demo_breaks_cheap_protocol () =
+  let o = Message_lb.Demo.run ~n:7 in
+  Alcotest.(check bool) "agreement broken" true o.Message_lb.Demo.agreement_broken;
+  (* In E_good all honest decide the sender's value. *)
+  List.iter
+    (fun (_, v) -> Alcotest.(check int) "E_good decides 1" 1 v)
+    o.Message_lb.Demo.good_decisions;
+  (* In E_bad the starved process deviates. *)
+  Alcotest.(check int) "starved decides default" 0
+    (List.assoc o.Message_lb.Demo.starved o.Message_lb.Demo.bad_decisions)
+
+(* The real protocol passes the audit even with perfect predictions -
+   the content of Theorem 14. *)
+let prop_real_protocol_pays =
+  qcheck ~count:20 ~name:"Theorem 14: wrapper pays t^2/4 with perfect predictions"
+    QCheck2.Gen.(
+      let* n = int_range 10 24 in
+      let* seed = int_range 0 1_000 in
+      return (n, seed))
+    (fun (n, seed) ->
+      let t = (n - 1) / 3 in
+      let rng = Rng.create seed in
+      let f = Rng.int rng (t + 1) in
+      let faulty = random_faulty rng ~n ~f in
+      let advice = Gen.perfect ~n ~faulty in
+      let inputs = Array.init n (fun _ -> Rng.int rng 2) in
+      let o = S.run_unauth ~t ~faulty ~inputs ~advice () in
+      let audit =
+        Message_lb.audit ~honest_sent:o.S.R.honest_sent
+          ~honest_received:o.S.R.honest_received ~t
+      in
+      audit.Message_lb.paid)
+
+(* Tightness of Theorem 13: the implementation's decision round is
+   within a constant factor of rounds := the lower bound (in phases the
+   factor shows as decided_round <= c * bound * phase_length). Here we
+   check the weaker sanity direction - the implementation never beats
+   the bound. *)
+let prop_never_beats_bound =
+  qcheck ~count:20 ~name:"Theorem 13: decisions never beat the round bound"
+    QCheck2.Gen.(
+      let* n = int_range 10 22 in
+      let* seed = int_range 0 1_000 in
+      let* budget = int_range 0 (n * n / 2) in
+      return (n, seed, budget))
+    (fun (n, seed, budget) ->
+      let t = (n - 1) / 3 in
+      let rng = Rng.create seed in
+      let f = Rng.int rng (t + 1) in
+      let faulty = random_faulty rng ~n ~f in
+      let advice = Gen.generate ~rng ~n ~faulty ~budget Gen.Uniform in
+      let b = (Quality.measure ~n ~faulty advice).Quality.b in
+      let inputs = Array.init n (fun _ -> Rng.int rng 2) in
+      let o = S.run_unauth ~t ~faulty ~inputs ~advice ~adversary:Adversary.silent () in
+      t >= n - 1 || S.decision_round o >= Round_lb.bound ~n ~t ~f ~b)
+
+let suite =
+  [
+    Alcotest.test_case "round bound formula" `Quick test_round_bound_formula;
+    Alcotest.test_case "round bound argument checks" `Quick test_round_bound_args;
+    Alcotest.test_case "simulation parameters" `Quick test_simulation_params;
+    Alcotest.test_case "message bound" `Quick test_message_bound;
+    Alcotest.test_case "audit passes on chatty executions" `Quick test_audit_pays;
+    Alcotest.test_case "audit flags isolable processes" `Quick test_audit_detects_isolation;
+    Alcotest.test_case "demo breaks the cheap protocol" `Quick
+      test_demo_breaks_cheap_protocol;
+    prop_real_protocol_pays;
+    prop_never_beats_bound;
+  ]

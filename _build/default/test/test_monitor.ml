@@ -1,0 +1,194 @@
+(* The network-tap monitor: soundness (honest processes are never
+   flagged), per-class detection, and the repeated-slot feedback loop. *)
+
+open Helpers
+module Observer = Bap_monitor.Observer.Make (V) (S.W)
+module Repeated = Bap_monitor.Repeated.Make (V)
+module Gen = Bap_prediction.Gen
+module Trace = Bap_sim.Trace
+
+let run_traced ?(adversary = Adversary.passive) ~n ~t ~f ~budget () =
+  let rng = Rng.create (n + t + f + budget) in
+  let faulty = Array.init f Fun.id in
+  let inputs = Array.init n (fun _ -> Rng.int rng 2) in
+  let advice = Gen.generate ~rng ~n ~faulty ~budget Gen.Uniform in
+  let trace = Trace.create ~limit:5_000_000 () in
+  let o = S.run_unauth ~trace ~t ~faulty ~inputs ~advice ~adversary () in
+  (Observer.observe ~n trace, o, faulty)
+
+let test_clean_run_no_suspects () =
+  let verdict, _, _ = run_traced ~n:13 ~t:4 ~f:0 ~budget:5 () in
+  Alcotest.(check (list int)) "nobody flagged" [] verdict.Observer.suspects
+
+let test_passive_faults_undetectable () =
+  let verdict, _, _ =
+    run_traced ~adversary:Adversary.passive ~n:13 ~t:4 ~f:3 ~budget:0 ()
+  in
+  Alcotest.(check (list int)) "protocol-followers invisible" []
+    verdict.Observer.suspects
+
+let test_silent_faults_caught () =
+  let verdict, _, _ =
+    run_traced ~adversary:Adversary.silent ~n:13 ~t:4 ~f:3 ~budget:0 ()
+  in
+  Alcotest.(check (list int)) "all silent faults flagged" [ 0; 1; 2 ]
+    verdict.Observer.suspects
+
+let test_equivocators_caught () =
+  let verdict, _, _ =
+    run_traced ~adversary:(Adv.equivocate ~v0:0 ~v1:1) ~n:13 ~t:4 ~f:3 ~budget:0 ()
+  in
+  Alcotest.(check (list int)) "equivocators flagged" [ 0; 1; 2 ]
+    verdict.Observer.suspects
+
+let test_splitter_caught_via_degenerate_l () =
+  (* With uninformed (all-honest) advice the faulty processes sit in the
+     leader blocks, where the splitter's degenerate conciliation
+     messages leave fingerprints. *)
+  let n = 31 and t = 10 and f = 10 in
+  let faulty = Array.init f Fun.id in
+  let rng = Rng.create 12 in
+  let inputs = Array.init n (fun _ -> Rng.int rng 2) in
+  let advice = Array.make n (Advice.make n true) in
+  let trace = Trace.create ~limit:5_000_000 () in
+  let _ =
+    S.run_unauth ~trace ~t ~faulty ~inputs ~advice
+      ~adversary:(Adv.adaptive_splitter ~n_minus_t:(n - t) ~junk:(fun r -> -r))
+      ()
+  in
+  let verdict = Observer.observe ~n trace in
+  Alcotest.(check bool) "splitter leaves fingerprints" true
+    (verdict.Observer.suspects <> []);
+  List.iter
+    (fun who -> Alcotest.(check bool) "only faulty flagged" true (who < f))
+    verdict.Observer.suspects
+
+(* Soundness property: whatever the adversary does, only faulty
+   processes are ever flagged. *)
+let prop_soundness =
+  qcheck ~count:30 ~name:"monitor never flags an honest process"
+    QCheck2.Gen.(
+      let* n = int_range 9 20 in
+      let t = (n - 1) / 3 in
+      let* f = int_range 0 t in
+      let* which = int_range 0 4 in
+      let* budget = int_range 0 n in
+      return (n, t, f, which, budget))
+    (fun (n, t, f, which, budget) ->
+      let adversary =
+        match which with
+        | 0 -> Adversary.passive
+        | 1 -> Adversary.silent
+        | 2 -> Adv.equivocate ~v0:0 ~v1:1
+        | 3 -> Adv.adaptive_splitter ~n_minus_t:(n - t) ~junk:(fun r -> -r)
+        | _ -> Adv.echo_chaos ~v0:0 ~v1:1
+      in
+      let verdict, _, faulty = run_traced ~adversary ~n ~t ~f ~budget () in
+      List.for_all (fun who -> Array.mem who faulty) verdict.Observer.suspects)
+
+let test_advice_of_verdict () =
+  let advice =
+    Observer.advice_of_verdict ~n:5 { Observer.suspects = [ 1; 3 ]; evidence = [] }
+  in
+  Alcotest.(check int) "one vector per process" 5 (Array.length advice);
+  Alcotest.(check string) "suspects predicted faulty" "10101"
+    (Fmt.str "%a" Advice.pp advice.(0))
+
+let test_repeated_slots_improve () =
+  let n = 21 and t = 6 and f = 6 in
+  let faulty = Array.init f Fun.id in
+  let rng = Rng.create 8 in
+  let inputs = Array.init n (fun _ -> Rng.int rng 2) in
+  let module RAdv = Bap_adversary.Strategies.Make (V) (Repeated.S.W) in
+  let results =
+    Repeated.run_slots ~slots:3 ~t ~faulty ~inputs
+      ~adversary:(RAdv.equivocate ~v0:0 ~v1:1) ()
+  in
+  (match results with
+  | [ s1; s2; s3 ] ->
+    Alcotest.(check bool) "all slots agree" true
+      (s1.Repeated.agreement && s2.Repeated.agreement && s3.Repeated.agreement);
+    Alcotest.(check int) "slot 1 starts uninformed" (f * (n - f)) s1.Repeated.b;
+    Alcotest.(check bool) "suspicion grows" true
+      (List.length s2.Repeated.suspected >= List.length s1.Repeated.new_suspects);
+    Alcotest.(check bool) "advice improves" true (s2.Repeated.b <= s1.Repeated.b)
+  | _ -> Alcotest.fail "expected 3 slots");
+  ()
+
+module Reputation = Bap_monitor.Reputation
+
+let test_reputation_threshold () =
+  let rep = Reputation.create ~n:5 () in
+  Alcotest.(check (list int)) "fresh tracker trusts everyone" [] (Reputation.suspects rep);
+  Reputation.observe rep ~suspects:[ 2 ];
+  Alcotest.(check (list int)) "one incident crosses 0.9" [ 2 ] (Reputation.suspects rep);
+  Alcotest.(check (float 0.001)) "score" 1.0 (Reputation.score rep 2)
+
+let test_reputation_decay_forgives () =
+  let rep = Reputation.create ~decay:0.5 ~threshold:0.4 ~n:5 () in
+  Reputation.observe rep ~suspects:[ 1 ];
+  Alcotest.(check (list int)) "flagged" [ 1 ] (Reputation.suspects rep);
+  (* Two clean executions halve the score twice: 1.0 -> 0.5 -> 0.25. *)
+  Reputation.observe rep ~suspects:[];
+  Alcotest.(check (list int)) "still flagged" [ 1 ] (Reputation.suspects rep);
+  Reputation.observe rep ~suspects:[];
+  Alcotest.(check (list int)) "forgiven" [] (Reputation.suspects rep)
+
+let test_reputation_persistent_attacker () =
+  let rep = Reputation.create ~decay:0.5 ~threshold:0.4 ~n:5 () in
+  for _ = 1 to 10 do
+    Reputation.observe rep ~suspects:[ 3 ]
+  done;
+  Alcotest.(check (list int)) "never forgiven while active" [ 3 ]
+    (Reputation.suspects rep);
+  Alcotest.(check bool) "score converges below 2" true (Reputation.score rep 3 < 2.0)
+
+let test_reputation_advice () =
+  let rep = Reputation.create ~n:4 () in
+  Reputation.observe rep ~suspects:[ 0; 3 ];
+  let advice = Reputation.advice rep in
+  Alcotest.(check string) "advice vector" "0110" (Fmt.str "%a" Advice.pp advice.(1))
+
+let test_repeated_with_reputation_and_slot_inputs () =
+  let n = 21 and t = 6 and f = 6 in
+  let faulty = Array.init f Fun.id in
+  let rng = Rng.create 9 in
+  let inputs_for_slot slot = Array.init n (fun i -> (i + slot) mod 2) in
+  ignore rng;
+  let module RAdv = Bap_adversary.Strategies.Make (V) (Repeated.S.W) in
+  let reputation = Reputation.create ~n () in
+  let results =
+    Repeated.run_slots ~slots:3 ~t ~faulty ~inputs:(inputs_for_slot 1) ~inputs_for_slot
+      ~reputation ~adversary:(RAdv.equivocate ~v0:0 ~v1:1) ()
+  in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "agreement" true r.Repeated.agreement;
+      Alcotest.(check bool) "decision present" true (Option.is_some r.Repeated.decision))
+    results;
+  (* The equivocators are flagged in slot 1 and stay flagged. *)
+  match results with
+  | _ :: s2 :: _ ->
+    Alcotest.(check int) "reputation carries over" f (List.length s2.Repeated.suspected)
+  | _ -> Alcotest.fail "expected 3 slots"
+
+let suite =
+  [
+    Alcotest.test_case "clean run has no suspects" `Quick test_clean_run_no_suspects;
+    Alcotest.test_case "passive faults are invisible" `Quick
+      test_passive_faults_undetectable;
+    Alcotest.test_case "silent faults caught" `Quick test_silent_faults_caught;
+    Alcotest.test_case "equivocators caught" `Quick test_equivocators_caught;
+    Alcotest.test_case "splitter caught via degenerate leader sets" `Quick
+      test_splitter_caught_via_degenerate_l;
+    prop_soundness;
+    Alcotest.test_case "advice from verdict" `Quick test_advice_of_verdict;
+    Alcotest.test_case "repeated slots improve" `Quick test_repeated_slots_improve;
+    Alcotest.test_case "reputation threshold" `Quick test_reputation_threshold;
+    Alcotest.test_case "reputation decay forgives" `Quick test_reputation_decay_forgives;
+    Alcotest.test_case "reputation tracks persistent attackers" `Quick
+      test_reputation_persistent_attacker;
+    Alcotest.test_case "reputation advice" `Quick test_reputation_advice;
+    Alcotest.test_case "repeated slots with reputation" `Quick
+      test_repeated_with_reputation_and_slot_inputs;
+  ]

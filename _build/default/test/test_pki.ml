@@ -1,0 +1,81 @@
+module Pki = Bap_crypto.Pki
+module Encode = Bap_crypto.Encode
+
+let test_sign_verify () =
+  let pki = Pki.create ~n:5 in
+  let s = Pki.sign (Pki.key pki 2) "hello" in
+  Alcotest.(check bool) "verifies" true (Pki.verify pki ~signer:2 ~payload:"hello" s);
+  Alcotest.(check int) "signer" 2 (Pki.signer s)
+
+let test_wrong_payload () =
+  let pki = Pki.create ~n:5 in
+  let s = Pki.sign (Pki.key pki 2) "hello" in
+  Alcotest.(check bool) "other payload fails" false
+    (Pki.verify pki ~signer:2 ~payload:"goodbye" s)
+
+let test_wrong_signer () =
+  let pki = Pki.create ~n:5 in
+  let s = Pki.sign (Pki.key pki 2) "hello" in
+  Alcotest.(check bool) "other signer fails" false
+    (Pki.verify pki ~signer:3 ~payload:"hello" s)
+
+let test_cross_universe_replay () =
+  let pki = Pki.create ~n:5 in
+  let pki' = Pki.create ~n:5 in
+  let s = Pki.sign (Pki.key pki 2) "hello" in
+  Alcotest.(check bool) "replay across executions fails" false
+    (Pki.verify pki' ~signer:2 ~payload:"hello" s)
+
+let test_key_range () =
+  let pki = Pki.create ~n:3 in
+  Alcotest.check_raises "out of range" (Invalid_argument "Pki.key: id out of range")
+    (fun () -> ignore (Pki.key pki 3))
+
+let test_signer_of_key () =
+  let pki = Pki.create ~n:4 in
+  Alcotest.(check int) "owner" 1 (Pki.signer_of_key (Pki.key pki 1))
+
+let test_equal_compare () =
+  let pki = Pki.create ~n:3 in
+  let s1 = Pki.sign (Pki.key pki 0) "x" in
+  let s2 = Pki.sign (Pki.key pki 0) "x" in
+  let s3 = Pki.sign (Pki.key pki 1) "x" in
+  Alcotest.(check bool) "equal" true (Pki.equal s1 s2);
+  Alcotest.(check bool) "not equal" false (Pki.equal s1 s3);
+  Alcotest.(check int) "compare equal" 0 (Pki.compare s1 s2)
+
+let test_encode_distinguishes () =
+  let pki = Pki.create ~n:3 in
+  let s1 = Pki.sign (Pki.key pki 0) "x" in
+  let s2 = Pki.sign (Pki.key pki 1) "x" in
+  let s3 = Pki.sign (Pki.key pki 0) "y" in
+  Alcotest.(check bool) "different signer" false (Pki.encode s1 = Pki.encode s2);
+  Alcotest.(check bool) "different payload" false (Pki.encode s1 = Pki.encode s3)
+
+(* Encode combinators: injectivity on tricky boundary cases. *)
+let test_encode_injective_pairs () =
+  (* Classic ambiguity without length prefixes: ("ab","c") vs ("a","bc"). *)
+  Alcotest.(check bool) "pair boundary" false
+    (Encode.pair "ab" "c" = Encode.pair "a" "bc");
+  Alcotest.(check bool) "list vs nested" false
+    (Encode.list [ "a"; "b" ] = Encode.list [ "ab" ]);
+  Alcotest.(check bool) "tagged tags matter" false
+    (Encode.tagged "t1" "x" = Encode.tagged "t2" "x")
+
+let test_encode_int_str () =
+  Alcotest.(check bool) "int/str distinct reprs" false (Encode.int 1 = Encode.int 11);
+  Alcotest.(check string) "str roundtrip shape" "3:abc" (Encode.str "abc")
+
+let suite =
+  [
+    Alcotest.test_case "sign and verify" `Quick test_sign_verify;
+    Alcotest.test_case "wrong payload rejected" `Quick test_wrong_payload;
+    Alcotest.test_case "wrong signer rejected" `Quick test_wrong_signer;
+    Alcotest.test_case "cross-universe replay rejected" `Quick test_cross_universe_replay;
+    Alcotest.test_case "key id range checked" `Quick test_key_range;
+    Alcotest.test_case "signer_of_key" `Quick test_signer_of_key;
+    Alcotest.test_case "equality and compare" `Quick test_equal_compare;
+    Alcotest.test_case "encoding distinguishes signatures" `Quick test_encode_distinguishes;
+    Alcotest.test_case "encode pair injective at boundaries" `Quick test_encode_injective_pairs;
+    Alcotest.test_case "encode int/str shapes" `Quick test_encode_int_str;
+  ]

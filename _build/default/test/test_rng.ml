@@ -1,0 +1,105 @@
+module Rng = Bap_sim.Rng
+
+let test_determinism () =
+  let a = Rng.create 123 and b = Rng.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_different_seeds () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let va = List.init 10 (fun _ -> Rng.int64 a) in
+  let vb = List.init 10 (fun _ -> Rng.int64 b) in
+  Alcotest.(check bool) "streams differ" false (va = vb)
+
+let test_copy_independent () =
+  let a = Rng.create 7 in
+  ignore (Rng.int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.int64 a) (Rng.int64 b)
+
+let test_split_diverges () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  let va = List.init 10 (fun _ -> Rng.int64 a) in
+  let vb = List.init 10 (fun _ -> Rng.int64 b) in
+  Alcotest.(check bool) "split streams differ" false (va = vb)
+
+let test_int_range () =
+  let rng = Rng.create 99 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_int_rejects_nonpositive () =
+  let rng = Rng.create 1 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_float_range () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let f = Rng.float rng in
+    if f < 0.0 || f >= 1.0 then Alcotest.failf "float out of range: %f" f
+  done
+
+let test_bool_mixes () =
+  let rng = Rng.create 11 in
+  let trues = ref 0 in
+  for _ = 1 to 1000 do
+    if Rng.bool rng then incr trues
+  done;
+  Alcotest.(check bool) "roughly balanced" true (!trues > 300 && !trues < 700)
+
+let test_shuffle_permutation () =
+  let rng = Rng.create 3 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_pick_member () =
+  let rng = Rng.create 4 in
+  let l = [ 3; 1; 4; 1; 5 ] in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "member" true (List.mem (Rng.pick rng l) l)
+  done
+
+let test_pick_empty () =
+  let rng = Rng.create 4 in
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.pick: empty list") (fun () ->
+      ignore (Rng.pick rng []))
+
+let test_sample_without_replacement () =
+  let rng = Rng.create 8 in
+  for _ = 1 to 50 do
+    let s = Rng.sample_without_replacement rng 10 30 in
+    Alcotest.(check int) "size" 10 (List.length s);
+    Alcotest.(check int) "distinct" 10 (List.length (List.sort_uniq compare s));
+    List.iter (fun x -> Alcotest.(check bool) "range" true (x >= 0 && x < 30)) s;
+    Alcotest.(check (list int)) "sorted" (List.sort compare s) s
+  done
+
+let test_sample_all () =
+  let rng = Rng.create 8 in
+  Alcotest.(check (list int)) "k = n" (List.init 5 Fun.id)
+    (Rng.sample_without_replacement rng 5 5)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "different seeds differ" `Quick test_different_seeds;
+    Alcotest.test_case "copy is independent" `Quick test_copy_independent;
+    Alcotest.test_case "split diverges" `Quick test_split_diverges;
+    Alcotest.test_case "int stays in range" `Quick test_int_range;
+    Alcotest.test_case "int rejects non-positive bound" `Quick test_int_rejects_nonpositive;
+    Alcotest.test_case "float stays in [0,1)" `Quick test_float_range;
+    Alcotest.test_case "bool mixes" `Quick test_bool_mixes;
+    Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutation;
+    Alcotest.test_case "pick returns members" `Quick test_pick_member;
+    Alcotest.test_case "pick rejects empty" `Quick test_pick_empty;
+    Alcotest.test_case "sample without replacement" `Quick test_sample_without_replacement;
+    Alcotest.test_case "sample k = n" `Quick test_sample_all;
+  ]

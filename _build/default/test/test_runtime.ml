@@ -1,0 +1,234 @@
+module R = Bap_sim.Runtime.Make (struct
+  type t = string
+end)
+
+module Adversary = Bap_sim.Adversary
+module Trace = Bap_sim.Trace
+
+let run ?(adversary = Adversary.passive) ?max_rounds ?trace ~n ~faulty body =
+  R.run ?max_rounds ?trace ~n ~faulty ~adversary body
+
+let test_broadcast_delivery () =
+  let outcome =
+    run ~n:4 ~faulty:[||] (fun ctx ->
+        let inbox = R.broadcast ctx (Printf.sprintf "from-%d" (R.id ctx)) in
+        Array.to_list (Array.map List.length inbox))
+  in
+  Array.iter
+    (function
+      | Some counts -> Alcotest.(check (list int)) "one msg from everyone" [ 1; 1; 1; 1 ] counts
+      | None -> Alcotest.fail "no decision")
+    outcome.R.decisions
+
+let test_self_delivery_not_counted () =
+  let outcome = run ~n:5 ~faulty:[||] (fun ctx -> ignore (R.broadcast ctx "x")) in
+  Alcotest.(check int) "n*(n-1) messages" (5 * 4) outcome.R.honest_sent;
+  Alcotest.(check (array int)) "received per process" (Array.make 5 4)
+    outcome.R.honest_received
+
+let test_lockstep_rounds () =
+  let outcome =
+    run ~n:3 ~faulty:[||] (fun ctx ->
+        let r1 = R.round ctx in
+        ignore (R.silent_round ctx);
+        let r2 = R.round ctx in
+        ignore (R.silent_round ctx);
+        (r1, r2, R.round ctx))
+  in
+  Array.iter
+    (function
+      | Some (r1, r2, r3) ->
+        Alcotest.(check (list int)) "rounds advance" [ 0; 1; 2 ] [ r1; r2; r3 ]
+      | None -> Alcotest.fail "no decision")
+    outcome.R.decisions;
+  Alcotest.(check int) "two rounds total" 2 outcome.R.rounds
+
+let test_immediate_return () =
+  let outcome = run ~n:3 ~faulty:[||] (fun ctx -> R.id ctx * 10) in
+  Alcotest.(check int) "zero rounds" 0 outcome.R.rounds;
+  Alcotest.(check (array int)) "decided at round 0" [| 0; 0; 0 |] outcome.R.decision_round
+
+let test_staggered_return () =
+  let outcome =
+    run ~n:4 ~faulty:[||] (fun ctx ->
+        R.skip ctx (R.id ctx);
+        R.id ctx)
+  in
+  Alcotest.(check int) "last return" 3 outcome.R.rounds;
+  Alcotest.(check (array int)) "per-process return rounds" [| 0; 1; 2; 3 |]
+    outcome.R.decision_round
+
+let test_max_rounds () =
+  Alcotest.check_raises "limit" (R.Round_limit_exceeded 5) (fun () ->
+      ignore
+        (run ~max_rounds:5 ~n:2 ~faulty:[||] (fun ctx ->
+             while true do
+               ignore (R.silent_round ctx)
+             done)))
+
+let test_silent_adversary_mutes () =
+  let outcome =
+    run ~n:4 ~faulty:[| 0 |] ~adversary:Adversary.silent (fun ctx ->
+        let inbox = R.broadcast ctx "hi" in
+        List.length inbox.(0))
+  in
+  List.iter
+    (fun (_, from_faulty) -> Alcotest.(check int) "nothing from faulty" 0 from_faulty)
+    (R.honest_decisions outcome);
+  Alcotest.(check int) "adversary sent nothing" 0 outcome.R.adversary_sent
+
+let test_passive_adversary_follows () =
+  let outcome =
+    run ~n:4 ~faulty:[| 0 |] ~adversary:Adversary.passive (fun ctx ->
+        let inbox = R.broadcast ctx "hi" in
+        List.length inbox.(0))
+  in
+  List.iter
+    (fun (_, from_faulty) -> Alcotest.(check int) "puppet message arrives" 1 from_faulty)
+    (R.honest_decisions outcome)
+
+let test_inject_validation () =
+  let bad =
+    Adversary.custom "bad" (fun ~n:_ ~faulty:_ _view ->
+        [ { Adversary.src = 1; dst = 0; payload = "forged" } ])
+  in
+  Alcotest.check_raises "non-faulty source rejected"
+    (Invalid_argument "Runtime.run: adversary injected from a non-faulty source")
+    (fun () ->
+      ignore (run ~n:3 ~faulty:[| 2 |] ~adversary:bad (fun ctx -> R.silent_round ctx)))
+
+let test_inject_delivery () =
+  let chatty =
+    Adversary.custom "chatty" (fun ~n:_ ~faulty:_ view ->
+        if view.Adversary.round = 1 then
+          [ { Adversary.src = 2; dst = 0; payload = "boo" } ]
+        else [])
+  in
+  let outcome =
+    run ~n:3 ~faulty:[| 2 |] ~adversary:chatty (fun ctx ->
+        let inbox = R.silent_round ctx in
+        inbox.(2))
+  in
+  Alcotest.(check (list string)) "victim got it"
+    [ "boo" ]
+    (List.assoc 0 (R.honest_decisions outcome));
+  Alcotest.(check (list string)) "bystander did not" []
+    (List.assoc 1 (R.honest_decisions outcome));
+  Alcotest.(check int) "counted as adversary msg" 1 outcome.R.adversary_sent
+
+let test_rewrite_adversary () =
+  let flip = Adversary.rewrite "flip" (fun _view ~src:_ ~dst:_ _m -> [ "flipped" ]) in
+  let outcome =
+    run ~n:3 ~faulty:[| 1 |] ~adversary:flip (fun ctx ->
+        let inbox = R.broadcast ctx "original" in
+        inbox.(1))
+  in
+  Alcotest.(check (list string)) "rewritten" [ "flipped" ]
+    (List.assoc 0 (R.honest_decisions outcome))
+
+let test_filter_in_only_faulty () =
+  let deaf =
+    {
+      Adversary.name = "deaf-faulty";
+      make =
+        (fun ~n:_ ~faulty:_ ->
+          Adversary.handlers ~filter_in:(fun _view ~dst:_ ~src:_ _msgs -> []) ());
+    }
+  in
+  let outcome =
+    run ~n:3 ~faulty:[| 1 |] ~adversary:deaf (fun ctx ->
+        let inbox = R.broadcast ctx "ping" in
+        Array.fold_left (fun acc l -> acc + List.length l) 0 inbox)
+  in
+  (* Honest processes hear everyone (incl. the puppet, whose outbox is
+     untouched); the puppet itself hears nothing. *)
+  List.iter
+    (fun (_, total) -> Alcotest.(check int) "honest hear 3" 3 total)
+    (R.honest_decisions outcome);
+  Alcotest.(check (option int)) "puppet heard nothing" (Some 0) outcome.R.decisions.(1)
+
+let test_rushing_adversary_sees_current_round () =
+  (* The adversary echoes back the exact message an honest process sends
+     in the same round: only possible for a rushing adversary. *)
+  let mirror =
+    Adversary.custom "mirror" (fun ~n:_ ~faulty:_ view ->
+        match view.Adversary.honest_out ~sender:0 ~recipient:1 with
+        | m :: _ -> [ { Adversary.src = 2; dst = 1; payload = "saw:" ^ m } ]
+        | [] -> [])
+  in
+  let outcome =
+    run ~n:3 ~faulty:[| 2 |] ~adversary:mirror (fun ctx ->
+        let inbox = R.broadcast ctx (Printf.sprintf "r%d-p%d" (R.round ctx + 1) (R.id ctx)) in
+        inbox.(2))
+  in
+  Alcotest.(check (list string)) "echo of same-round message" [ "saw:r1-p0" ]
+    (List.assoc 1 (R.honest_decisions outcome))
+
+let test_per_round_counts () =
+  let outcome =
+    run ~n:3 ~faulty:[||] (fun ctx ->
+        ignore (R.broadcast ctx "a");
+        ignore (R.silent_round ctx);
+        ignore (R.broadcast ctx "b"))
+  in
+  Alcotest.(check (array int)) "per round" [| 6; 0; 6 |] outcome.R.honest_per_round;
+  Alcotest.(check int) "total" 12 outcome.R.honest_sent
+
+let test_send_to_sparse () =
+  let outcome =
+    run ~n:4 ~faulty:[||] (fun ctx ->
+        let inbox =
+          if R.id ctx = 0 then R.send_to ctx [ (2, "direct"); (2, "second") ]
+          else R.silent_round ctx
+        in
+        List.length inbox.(0))
+  in
+  Alcotest.(check (option int)) "recipient got both" (Some 2) outcome.R.decisions.(2);
+  Alcotest.(check (option int)) "others got none" (Some 0) outcome.R.decisions.(1);
+  Alcotest.(check int) "two messages" 2 outcome.R.honest_sent
+
+let test_trace_records () =
+  let trace = Trace.create () in
+  ignore
+    (run ~n:2 ~faulty:[||] ~trace (fun ctx -> ignore (R.broadcast ctx "x")));
+  let events = Trace.events trace in
+  let rounds = List.length (List.filter (function Trace.Round_begin _ -> true | _ -> false) events) in
+  let delivers = List.length (List.filter (function Trace.Deliver _ -> true | _ -> false) events) in
+  let decides = List.length (List.filter (function Trace.Decide _ -> true | _ -> false) events) in
+  Alcotest.(check int) "one round" 1 rounds;
+  Alcotest.(check int) "four deliveries (incl self)" 4 delivers;
+  Alcotest.(check int) "two decisions" 2 decides
+
+let test_honest_decisions_excludes_faulty () =
+  let outcome = run ~n:4 ~faulty:[| 1; 3 |] (fun ctx -> R.id ctx) in
+  Alcotest.(check (list (pair int int))) "only honest" [ (0, 0); (2, 2) ]
+    (R.honest_decisions outcome)
+
+let test_faulty_id_out_of_range () =
+  Alcotest.check_raises "checked" (Invalid_argument "Runtime.run: faulty id out of range")
+    (fun () -> ignore (run ~n:3 ~faulty:[| 5 |] (fun _ -> ())))
+
+let suite =
+  [
+    Alcotest.test_case "broadcast delivers to everyone" `Quick test_broadcast_delivery;
+    Alcotest.test_case "self delivery not counted" `Quick test_self_delivery_not_counted;
+    Alcotest.test_case "lockstep round numbering" `Quick test_lockstep_rounds;
+    Alcotest.test_case "immediate return" `Quick test_immediate_return;
+    Alcotest.test_case "staggered returns" `Quick test_staggered_return;
+    Alcotest.test_case "round limit enforced" `Quick test_max_rounds;
+    Alcotest.test_case "silent adversary mutes puppets" `Quick test_silent_adversary_mutes;
+    Alcotest.test_case "passive adversary follows protocol" `Quick
+      test_passive_adversary_follows;
+    Alcotest.test_case "inject from honest source rejected" `Quick test_inject_validation;
+    Alcotest.test_case "inject delivers to target only" `Quick test_inject_delivery;
+    Alcotest.test_case "rewrite adversary transforms" `Quick test_rewrite_adversary;
+    Alcotest.test_case "filter_in affects only faulty inboxes" `Quick
+      test_filter_in_only_faulty;
+    Alcotest.test_case "adversary is rushing" `Quick test_rushing_adversary_sees_current_round;
+    Alcotest.test_case "per-round message counts" `Quick test_per_round_counts;
+    Alcotest.test_case "sparse send_to" `Quick test_send_to_sparse;
+    Alcotest.test_case "trace records events" `Quick test_trace_records;
+    Alcotest.test_case "honest_decisions excludes faulty" `Quick
+      test_honest_decisions_excludes_faulty;
+    Alcotest.test_case "faulty ids validated" `Quick test_faulty_id_out_of_range;
+  ]

@@ -1,0 +1,73 @@
+(* Scaling shapes as tests: fit the empirical exponent of each
+   complexity curve and assert it sits in the band the theory predicts.
+   These are the automated versions of the E3/E4/E10 tables. *)
+
+open Helpers
+module Gen = Bap_prediction.Gen
+module Series = Bap_stats.Series
+module B = Bap_baselines.Baseline_runs.Make (Bap_core.Value.Int)
+
+let test_linear_fit () =
+  let slope, intercept = Series.linear_fit [ (0.0, 1.0); (1.0, 3.0); (2.0, 5.0) ] in
+  Alcotest.(check (float 0.001)) "slope" 2.0 slope;
+  Alcotest.(check (float 0.001)) "intercept" 1.0 intercept
+
+let test_loglog_exact_square () =
+  let points = List.map (fun x -> (float_of_int x, float_of_int (x * x))) [ 2; 5; 9; 17 ] in
+  Alcotest.(check (float 0.001)) "exponent 2" 2.0 (Series.loglog_slope points)
+
+let unauth_messages n =
+  let t = (n - 1) / 3 in
+  let f = t / 2 in
+  let rng = Rng.create (100 + n) in
+  let faulty = Array.init f Fun.id in
+  let inputs = Array.init n (fun _ -> Rng.int rng 2) in
+  let advice = Gen.perfect ~n ~faulty in
+  let o = S.run_unauth ~t ~faulty ~inputs ~advice ~adversary:Adversary.silent () in
+  (float_of_int n, float_of_int o.S.R.honest_sent)
+
+let test_unauth_message_exponent () =
+  (* Theorem 11: O(n^2 log .) messages; measured exponent must be near
+     2 (the log factor is flat for the fixed phase count here). *)
+  let points = List.map unauth_messages [ 13; 19; 28; 40 ] in
+  let s = Series.loglog_slope points in
+  if s < 1.6 || s > 2.4 then Alcotest.failf "message exponent %.2f outside [1.6, 2.4]" s
+
+let test_dolev_strong_rounds_linear_in_t () =
+  (* Always exactly t + 1 rounds: slope 1 in t. *)
+  let rounds t =
+    let n = (2 * t) + 3 in
+    let inputs = Array.init n (fun i -> i mod 2) in
+    let s = B.run_dolev_strong ~t ~faulty:[| 0 |] ~inputs () in
+    (* rounds = t + 1 exactly; subtract the additive constant so the
+       log-log exponent is clean. *)
+    (float_of_int t, float_of_int (s.B.rounds - 1))
+  in
+  let s = Series.loglog_slope (List.map rounds [ 2; 4; 8 ]) in
+  if s < 0.99 || s > 1.01 then Alcotest.failf "DS round exponent %.2f outside [0.99, 1.01]" s
+
+let test_classify_bits_cubic () =
+  (* The advice round alone: n^2 messages of ~n bits each. *)
+  let bits n =
+    let rng = Rng.create n in
+    ignore rng;
+    let faulty = [||] in
+    let advice = Gen.perfect ~n ~faulty in
+    let o =
+      S.R.run ~n ~faulty ~adversary:Adversary.passive ~msg_size:S.W.size_bits (fun ctx ->
+          S.Classify_p.run ctx advice.(S.R.id ctx))
+    in
+    (float_of_int n, float_of_int o.S.R.honest_bits)
+  in
+  let s = Series.loglog_slope (List.map bits [ 32; 64; 128; 256 ]) in
+  if s < 2.5 || s > 3.2 then Alcotest.failf "classify bit exponent %.2f outside [2.5, 3.2]" s
+
+let suite =
+  [
+    Alcotest.test_case "linear fit" `Quick test_linear_fit;
+    Alcotest.test_case "loglog recovers exponent" `Quick test_loglog_exact_square;
+    Alcotest.test_case "unauth messages scale as ~n^2" `Quick test_unauth_message_exponent;
+    Alcotest.test_case "Dolev-Strong rounds linear in t" `Quick
+      test_dolev_strong_rounds_linear_in_t;
+    Alcotest.test_case "classify bits scale as ~n^3" `Quick test_classify_bits_cubic;
+  ]

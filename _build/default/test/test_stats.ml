@@ -1,0 +1,51 @@
+module Table = Bap_stats.Table
+module Summary = Bap_stats.Summary
+
+let test_table_alignment () =
+  let rendered =
+    Table.render ~headers:[ "a"; "bee" ] [ [ "xx"; "y" ]; [ "1"; "22222" ] ]
+  in
+  let lines = String.split_on_char '\n' rendered in
+  Alcotest.(check int) "4 lines" 4 (List.length lines);
+  (* Every line has the same width. *)
+  let widths = List.map String.length lines in
+  Alcotest.(check bool) "aligned" true
+    (List.for_all (fun w -> w = List.hd widths) widths)
+
+let test_table_pads_short_rows () =
+  let rendered = Table.render ~headers:[ "a"; "b"; "c" ] [ [ "only" ] ] in
+  Alcotest.(check bool) "renders" true (String.length rendered > 0)
+
+let test_summary () =
+  let s = Summary.of_ints [ 1; 2; 3; 4 ] in
+  Alcotest.(check int) "count" 4 s.Summary.count;
+  Alcotest.(check int) "min" 1 s.Summary.min;
+  Alcotest.(check int) "max" 4 s.Summary.max;
+  Alcotest.(check int) "total" 10 s.Summary.total;
+  Alcotest.(check (float 0.001)) "mean" 2.5 s.Summary.mean
+
+let test_summary_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Summary.of_ints: empty") (fun () ->
+      ignore (Summary.of_ints []))
+
+let test_mean_string () =
+  Alcotest.(check string) "one decimal" "2.5" (Summary.mean_string [ 1; 2; 3; 4 ])
+
+let test_value_modules () =
+  let module VI = Bap_core.Value.Int in
+  let module VB = Bap_core.Value.Bool in
+  let module VS = Bap_core.Value.String in
+  Alcotest.(check bool) "int equal" true (VI.equal 3 3);
+  Alcotest.(check bool) "int encode injective" false (VI.encode 1 = VI.encode 11);
+  Alcotest.(check bool) "bool encode" true (VB.encode true <> VB.encode false);
+  Alcotest.(check int) "string compare" 0 (VS.compare "x" "x")
+
+let suite =
+  [
+    Alcotest.test_case "table alignment" `Quick test_table_alignment;
+    Alcotest.test_case "table pads short rows" `Quick test_table_pads_short_rows;
+    Alcotest.test_case "summary" `Quick test_summary;
+    Alcotest.test_case "summary rejects empty" `Quick test_summary_empty;
+    Alcotest.test_case "mean string" `Quick test_mean_string;
+    Alcotest.test_case "value domains" `Quick test_value_modules;
+  ]

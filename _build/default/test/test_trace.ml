@@ -1,0 +1,52 @@
+(* The bounded trace recorder. *)
+
+module Trace = Bap_sim.Trace
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let ev i = Trace.Decide { who = i; round = i }
+
+let test_records_in_order () =
+  let t = Trace.create () in
+  Trace.record t (ev 1);
+  Trace.record t (Trace.Round_begin 2);
+  Trace.record t (ev 3);
+  match Trace.events t with
+  | [ Trace.Decide { who = 1; _ }; Trace.Round_begin 2; Trace.Decide { who = 3; _ } ] -> ()
+  | _ -> Alcotest.fail "order lost"
+
+let test_limit_drops_and_counts () =
+  let t = Trace.create ~limit:2 () in
+  for i = 1 to 5 do
+    Trace.record t (ev i)
+  done;
+  Alcotest.(check int) "kept limit" 2 (List.length (Trace.events t));
+  Alcotest.(check int) "dropped counted" 3 (Trace.dropped t)
+
+let test_pp_renders () =
+  let t = Trace.create () in
+  Trace.record t (Trace.Round_begin 1);
+  Trace.record t (Trace.Deliver { src = 0; dst = 1; msg = "hello"; byzantine = true });
+  Trace.record t (ev 2);
+  let rendered = Fmt.str "%a" (Trace.pp Fmt.string) t in
+  Alcotest.(check bool) "round header" true (contains rendered "round 1");
+  Alcotest.(check bool) "byz marker" true (contains rendered "[byz]");
+  Alcotest.(check bool) "decide line" true (contains rendered "process 2")
+
+let test_pp_reports_drops () =
+  let t = Trace.create ~limit:1 () in
+  Trace.record t (ev 1);
+  Trace.record t (ev 2);
+  let rendered = Fmt.str "%a" (Trace.pp Fmt.string) t in
+  Alcotest.(check bool) "drop note" true (contains rendered "1 events dropped")
+
+let suite =
+  [
+    Alcotest.test_case "records in order" `Quick test_records_in_order;
+    Alcotest.test_case "limit drops and counts" `Quick test_limit_drops_and_counts;
+    Alcotest.test_case "pretty printer" `Quick test_pp_renders;
+    Alcotest.test_case "pretty printer reports drops" `Quick test_pp_reports_drops;
+  ]

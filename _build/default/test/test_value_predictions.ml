@@ -1,0 +1,82 @@
+(* The value-prediction fast path (extension; wrapper's
+   [?value_prediction]): O(1) decisions on shared accurate predictions,
+   unconditional safety otherwise. *)
+
+open Helpers
+module Gen = Bap_prediction.Gen
+
+let splitter ~n ~t = Adv.adaptive_splitter ~n_minus_t:(n - t) ~junk:(fun r -> -r)
+
+let test_shared_prediction_fast () =
+  let n = 13 and t = 4 and f = 4 in
+  let faulty = Array.init f Fun.id in
+  let rng = Rng.create 3 in
+  let inputs = Array.init n (fun _ -> Rng.int rng 2) in
+  let advice = Gen.generate ~rng ~n ~faulty ~budget:(n * n) Gen.All_wrong in
+  let o =
+    S.run_unauth ~t ~faulty ~inputs ~advice ~adversary:(splitter ~n ~t)
+      ~value_predictions:(Array.make n 1) ()
+  in
+  Alcotest.(check bool) "agreement" true (S.agreement o);
+  (* classify (1) + two graded consensus (4) = decided by round 5 *)
+  Alcotest.(check bool) "O(1) decision" true (S.decision_round o <= 5);
+  List.iter
+    (fun (_, r) -> Alcotest.(check int) "decides the prediction" 1 r.S.Wrapper.value)
+    (S.R.honest_decisions o)
+
+let test_unanimous_inputs_beat_predictions () =
+  (* Strong unanimity must override even a universally shared (but
+     input-contradicting) value prediction. *)
+  let n = 13 and t = 4 in
+  let faulty = [| 0; 1 |] in
+  let advice = Gen.perfect ~n ~faulty in
+  let inputs = Array.make n 7 in
+  let o =
+    S.run_unauth ~t ~faulty ~inputs ~advice ~value_predictions:(Array.make n 9) ()
+  in
+  Alcotest.(check bool) "validity wins" true (S.unanimous_validity ~inputs ~faulty o)
+
+let prop_safety_any_predictions =
+  qcheck ~count:40 ~name:"agreement + validity under arbitrary value predictions"
+    QCheck2.Gen.(
+      let* n = int_range 7 20 in
+      let t = (n - 1) / 3 in
+      let* f = int_range 0 t in
+      let* seed = int_range 0 1_000_000 in
+      let* which = int_range 0 2 in
+      return (n, t, f, seed, which))
+    (fun (n, t, f, seed, which) ->
+      let rng = Rng.create seed in
+      let faulty = random_faulty rng ~n ~f in
+      let inputs = Array.init n (fun _ -> Rng.int rng 2) in
+      let preds = Array.init n (fun _ -> Rng.int rng 4) in
+      let advice = Gen.generate ~rng ~n ~faulty ~budget:(Rng.int rng (n + 1)) Gen.Uniform in
+      let adversary =
+        match which with
+        | 0 -> Adversary.silent
+        | 1 -> Adv.equivocate ~v0:0 ~v1:1
+        | _ -> splitter ~n ~t
+      in
+      let o =
+        S.run_unauth ~t ~faulty ~inputs ~advice ~adversary ~value_predictions:preds ()
+      in
+      S.agreement o && S.unanimous_validity ~inputs ~faulty o)
+
+let test_schedule_includes_fast_path () =
+  let t = 4 in
+  let cfg = S.unauth_config ~t in
+  let with_vp = S.Wrapper.rounds ~value_prediction:true cfg ~t in
+  let without = S.Wrapper.rounds cfg ~t in
+  Alcotest.(check int) "two extra graded consensus" (2 * cfg.S.Wrapper.gc_rounds)
+    (with_vp - without)
+
+let suite =
+  [
+    Alcotest.test_case "shared predictions decide in O(1)" `Quick
+      test_shared_prediction_fast;
+    Alcotest.test_case "unanimous inputs beat predictions" `Quick
+      test_unanimous_inputs_beat_predictions;
+    prop_safety_any_predictions;
+    Alcotest.test_case "schedule includes the fast path" `Quick
+      test_schedule_includes_fast_path;
+  ]

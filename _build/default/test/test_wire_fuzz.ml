@@ -1,0 +1,144 @@
+(* Fuzzing the wire validators: random structural mutations of valid
+   certificates and chains must always be rejected (no mutation may
+   slip through), and the unmutated originals must always verify. *)
+
+open Helpers
+module W = S.W
+
+let make_cert pki ~quorum ~member =
+  {
+    W.cc_member = member;
+    cc_sigs =
+      List.init quorum (fun j -> (j, Pki.sign (Pki.key pki j) (W.committee_payload member)));
+  }
+
+let make_chain pki ~quorum ~sender ~signers v =
+  let cert = make_cert pki ~quorum ~member:sender in
+  let root =
+    let link_sig = Pki.sign (Pki.key pki sender) (W.chain_root_payload v cert) in
+    W.Chain_root { value = v; cert; link_sig }
+  in
+  List.fold_left
+    (fun chain signer ->
+      let cert = make_cert pki ~quorum ~member:signer in
+      let link_sig = Pki.sign (Pki.key pki signer) (W.chain_link_payload chain cert) in
+      W.Chain_link { prev = chain; signer; cert; link_sig })
+    root signers
+
+(* Structural mutations of a chain; each must invalidate it. *)
+let rec flip_root_value = function
+  | W.Chain_root r -> W.Chain_root { r with value = r.value + 1 }
+  | W.Chain_link l -> W.Chain_link { l with prev = flip_root_value l.prev }
+
+let rec swap_root_cert pki ~quorum = function
+  | W.Chain_root r ->
+    W.Chain_root { r with cert = make_cert pki ~quorum ~member:(r.cert.W.cc_member + 1) }
+  | W.Chain_link l -> W.Chain_link { l with prev = swap_root_cert pki ~quorum l.prev }
+
+let mutate rng pki ~quorum chain =
+  match Rng.int rng 5 with
+  | 0 -> ("value flip", flip_root_value chain)
+  | 1 -> ("foreign root cert", swap_root_cert pki ~quorum chain)
+  | 2 -> (
+    (* Re-sign the tip with the wrong key. *)
+    match chain with
+    | W.Chain_link l ->
+      ( "wrong tip signer key",
+        W.Chain_link
+          {
+            l with
+            link_sig =
+              Pki.sign (Pki.key pki ((l.signer + 1) mod Pki.n pki))
+                (W.chain_link_payload l.prev l.cert);
+          } )
+    | W.Chain_root r ->
+      ( "wrong root signer key",
+        W.Chain_root
+          {
+            r with
+            link_sig =
+              Pki.sign
+                (Pki.key pki ((r.cert.W.cc_member + 1) mod Pki.n pki))
+                (W.chain_root_payload r.value r.cert);
+          } ))
+  | 3 -> (
+    (* Truncate a certificate below quorum. *)
+    match chain with
+    | W.Chain_link l ->
+      ( "underfull tip cert",
+        W.Chain_link { l with cert = { l.cert with W.cc_sigs = List.tl l.cert.W.cc_sigs } } )
+    | W.Chain_root r ->
+      ( "underfull root cert",
+        W.Chain_root { r with cert = { r.cert with W.cc_sigs = List.tl r.cert.W.cc_sigs } } ))
+  | _ ->
+    (* Extend with a duplicate signer (the chain's own starter): breaks
+       the distinct-signers requirement whatever the chain shape. *)
+    let sender = W.chain_sender chain in
+    let cert = make_cert pki ~quorum ~member:sender in
+    ( "duplicate signer",
+      W.Chain_link
+        {
+          prev = chain;
+          signer = sender;
+          cert;
+          link_sig = Pki.sign (Pki.key pki sender) (W.chain_link_payload chain cert);
+        } )
+
+let prop_mutations_rejected =
+  qcheck ~count:100 ~name:"all chain mutations rejected"
+    QCheck2.Gen.(
+      let* seed = int_range 0 1_000_000 in
+      let* len = int_range 1 4 in
+      return (seed, len))
+    (fun (seed, len) ->
+      let rng = Rng.create seed in
+      let n = 10 and quorum = 3 in
+      let pki = Pki.create ~n in
+      let sender = 0 in
+      let signers = List.init (len - 1) (fun i -> i + 1) in
+      let chain = make_chain pki ~quorum ~sender ~signers 42 in
+      (* Sanity: the original is valid. *)
+      if not (W.valid_chain pki ~quorum ~sender ~length:len chain) then false
+      else begin
+        let name, mutated = mutate rng pki ~quorum chain in
+        let still_valid =
+          W.valid_chain pki ~quorum ~sender ~length:(W.chain_length mutated) mutated
+        in
+        if still_valid then
+          QCheck2.Test.fail_reportf "mutation %S accepted" name
+        else true
+      end)
+
+let prop_ds_tamper_rejected =
+  qcheck ~count:100 ~name:"DS chain value tampering rejected"
+    QCheck2.Gen.(
+      let* seed = int_range 0 1_000_000 in
+      let* len = int_range 1 5 in
+      let* v = int_range 0 100 in
+      return (seed, len, v))
+    (fun (_seed, len, v) ->
+      let n = 8 in
+      let pki = Pki.create ~n in
+      let root =
+        let link_sig = Pki.sign (Pki.key pki 0) (W.ds_root_payload ~sender:0 v) in
+        W.Ds_root { sender = 0; value = v; link_sig }
+      in
+      let chain =
+        List.fold_left
+          (fun c signer ->
+            let link_sig = Pki.sign (Pki.key pki signer) (W.ds_link_payload c) in
+            W.Ds_link { prev = c; signer; link_sig })
+          root
+          (List.init (len - 1) (fun i -> i + 1))
+      in
+      let tampered =
+        let rec go = function
+          | W.Ds_root r -> W.Ds_root { r with value = r.value + 1 }
+          | W.Ds_link l -> W.Ds_link { l with prev = go l.prev }
+        in
+        go chain
+      in
+      W.valid_ds_chain pki ~sender:0 ~length:len chain
+      && not (W.valid_ds_chain pki ~sender:0 ~length:len tampered))
+
+let suite = [ prop_mutations_rejected; prop_ds_tamper_rejected ]

@@ -1,0 +1,156 @@
+(* Algorithm 1, unauthenticated configuration (Theorem 11): agreement,
+   strong unanimity and termination across the (n, t, f, B, placement,
+   adversary) grid, plus the round-complexity shape. *)
+
+open Helpers
+module Gen = Bap_prediction.Gen
+module Quality = Bap_prediction.Quality
+
+let adversaries =
+  [|
+    ("passive", Adversary.passive);
+    ("silent", Adversary.silent);
+    ("equivocate", Adv.equivocate ~v0:0 ~v1:1);
+    ("value-push", Adv.value_push ~v:1);
+    ("advice-liar", Adv.advice_liar);
+    ("echo-chaos", Adv.echo_chaos ~v0:0 ~v1:1);
+    ("staggered-crash", Adv.staggered_crash ~interval:7);
+    ("king-killer", Adv.king_killer);
+    ("flip-flop", Adv.flip_flop);
+    ("splitter", Adv.adaptive_splitter ~n_minus_t:12 ~junk:(fun r -> -r));
+  |]
+
+let test_quickstart () =
+  let n = 13 and t = 4 in
+  let faulty = [| 2; 6 |] in
+  let advice = Gen.perfect ~n ~faulty in
+  let inputs = Array.init n (fun i -> i mod 2) in
+  let o = S.run_unauth ~t ~faulty ~inputs ~advice () in
+  Alcotest.(check bool) "agreement" true (S.agreement o);
+  Alcotest.(check bool) "everyone decided" true
+    (List.length (S.R.honest_decisions o) = n - 2)
+
+let test_unanimous_fast () =
+  let n = 13 and t = 4 in
+  let faulty = [| 0; 1 |] in
+  let advice = Gen.perfect ~n ~faulty in
+  let inputs = Array.make n 3 in
+  let o = S.run_unauth ~t ~faulty ~inputs ~advice ~adversary:(Adv.value_push ~v:9) () in
+  Alcotest.(check bool) "validity" true (S.unanimous_validity ~inputs ~faulty o);
+  (* Strong unanimity forces a decision by the end of phase 1. *)
+  let cfg = S.unauth_config ~t in
+  let phase1_end =
+    List.fold_left
+      (fun acc (_, phi, _, last) -> if phi <= 1 then max acc last else acc)
+      0 (S.Wrapper.schedule cfg ~t)
+  in
+  Alcotest.(check bool) "decided in phase 1" true (S.decision_round o <= phase1_end)
+
+let test_schedule_covers_run () =
+  let t = 5 in
+  let cfg = S.unauth_config ~t in
+  let sched = S.Wrapper.schedule cfg ~t in
+  (* Contiguous coverage from round 1. *)
+  let _ =
+    List.fold_left
+      (fun expected (_, _, first, last) ->
+        Alcotest.(check int) "contiguous" expected first;
+        last + 1)
+      1 sched
+  in
+  Alcotest.(check int) "total rounds" (S.Wrapper.rounds cfg ~t)
+    (List.fold_left (fun acc (_, _, _, l) -> max acc l) 0 sched)
+
+let test_phase_count () =
+  Alcotest.(check int) "t=1" 1 (S.Wrapper.phases_total ~t:1);
+  Alcotest.(check int) "t=2" 2 (S.Wrapper.phases_total ~t:2);
+  Alcotest.(check int) "t=5" 4 (S.Wrapper.phases_total ~t:5);
+  Alcotest.(check int) "t=8" 4 (S.Wrapper.phases_total ~t:8);
+  Alcotest.(check int) "t=9" 5 (S.Wrapper.phases_total ~t:9)
+
+let prop_agreement_grid =
+  qcheck ~count:60 ~name:"Theorem 11: agreement on the full grid"
+    QCheck2.Gen.(
+      let* n = int_range 7 22 in
+      let t = (n - 1) / 3 in
+      let* f = int_range 0 t in
+      let* seed = int_range 0 1_000_000 in
+      let* budget = int_range 0 (n * 2) in
+      let* placement = oneofl [ Gen.Uniform; Gen.Focused; Gen.Scattered; Gen.All_wrong ] in
+      let* adv = int_range 0 (Array.length adversaries - 1) in
+      return (n, t, f, seed, budget, placement, adv))
+    (fun (n, t, f, seed, budget, placement, adv) ->
+      let rng = Rng.create seed in
+      let faulty = random_faulty rng ~n ~f in
+      let advice = Gen.generate ~rng ~n ~faulty ~budget placement in
+      let inputs = Array.init n (fun _ -> Rng.int rng 2) in
+      let o = S.run_unauth ~t ~faulty ~inputs ~advice ~adversary:(snd adversaries.(adv)) () in
+      S.agreement o && S.unanimous_validity ~inputs ~faulty o)
+
+let prop_round_shape =
+  (* With perfect advice, decisions come in phase 1 whatever f is (the
+     classification BA with k=1 succeeds since k_A = 0): the O(B/n + 1)
+     side of the min. *)
+  qcheck ~count:30 ~name:"perfect advice decides in phase 1"
+    (config_gen ~min_n:10 ~max_n:25 ~t_of_n:(fun n -> (n - 1) / 3) ())
+    (fun (n, t, faulty, seed) ->
+      let rng = Rng.create seed in
+      let advice = Gen.perfect ~n ~faulty in
+      let inputs = Array.init n (fun _ -> Rng.int rng 2) in
+      let o = S.run_unauth ~t ~faulty ~inputs ~advice ~adversary:Adversary.silent () in
+      let cfg = S.unauth_config ~t in
+      let phase1_end =
+        List.fold_left
+          (fun acc (_, phi, _, last) -> if phi <= 1 then max acc last else acc)
+          0 (S.Wrapper.schedule cfg ~t)
+      in
+      S.Ba_class_unauth.feasible ~n ~t ~k:1 = false
+      || S.decision_round o <= phase1_end)
+
+let prop_few_faults_decide_early =
+  (* With f = 0 actual faults but terrible advice, the early-stopping
+     component decides in phase 1. *)
+  qcheck ~count:30 ~name:"f=0 with all-wrong advice decides in phase 1"
+    QCheck2.Gen.(
+      let* n = int_range 7 20 in
+      let* seed = int_range 0 1_000 in
+      return (n, seed))
+    (fun (n, seed) ->
+      let t = (n - 1) / 3 in
+      let rng = Rng.create seed in
+      let advice = Gen.generate ~rng ~n ~faulty:[||] ~budget:0 Gen.All_wrong in
+      let inputs = Array.init n (fun _ -> Rng.int rng 2) in
+      let o = S.run_unauth ~t ~faulty:[||] ~inputs ~advice () in
+      let cfg = S.unauth_config ~t in
+      let phase1_end =
+        List.fold_left
+          (fun acc (_, phi, _, last) -> if phi <= 1 then max acc last else acc)
+          0 (S.Wrapper.schedule cfg ~t)
+      in
+      S.decision_round o <= phase1_end)
+
+let test_message_attribution () =
+  let n = 13 and t = 4 in
+  let faulty = [| 0 |] in
+  let advice = Gen.perfect ~n ~faulty in
+  let inputs = Array.init n (fun i -> i mod 2) in
+  let o = S.run_unauth ~t ~faulty ~inputs ~advice () in
+  let cfg = S.unauth_config ~t in
+  let by_component = S.messages_by_component cfg ~t o in
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 by_component in
+  Alcotest.(check int) "attribution is a partition" o.S.R.honest_sent total;
+  Alcotest.(check bool) "classify component present" true
+    (List.mem_assoc "classify" by_component)
+
+let suite =
+  [
+    Alcotest.test_case "quickstart run" `Quick test_quickstart;
+    Alcotest.test_case "unanimous inputs decide in phase 1" `Quick test_unanimous_fast;
+    Alcotest.test_case "schedule covers the run" `Quick test_schedule_covers_run;
+    Alcotest.test_case "phase count formula" `Quick test_phase_count;
+    prop_agreement_grid;
+    prop_round_shape;
+    prop_few_faults_decide_early;
+    Alcotest.test_case "message attribution partitions the total" `Quick
+      test_message_attribution;
+  ]
