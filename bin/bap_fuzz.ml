@@ -1,0 +1,93 @@
+(* CLI: randomized chaos campaign over the protocol stack.
+
+   Generates (protocol, n, t, faulty, inputs, advice, fault-schedule)
+   configurations, checks the safety oracles (agreement, validity,
+   termination bound, monitor soundness) on every execution, and
+   delta-debugs any violation to a minimal schedule printed as a
+   pasteable OCaml value. Output is a pure function of the seed:
+   re-running the same command yields byte-identical bytes.
+
+   Examples:
+     dune exec bin/bap_fuzz.exe -- --runs 500 --seed 1
+     dune exec bin/bap_fuzz.exe -- --runs 200 --protocols unauth,auth,es,pk
+     dune exec bin/bap_fuzz.exe -- --runs 100 --self-test   # prove the oracles fire *)
+
+module Fuzz = Bap_chaos.Fuzz
+module Schedule = Bap_chaos.Schedule
+open Cmdliner
+
+let parse_protocols s =
+  let names = String.split_on_char ',' s |> List.filter (fun x -> x <> "") in
+  let ps = List.filter_map Fuzz.protocol_of_name names in
+  if List.length ps <> List.length names || ps = [] then
+    Error (`Msg (Printf.sprintf "unknown protocol list %S (use unauth,auth,es,pk)" s))
+  else Ok ps
+
+let run runs seed protocols self_test quiet =
+  Fmt.pr "bap_fuzz: runs=%d seed=%d protocols=[%s]%s@." runs seed
+    (String.concat "," (List.map Fuzz.E.protocol_name protocols))
+    (if self_test then " self-test" else "");
+  let progress ~run ~violations =
+    if (not quiet) && run mod 100 = 0 then
+      Fmt.pr "  progress: %d runs, %d violation(s)@." run violations
+  in
+  let c = Fuzz.campaign ~sabotage:self_test ~progress ~protocols ~runs ~seed () in
+  List.iter (fun cx -> Fmt.pr "%a@." Fuzz.pp_counterexample cx) c.Fuzz.counterexamples;
+  Fmt.pr "checksum=%Lx@." c.Fuzz.checksum;
+  let n_cx = List.length c.Fuzz.counterexamples in
+  if self_test then begin
+    (* The harness must detect its own sabotage and shrink it small. *)
+    let shrunk_ok =
+      c.Fuzz.counterexamples <> []
+      && List.for_all (fun cx -> Schedule.length cx.Fuzz.shrunk <= 5) c.Fuzz.counterexamples
+    in
+    if shrunk_ok then begin
+      Fmt.pr "self-test ok: %d runs, %d sabotage(s) caught, all shrunk to <= 5 faults@."
+        c.Fuzz.runs n_cx;
+      0
+    end
+    else begin
+      Fmt.pr "self-test FAILED: %d runs, %d counterexample(s)@." c.Fuzz.runs n_cx;
+      2
+    end
+  end
+  else if n_cx = 0 then begin
+    Fmt.pr "ok: %d runs, 0 safety violations@." c.Fuzz.runs;
+    0
+  end
+  else begin
+    Fmt.pr "FAILED: %d runs, %d safety violation(s)@." c.Fuzz.runs n_cx;
+    2
+  end
+
+let cmd =
+  let runs =
+    Arg.(value & opt int 500 & info [ "runs" ] ~doc:"Number of random configurations.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Campaign seed.") in
+  let protocols =
+    Arg.(
+      value
+      & opt (conv (parse_protocols, fun ppf ps ->
+                 Fmt.pf ppf "%s" (String.concat "," (List.map Fuzz.E.protocol_name ps))))
+          [ Fuzz.E.Unauth; Fuzz.E.Auth ]
+      & info [ "protocols" ]
+          ~doc:"Comma-separated subset of unauth,auth,es,pk to fuzz.")
+  in
+  let self_test =
+    Arg.(
+      value & flag
+      & info [ "self-test" ]
+          ~doc:
+            "Sabotage the harness (tamper one honest decision whenever the schedule \
+             equivocates) and require the oracles to catch it and the shrinker to \
+             reduce it to <= 5 faults. Exit 0 iff the sabotage was caught.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress the periodic progress lines.")
+  in
+  Cmd.v
+    (Cmd.info "bap_fuzz" ~doc:"Chaos-fuzz the Byzantine agreement stack's safety oracles")
+    Term.(const run $ runs $ seed $ protocols $ self_test $ quiet)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,117 @@
+(* The randomized robustness campaign over the integer-valued stack:
+   generate (protocol, n, t, faulty, inputs, advice, fault-schedule)
+   configurations from one [Rng] stream, run each through {!Engine}'s
+   oracles, and delta-debug any violating schedule down to a minimal
+   reproducing counterexample.
+
+   Everything — generation, execution, shrinking, the campaign checksum
+   — is a pure function of the seed, so a campaign's output is
+   byte-identical across re-runs and a printed counterexample replays
+   forever. *)
+
+module V = Bap_core.Value.Int
+module E = Engine.Make (V)
+module Rng = Bap_sim.Rng
+module Gen = Bap_prediction.Gen
+
+(* Deterministic value perturbation for equivocation faults and the
+   sabotage self-test; stays clear of the generated input domain [0,3)
+   often enough to stress value-validation paths. *)
+let mutant salt v = v + 1 + (salt mod 7)
+
+let all_protocols = [ E.Unauth; E.Auth; E.Es_baseline; E.Pk_baseline ]
+
+let protocol_of_name = function
+  | "unauth" -> Some E.Unauth
+  | "auth" -> Some E.Auth
+  | "es" -> Some E.Es_baseline
+  | "pk" -> Some E.Pk_baseline
+  | _ -> None
+
+(* One random configuration. Sizes stay small (n <= 13): the execution
+   space a fuzzer explores grows with schedules and fault sets, not with
+   n, and small systems hit quorum boundaries (n = 3t + 1, n = 2t + 1)
+   far more often. *)
+let gen_config rng ~protocols =
+  let protocol = Rng.pick rng protocols in
+  let n = 4 + Rng.int rng 10 in
+  let t_cap =
+    match protocol with
+    | E.Auth -> (n - 1) / 2 (* t < n/2 *)
+    | E.Unauth | E.Es_baseline | E.Pk_baseline -> (n - 1) / 3 (* t < n/3 *)
+  in
+  let t = Rng.int rng (t_cap + 1) in
+  let f = Rng.int rng (t + 1) in
+  let faulty = Array.of_list (Rng.sample_without_replacement rng f n) in
+  let inputs = Array.init n (fun _ -> Rng.int rng 3) in
+  let advice =
+    match Rng.int rng 4 with
+    | 0 -> Gen.perfect ~n ~faulty
+    | 1 -> Gen.generate ~rng ~n ~faulty ~budget:(Rng.int rng ((n * n / 2) + 1)) Gen.Uniform
+    | 2 -> Gen.generate ~rng ~n ~faulty ~budget:(Rng.int rng (n + 1)) Gen.Focused
+    | _ -> Gen.generate ~rng ~n ~faulty ~budget:0 Gen.All_wrong
+  in
+  let cfg =
+    { E.protocol; t; faulty; inputs; advice; schedule = [] }
+  in
+  let schedule =
+    Schedule.gen rng ~n ~faulty ~rounds:(E.round_bound cfg) ~count:(Rng.int rng 13)
+  in
+  { cfg with E.schedule }
+
+let run_one ?(sabotage = false) cfg = E.run ~sabotage_validity:sabotage ~mutant cfg
+
+(* Minimal schedule still violating some oracle on this configuration. *)
+let shrink ?(sabotage = false) cfg =
+  Shrink.minimize
+    ~check:(fun schedule ->
+      (run_one ~sabotage { cfg with E.schedule }).E.violations <> [])
+    cfg.E.schedule
+
+type counterexample = {
+  run : int;  (** 1-based index of the violating run in the campaign. *)
+  config : E.config;
+  report : E.report;
+  shrunk : Schedule.t;
+}
+
+type campaign = {
+  runs : int;
+  counterexamples : counterexample list;
+  checksum : int64;  (** Folds every run's outcome: the determinism witness. *)
+}
+
+(* splitmix64-style mixing of each run's observables. *)
+let mix h x =
+  let h = Int64.add (Int64.logxor h (Int64.of_int x)) 0x9E3779B97F4A7C15L in
+  let h = Int64.mul (Int64.logxor h (Int64.shift_right_logical h 30)) 0xBF58476D1CE4E5B9L in
+  Int64.logxor h (Int64.shift_right_logical h 27)
+
+let fingerprint h (r : E.report) =
+  let h = mix h r.E.rounds in
+  let h = List.fold_left (fun h (i, v) -> mix (mix h i) v) h r.E.decisions in
+  mix h (List.length r.E.violations)
+
+let campaign ?(sabotage = false) ?(progress = fun ~run:_ ~violations:_ -> ())
+    ~protocols ~runs ~seed () =
+  let rng = Rng.create seed in
+  let counterexamples = ref [] in
+  let checksum = ref 0L in
+  for run = 1 to runs do
+    let config = gen_config rng ~protocols in
+    let report = run_one ~sabotage config in
+    checksum := fingerprint !checksum report;
+    if report.E.violations <> [] then begin
+      let shrunk = shrink ~sabotage config in
+      counterexamples := { run; config; report; shrunk } :: !counterexamples
+    end;
+    progress ~run ~violations:(List.length !counterexamples)
+  done;
+  { runs; counterexamples = List.rev !counterexamples; checksum = !checksum }
+
+let pp_counterexample ppf { run; config; report; shrunk } =
+  Fmt.pf ppf
+    "@[<v>violation at run %d:@,%a@,%a@,shrunk schedule (%d of %d faults):@,%a@]" run
+    E.pp_config config E.pp_report report (Schedule.length shrunk)
+    (Schedule.length config.E.schedule)
+    Schedule.pp shrunk

@@ -1,0 +1,87 @@
+(* Safety oracles: the properties that must hold on *every* execution,
+   whatever the adversary, the advice, or the fault schedule — the
+   paper's unconditional guarantees (Theorems 11-12), checked
+   mechanically on each chaos run.
+
+   - agreement: all honest decisions are equal;
+   - validity (strong unanimity): if every honest input is v, every
+     honest decision is v;
+   - termination-within-bound: the run used at most the protocol's
+     deterministic round schedule (and no process overran the runtime's
+     round limit or crashed — a raised exception in protocol code is
+     itself a robustness violation, reported as [Crash]);
+   - monitor soundness: the network-tap observer of
+     [lib/monitor/observer.ml] never flags an honest process. In the
+     authenticated stack this doubles as a no-forgery check: an honest
+     process flagged for equivocation or a conflicting chain root would
+     mean a message carrying its identity that it never signed. *)
+
+module Trace = Bap_sim.Trace
+
+module Make (V : Bap_core.Value.S) (W : Bap_core.Wire.S with type value = V.t) = struct
+  module Observer = Bap_monitor.Observer.Make (V) (W)
+
+  type violation =
+    | Agreement of { decisions : (int * V.t) list }
+    | Validity of { expected : V.t; decisions : (int * V.t) list }
+    | Termination of { rounds : int; bound : int }
+    | Monitor_unsound of { honest_flagged : (int * string) list }
+    | Crash of { exn : string }
+
+  let pp_violation ppf = function
+    | Agreement { decisions } ->
+      Fmt.pf ppf "agreement: honest decisions differ: %a"
+        Fmt.(list ~sep:(any "; ") (pair ~sep:(any ":") int V.pp))
+        decisions
+    | Validity { expected; decisions } ->
+      Fmt.pf ppf "validity: unanimous honest input %a but decisions %a" V.pp expected
+        Fmt.(list ~sep:(any "; ") (pair ~sep:(any ":") int V.pp))
+        decisions
+    | Termination { rounds; bound } ->
+      Fmt.pf ppf "termination: ran %d rounds, bound %d" rounds bound
+    | Monitor_unsound { honest_flagged } ->
+      Fmt.pf ppf "monitor flagged honest process(es): %a"
+        Fmt.(list ~sep:(any "; ") (pair ~sep:(any " ") int (quote string)))
+        honest_flagged
+    | Crash { exn } -> Fmt.pf ppf "protocol code raised: %s" exn
+
+  let check_agreement decisions =
+    match decisions with
+    | [] | [ _ ] -> []
+    | (_, v) :: rest ->
+      if List.for_all (fun (_, w) -> V.equal v w) rest then []
+      else [ Agreement { decisions } ]
+
+  let check_validity ~inputs ~is_faulty decisions =
+    let honest_inputs =
+      Array.to_list inputs
+      |> List.filteri (fun i _ -> not is_faulty.(i))
+      |> List.sort_uniq V.compare
+    in
+    match honest_inputs with
+    | [ v ] ->
+      if List.for_all (fun (_, w) -> V.equal v w) decisions then []
+      else [ Validity { expected = v; decisions } ]
+    | _ -> []
+
+  let check_termination ~rounds ~bound =
+    if rounds <= bound then [] else [ Termination { rounds; bound } ]
+
+  let check_monitor ~n ~is_faulty trace =
+    let verdict = Observer.observe ~n trace in
+    let honest_flagged =
+      List.filter (fun (who, _) -> not is_faulty.(who)) verdict.Observer.evidence
+    in
+    if honest_flagged = [] then [] else [ Monitor_unsound { honest_flagged } ]
+
+  (* All four oracles on one execution's observables. [trace] is
+     optional so callers without delivery recording still get the
+     decision-level checks. *)
+  let check ~n ~faulty ~inputs ~bound ~rounds ~decisions trace =
+    let is_faulty = Array.make n false in
+    Array.iter (fun j -> is_faulty.(j) <- true) faulty;
+    check_agreement decisions
+    @ check_validity ~inputs ~is_faulty decisions
+    @ check_termination ~rounds ~bound
+    @ match trace with None -> [] | Some tr -> check_monitor ~n ~is_faulty tr
+end

@@ -1,0 +1,126 @@
+(* Serializable fault schedules.
+
+   A schedule is a plain list of fault descriptions — no closures, no
+   generator state — so that any chaos execution is (a) replayable
+   exactly from the value, (b) shrinkable by list surgery, and (c)
+   printable as an OCaml literal that pastes directly into a regression
+   test (see {!pp}). The two interpreters live in {!Injector}: the
+   Byzantine-side kinds compile to a [Bap_sim.Adversary.t], the
+   network-side kinds to the runtime's [?network] hook.
+
+   The paper's model allows the adversary full control over faulty
+   processes and gives honest pairs reliable synchronous channels. A
+   schedule is {e within the envelope} of that model iff every
+   model-breaking fault names a faulty process ({!within_envelope});
+   duplication and reordering inside a round are envelope-safe on any
+   edge because every protocol in this repository parses inboxes with
+   at-most-one-vote-per-sender discipline ([Bap_sim.Inbox.first]).
+   Schedules outside the envelope are still expressible — that is how
+   tests probe that the oracles actually fire. *)
+
+module Rng = Bap_sim.Rng
+
+type fault =
+  | Crash_at of { proc : int; round : int }
+      (** [proc] sends nothing from [round] on (crash failure). *)
+  | Omit_to of { proc : int; dst : int; first : int; last : int }
+      (** [proc] omits all its messages to [dst] in rounds
+          [first..last] (send-omission fault). *)
+  | Drop of { src : int; dst : int; round : int }
+      (** The edge [src -> dst] loses its messages in [round]. *)
+  | Duplicate of { src : int; dst : int; round : int }
+      (** Every message on the edge is delivered twice. *)
+  | Reorder of { src : int; dst : int; round : int }
+      (** The within-round delivery order of the edge is reversed. *)
+  | Corrupt of { src : int; dst : int; round : int; bit : int }
+      (** Every message on the edge has one encoded bit flipped (bit
+          index taken mod the message's length); messages that no longer
+          decode — including all signature-carrying ones, which have no
+          decoder by design — are dropped. *)
+  | Equivocate of { proc : int; first : int; last : int; salt : int }
+      (** [proc] sends value-carrying messages with a [salt]-mutated
+          value to odd recipients in rounds [first..last]. *)
+  | Advice_flip of { proc : int; bit : int }
+      (** [proc] flips one bit of every advice vector it broadcasts. *)
+
+type t = fault list
+
+let pp_fault ppf = function
+  | Crash_at { proc; round } ->
+    Fmt.pf ppf "Crash_at { proc = %d; round = %d }" proc round
+  | Omit_to { proc; dst; first; last } ->
+    Fmt.pf ppf "Omit_to { proc = %d; dst = %d; first = %d; last = %d }" proc dst first
+      last
+  | Drop { src; dst; round } ->
+    Fmt.pf ppf "Drop { src = %d; dst = %d; round = %d }" src dst round
+  | Duplicate { src; dst; round } ->
+    Fmt.pf ppf "Duplicate { src = %d; dst = %d; round = %d }" src dst round
+  | Reorder { src; dst; round } ->
+    Fmt.pf ppf "Reorder { src = %d; dst = %d; round = %d }" src dst round
+  | Corrupt { src; dst; round; bit } ->
+    Fmt.pf ppf "Corrupt { src = %d; dst = %d; round = %d; bit = %d }" src dst round bit
+  | Equivocate { proc; first; last; salt } ->
+    Fmt.pf ppf "Equivocate { proc = %d; first = %d; last = %d; salt = %d }" proc first
+      last salt
+  | Advice_flip { proc; bit } ->
+    Fmt.pf ppf "Advice_flip { proc = %d; bit = %d }" proc bit
+
+(* Prints as a pasteable OCaml literal:
+   [ Crash_at { proc = 1; round = 3 }; Drop { ... } ] *)
+let pp ppf = function
+  | [] -> Fmt.pf ppf "[]"
+  | faults -> Fmt.pf ppf "@[<hv 2>[ %a ]@]" Fmt.(list ~sep:(any ";@ ") pp_fault) faults
+
+let equal (a : t) (b : t) = a = b
+let length = List.length
+
+let within_envelope ~is_faulty fault =
+  let faulty p = p >= 0 && p < Array.length is_faulty && is_faulty.(p) in
+  match fault with
+  | Crash_at { proc; _ } | Omit_to { proc; _ } | Equivocate { proc; _ }
+  | Advice_flip { proc; _ } ->
+    faulty proc
+  | Drop { src; _ } | Corrupt { src; _ } -> faulty src
+  | Duplicate _ | Reorder _ -> true
+
+(* Random schedule drawn entirely from one [Rng] stream, always within
+   the envelope of the given fault set: safety oracles must hold on
+   every generated schedule, whatever the draw. *)
+let gen rng ~n ~faulty ~rounds ~count =
+  let faulty_l = Array.to_list faulty in
+  let pick_round () = 1 + Rng.int rng rounds in
+  let pick_proc () = Rng.int rng n in
+  let pick_other src =
+    let d = Rng.int rng (n - 1) in
+    if d >= src then d + 1 else d
+  in
+  let network_fault () =
+    match Rng.int rng 2 with
+    | 0 ->
+      let src = pick_proc () in
+      Duplicate { src; dst = pick_other src; round = pick_round () }
+    | _ ->
+      let src = pick_proc () in
+      Reorder { src; dst = pick_other src; round = pick_round () }
+  in
+  let byzantine_fault proc =
+    match Rng.int rng 6 with
+    | 0 -> Crash_at { proc; round = pick_round () }
+    | 1 ->
+      let first = pick_round () in
+      Omit_to { proc; dst = pick_other proc; first; last = first + Rng.int rng 10 }
+    | 2 -> Drop { src = proc; dst = pick_other proc; round = pick_round () }
+    | 3 ->
+      Corrupt
+        { src = proc; dst = pick_other proc; round = pick_round (); bit = Rng.int rng 4096 }
+    | 4 ->
+      let first = pick_round () in
+      Equivocate { proc; first; last = first + Rng.int rng 10; salt = Rng.int rng 97 }
+    | _ -> Advice_flip { proc; bit = Rng.int rng n }
+  in
+  List.init count (fun _ ->
+      match faulty_l with
+      | [] -> network_fault ()
+      | _ :: _ ->
+        if Rng.int rng 4 = 0 then network_fault ()
+        else byzantine_fault (Rng.pick rng faulty_l))

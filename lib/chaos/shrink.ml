@@ -1,0 +1,48 @@
+(* Zeller-Hildebrandt delta debugging (ddmin) over lists, used to
+   reduce a violating fault schedule to a minimal reproducing one. The
+   procedure is deterministic: candidate order depends only on the input
+   list, so a shrink replays identically from the same seed. *)
+
+(* Split [lst] into [n] contiguous chunks, sizes differing by at most 1. *)
+let chunks lst n =
+  let len = List.length lst in
+  let base = len / n and extra = len mod n in
+  let rec take k l acc =
+    if k = 0 then (List.rev acc, l)
+    else match l with [] -> (List.rev acc, []) | x :: tl -> take (k - 1) tl (x :: acc)
+  in
+  let rec go lst i acc =
+    if i >= n then List.rev acc
+    else
+      let size = base + if i < extra then 1 else 0 in
+      let c, rest = take size lst [] in
+      go rest (i + 1) (c :: acc)
+  in
+  go lst 0 []
+
+(* [minimize ~check lst] assumes [check lst = true] ("still violates")
+   and greedily searches subsets and complements at doubling
+   granularity, returning a 1-chunk-minimal sublist on which [check]
+   still holds. Worst case O(len^2) calls to [check]. *)
+let minimize ~check lst =
+  if check [] then []
+  else
+    let rec loop current n =
+      if List.length current <= 1 then current
+      else
+        let cs = chunks current n in
+        match List.find_opt check cs with
+        | Some c -> loop c 2
+        | None -> (
+          let complements =
+            List.mapi
+              (fun i _ -> List.concat (List.filteri (fun j _ -> j <> i) cs))
+              cs
+          in
+          match List.find_opt check complements with
+          | Some c -> loop c (max (n - 1) 2)
+          | None ->
+            let len = List.length current in
+            if n < len then loop current (min (2 * n) len) else current)
+    in
+    loop lst 2

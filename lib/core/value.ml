@@ -5,6 +5,7 @@ module type S = sig
   val compare : t -> t -> int
   val pp : t Fmt.t
   val encode : t -> string
+  val decode : string -> t option
 end
 
 module Int = struct
@@ -14,6 +15,7 @@ module Int = struct
   let compare = Int.compare
   let pp = Fmt.int
   let encode = string_of_int
+  let decode = int_of_string_opt
 end
 
 module Bool = struct
@@ -23,6 +25,7 @@ module Bool = struct
   let compare = Bool.compare
   let pp = Fmt.bool
   let encode b = if b then "1" else "0"
+  let decode = function "1" -> Some true | "0" -> Some false | _ -> None
 end
 
 module String = struct
@@ -32,4 +35,5 @@ module String = struct
   let compare = String.compare
   let pp = Fmt.string
   let encode s = s
+  let decode s = Some s
 end

@@ -14,6 +14,12 @@ module type S = sig
 
   val encode : t -> string
   (** Injective canonical encoding (used as signature payload). *)
+
+  val decode : string -> t option
+  (** Total left inverse of [encode]: [decode (encode v) = Some v], and
+      [None] on any string outside [encode]'s image that the domain can
+      detect. Used by the wire codec and the chaos layer's corruption
+      injector, so it must never raise. *)
 end
 
 module Int : S with type t = int

@@ -113,6 +113,24 @@ module type S = sig
       complexity accounting: values cost their canonical encoding,
       signatures a constant 256 bits, identifiers and tags 32 bits. *)
 
+  (* Byte-level codec for the signature-free messages, used by the chaos
+     layer's corruption injector (flip bits in the encoded bytes, then
+     decode what survives). Signature-carrying messages have no codec:
+     signatures are unforgeable capabilities with deliberately no decoder
+     (see {!Pki.encode}), which models the fact that a corrupted signed
+     message can never verify and is therefore equivalent to a drop. *)
+
+  val encode_plain : t -> string option
+  (** [Some bytes] for [Advice], [Gc_init], [Gc_echo], [Conc] and
+      [King]; [None] for the signature-carrying constructors. *)
+
+  val decode_plain : string -> t option
+  (** Total inverse: [decode_plain bytes] is [Some m] iff [bytes] is
+      exactly [encode_plain m]'s output for some [m] (up to the value
+      domain's own [decode] laxity). Never raises, whatever the input —
+      corrupted bytes must fail cleanly, not leak exceptions into
+      protocol code. *)
+
   val pp : t Fmt.t
 end
 
@@ -334,6 +352,86 @@ module Make (V : Value.S) : S with type value = V.t = struct
     | Bb_chain (_, _, chain) -> (2 * id_bits) + chain_bits chain
     | Ds_chain (_, _, chain) -> (2 * id_bits) + ds_chain_bits chain
     | Final_value (_, v, cert) -> id_bits + value_bits v + committee_cert_bits cert
+
+  (* -- plain-message codec -- *)
+
+  let encode_plain = function
+    | Advice a -> Some (Encode.str "A" ^ Encode.str (Advice.to_bits a))
+    | Gc_init (tag, v) ->
+      Some (Encode.str "I" ^ Encode.int tag ^ Encode.str (V.encode v))
+    | Gc_echo (tag, v) ->
+      Some (Encode.str "E" ^ Encode.int tag ^ Encode.str (V.encode v))
+    | King (tag, v) ->
+      Some (Encode.str "K" ^ Encode.int tag ^ Encode.str (V.encode v))
+    | Conc (tag, v, l) ->
+      Some
+        (Encode.str "C" ^ Encode.int tag ^ Encode.str (V.encode v)
+        ^ String.concat "" (List.map Encode.int l))
+    | Gcast_init _ | Gcast_echo _ | Gcast_report _ | Committee_vote _ | Bb_chain _
+    | Ds_chain _ | Final_value _ ->
+      None
+
+  (* Netstring reader matching {!Encode}'s <len>:<bytes> fields. *)
+  let read_field s pos =
+    let len = String.length s in
+    let rec digits i acc count =
+      if i >= len || count > 9 then None
+      else
+        match s.[i] with
+        | '0' .. '9' -> digits (i + 1) ((acc * 10) + (Char.code s.[i] - 48)) (count + 1)
+        | ':' when count > 0 -> Some (i + 1, acc)
+        | _ -> None
+    in
+    match digits pos 0 0 with
+    | None -> None
+    | Some (start, flen) ->
+      if flen < 0 || start + flen > len then None
+      else Some (String.sub s start flen, start + flen)
+
+  let ( let* ) = Option.bind
+
+  let read_int s pos =
+    let* raw, pos = read_field s pos in
+    let* i = int_of_string_opt raw in
+    Some (i, pos)
+
+  let read_value s pos =
+    let* raw, pos = read_field s pos in
+    let* v = V.decode raw in
+    Some (v, pos)
+
+  let rec read_ints s pos acc =
+    if pos = String.length s then Some (List.rev acc)
+    else
+      let* i, pos = read_int s pos in
+      read_ints s pos (i :: acc)
+
+  let decode_plain s =
+    let finish pos m = if pos = String.length s then Some m else None in
+    let* kind, pos = read_field s 0 in
+    match kind with
+    | "A" ->
+      let* raw, pos = read_field s pos in
+      let* a = Advice.of_bits raw in
+      finish pos (Advice a)
+    | "I" ->
+      let* tag, pos = read_int s pos in
+      let* v, pos = read_value s pos in
+      finish pos (Gc_init (tag, v))
+    | "E" ->
+      let* tag, pos = read_int s pos in
+      let* v, pos = read_value s pos in
+      finish pos (Gc_echo (tag, v))
+    | "K" ->
+      let* tag, pos = read_int s pos in
+      let* v, pos = read_value s pos in
+      finish pos (King (tag, v))
+    | "C" ->
+      let* tag, pos = read_int s pos in
+      let* v, pos = read_value s pos in
+      let* l = read_ints s pos [] in
+      Some (Conc (tag, v, l))
+    | _ -> None
 
   let pp ppf = function
     | Advice a -> Fmt.pf ppf "Advice(%a)" Advice.pp a

@@ -34,6 +34,22 @@ let error_positions ~truth a =
   done;
   !acc
 
+let to_bits a =
+  String.init (Array.length a) (fun j -> if a.(j) then '1' else '0')
+
+let of_bits s =
+  let ok = ref true in
+  let a =
+    Array.init (String.length s) (fun j ->
+        match s.[j] with
+        | '1' -> true
+        | '0' -> false
+        | _ ->
+          ok := false;
+          false)
+  in
+  if !ok then Some a else None
+
 let of_bool_array a = Array.copy a
 let to_bool_array a = Array.copy a
 let equal a b = a = b

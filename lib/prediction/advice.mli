@@ -27,6 +27,13 @@ val errors_against : truth:t -> t -> int
 val error_positions : truth:t -> t -> int list
 (** Indices of the incorrect bits, ascending. *)
 
+val to_bits : t -> string
+(** The 0/1 string of {!pp}, as a value: wire encoding of a vector. *)
+
+val of_bits : string -> t option
+(** Inverse of {!to_bits}; [None] if any character is not ['0']/['1'].
+    Never raises (used on corrupted wire bytes). *)
+
 val of_bool_array : bool array -> t
 val to_bool_array : t -> bool array
 val equal : t -> t -> bool

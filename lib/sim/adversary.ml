@@ -63,6 +63,30 @@ let rewrite name f =
         handlers ~filter ());
   }
 
+let compose = function
+  | [] -> passive
+  | [ a ] -> a
+  | advs ->
+    {
+      name = String.concat "+" (List.map (fun a -> a.name) advs);
+      make =
+        (fun ~n ~faulty ->
+          let hs = List.map (fun a -> a.make ~n ~faulty) advs in
+          let filter view ~src outbox recipient =
+            let outbox =
+              List.fold_left
+                (fun outbox h dst -> h.filter view ~src outbox dst)
+                outbox hs
+            in
+            outbox recipient
+          in
+          let inject view = List.concat_map (fun h -> h.inject view) hs in
+          let filter_in view ~dst ~src msgs =
+            List.fold_left (fun msgs h -> h.filter_in view ~dst ~src msgs) msgs hs
+          in
+          { filter; inject; filter_in });
+    }
+
 let custom name step =
   {
     name;

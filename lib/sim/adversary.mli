@@ -71,6 +71,16 @@ val rewrite : string -> ('msg view -> src:int -> dst:int -> 'msg -> 'msg list) -
 (** [rewrite name f] applies [f] to every puppet message; [f] may drop
     (return []), keep, modify or multiply a message. *)
 
+val compose : 'msg t list -> 'msg t
+(** [compose advs] chains the adversaries left to right: each [filter]
+    (and [filter_in]) sees the previous one's output as its input, and
+    the [inject] lists are concatenated in order. [compose \[\]] is
+    {!passive}. Because a later filter re-reads the earlier ones'
+    outboxes, the per-recipient "called exactly once" guarantee of the
+    runtime holds only for the whole composition; individual stages must
+    therefore be effect-free (every combinator in this library and in
+    [Bap_chaos] is). *)
+
 val custom : string -> (n:int -> faulty:int array -> 'msg view -> 'msg send list) -> 'msg t
 (** Fully scripted adversary: puppets are muted and every faulty message
     comes from the supplied function. *)

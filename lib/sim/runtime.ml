@@ -34,6 +34,7 @@ module type S = sig
     ?max_rounds:int ->
     ?trace:msg Trace.t ->
     ?msg_size:(msg -> int) ->
+    ?network:(round:int -> src:int -> dst:int -> msg list -> msg list) ->
     n:int ->
     faulty:int array ->
     adversary:msg Adversary.t ->
@@ -103,7 +104,7 @@ module Make (M : MSG) : S with type msg = M.t = struct
             | _ -> None);
       }
 
-  let run ?(max_rounds = 100_000) ?trace ?msg_size ~n ~faulty ~adversary body =
+  let run ?(max_rounds = 100_000) ?trace ?msg_size ?network ~n ~faulty ~adversary body =
     let is_faulty = Array.make n false in
     Array.iter
       (fun i ->
@@ -179,10 +180,34 @@ module Make (M : MSG) : S with type msg = M.t = struct
       done;
       List.iter
         (fun { Adversary.src; dst; payload } ->
-          if src < 0 || src >= n || not is_faulty.(src) then
-            invalid_arg "Runtime.run: adversary injected from a non-faulty source";
-          if dst >= 0 && dst < n then eff_out.(src).(dst) <- eff_out.(src).(dst) @ [ payload ])
+          (* Reject bad injections loudly: silently accepting a send from
+             an honest id would let a buggy adversary forge honest
+             behaviour and corrupt every message-complexity metric. *)
+          if src < 0 || src >= n then
+            invalid_arg
+              (Printf.sprintf
+                 "Runtime.run: adversary injected from out-of-range source %d (round %d)"
+                 src !round);
+          if not is_faulty.(src) then
+            invalid_arg
+              (Printf.sprintf
+                 "Runtime.run: adversary injected from non-faulty source %d (round %d)"
+                 src !round);
+          if dst < 0 || dst >= n then
+            invalid_arg
+              (Printf.sprintf
+                 "Runtime.run: adversary injected to out-of-range destination %d (round %d)"
+                 dst !round);
+          eff_out.(src).(dst) <- eff_out.(src).(dst) @ [ payload ])
         (handlers.Adversary.inject view);
+      (match network with
+      | None -> ()
+      | Some perturb ->
+        for src = 0 to n - 1 do
+          for dst = 0 to n - 1 do
+            eff_out.(src).(dst) <- perturb ~round:!round ~src ~dst eff_out.(src).(dst)
+          done
+        done);
       let this_round = ref 0 in
       for src = 0 to n - 1 do
         for dst = 0 to n - 1 do

@@ -79,6 +79,7 @@ module type S = sig
     ?max_rounds:int ->
     ?trace:msg Trace.t ->
     ?msg_size:(msg -> int) ->
+    ?network:(round:int -> src:int -> dst:int -> msg list -> msg list) ->
     n:int ->
     faulty:int array ->
     adversary:msg Adversary.t ->
@@ -89,10 +90,22 @@ module type S = sig
       adversary rewrites or replaces (see {!Adversary}). The run ends when
       every honest process has returned.
 
+      [network] is the fault-injection hook of the chaos layer: after the
+      adversary has fixed the round's traffic, [network ~round ~src ~dst
+      msgs] rewrites the messages in flight on every directed edge
+      (including self-delivery edges — leave those untouched to stay
+      within the synchronous model). It runs before metric accounting and
+      trace recording, so both reflect what was actually delivered.
+      Perturbing honest-to-honest edges beyond reordering or duplication
+      steps outside the paper's reliable-channel model; the chaos layer's
+      schedule generator keeps inside it, but the hook itself is
+      deliberately unrestricted so tests can probe the envelope.
+
       @raise Round_limit_exceeded after [max_rounds] (default 100_000)
       rounds with honest processes still running.
       @raise Invalid_argument if a faulty id is out of range or the
-      adversary injects a message from a non-faulty source. *)
+      adversary injects a message from a non-faulty or out-of-range
+      source, or to an out-of-range destination. *)
 
   val honest_decisions : 'r outcome -> (int * 'r) list
   (** Decisions of the honest processes, as [(id, value)] pairs. *)

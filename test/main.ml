@@ -31,6 +31,7 @@ let () =
       ("value-predictions", Test_value_predictions.suite);
       ("differential", Test_differential.suite);
       ("wire-fuzz", Test_wire_fuzz.suite);
+      ("chaos", Test_chaos.suite);
       ("determinism", Test_determinism.suite);
       ("ablation", Test_ablation.suite);
       ("scaling", Test_scaling.suite);

@@ -93,9 +93,74 @@ let test_inject_validation () =
         [ { Adversary.src = 1; dst = 0; payload = "forged" } ])
   in
   Alcotest.check_raises "non-faulty source rejected"
-    (Invalid_argument "Runtime.run: adversary injected from a non-faulty source")
+    (Invalid_argument "Runtime.run: adversary injected from non-faulty source 1 (round 1)")
     (fun () ->
       ignore (run ~n:3 ~faulty:[| 2 |] ~adversary:bad (fun ctx -> R.silent_round ctx)))
+
+let test_inject_src_out_of_range () =
+  let bad =
+    Adversary.custom "bad" (fun ~n:_ ~faulty:_ _view ->
+        [ { Adversary.src = 7; dst = 0; payload = "forged" } ])
+  in
+  Alcotest.check_raises "out-of-range source rejected"
+    (Invalid_argument
+       "Runtime.run: adversary injected from out-of-range source 7 (round 1)")
+    (fun () ->
+      ignore (run ~n:3 ~faulty:[| 2 |] ~adversary:bad (fun ctx -> R.silent_round ctx)))
+
+let test_inject_dst_out_of_range () =
+  (* Previously dropped silently; now a loud error. *)
+  let bad =
+    Adversary.custom "bad" (fun ~n:_ ~faulty:_ _view ->
+        [ { Adversary.src = 2; dst = -1; payload = "lost" } ])
+  in
+  Alcotest.check_raises "out-of-range destination rejected"
+    (Invalid_argument
+       "Runtime.run: adversary injected to out-of-range destination -1 (round 1)")
+    (fun () ->
+      ignore (run ~n:3 ~faulty:[| 2 |] ~adversary:bad (fun ctx -> R.silent_round ctx)))
+
+let test_network_hook () =
+  (* Drop edge 0 -> 1 in round 1, duplicate edge 0 -> 2; self-deliveries
+     and other edges untouched. Metrics must reflect post-hook traffic. *)
+  let network ~round ~src ~dst msgs =
+    if round = 1 && src = 0 && dst = 1 then []
+    else if round = 1 && src = 0 && dst = 2 then msgs @ msgs
+    else msgs
+  in
+  let outcome =
+    R.run ~network ~n:3 ~faulty:[||] ~adversary:Adversary.passive (fun ctx ->
+        let inbox = R.broadcast ctx "x" in
+        List.length inbox.(0))
+  in
+  Alcotest.(check (list (pair int int)))
+    "per-process deliveries from p0"
+    [ (0, 1); (1, 0); (2, 2) ]
+    (R.honest_decisions outcome);
+  (* p0: 1 (to p2 doubled... dropped to p1) -> 0 + 2 = 2; p1, p2: 2 each. *)
+  Alcotest.(check int) "accounting is post-hook" 6 outcome.R.honest_sent
+
+let test_compose_adversaries () =
+  (* First stage rewrites, second stage drops to one recipient: both
+     effects visible, applied left to right. *)
+  let upcase =
+    Adversary.rewrite "upcase" (fun _view ~src:_ ~dst:_ m ->
+        [ String.uppercase_ascii m ])
+  in
+  let drop_to_0 =
+    Adversary.rewrite "drop0" (fun _view ~src:_ ~dst m -> if dst = 0 then [] else [ m ])
+  in
+  let outcome =
+    run ~n:3 ~faulty:[| 1 |]
+      ~adversary:(Adversary.compose [ upcase; drop_to_0 ])
+      (fun ctx ->
+        let inbox = R.broadcast ctx "hi" in
+        inbox.(1))
+  in
+  Alcotest.(check (list string)) "dropped for p0" []
+    (List.assoc 0 (R.honest_decisions outcome));
+  Alcotest.(check (list string)) "rewritten for p2" [ "HI" ]
+    (List.assoc 2 (R.honest_decisions outcome))
 
 let test_inject_delivery () =
   let chatty =
@@ -220,6 +285,12 @@ let suite =
     Alcotest.test_case "passive adversary follows protocol" `Quick
       test_passive_adversary_follows;
     Alcotest.test_case "inject from honest source rejected" `Quick test_inject_validation;
+    Alcotest.test_case "inject from out-of-range source rejected" `Quick
+      test_inject_src_out_of_range;
+    Alcotest.test_case "inject to out-of-range destination rejected" `Quick
+      test_inject_dst_out_of_range;
+    Alcotest.test_case "network hook perturbs edges" `Quick test_network_hook;
+    Alcotest.test_case "compose chains adversaries" `Quick test_compose_adversaries;
     Alcotest.test_case "inject delivers to target only" `Quick test_inject_delivery;
     Alcotest.test_case "rewrite adversary transforms" `Quick test_rewrite_adversary;
     Alcotest.test_case "filter_in affects only faulty inboxes" `Quick

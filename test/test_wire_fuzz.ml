@@ -141,4 +141,64 @@ let prop_ds_tamper_rejected =
       W.valid_ds_chain pki ~sender:0 ~length:len chain
       && not (W.valid_ds_chain pki ~sender:0 ~length:len tampered))
 
-let suite = [ prop_mutations_rejected; prop_ds_tamper_rejected ]
+(* -- plain-message codec under corruption -- *)
+
+module Injector = Bap_chaos.Injector.Make (V) (W)
+
+(* Random signature-free messages (the domain of [encode_plain]). *)
+let gen_plain rng =
+  let value () = Rng.int rng 100 in
+  let tag () = Rng.int rng 1000 in
+  match Rng.int rng 5 with
+  | 0 ->
+    let bits = String.init (1 + Rng.int rng 12) (fun _ -> if Rng.bool rng then '1' else '0') in
+    W.Advice (Option.get (Advice.of_bits bits))
+  | 1 -> W.Gc_init (tag (), value ())
+  | 2 -> W.Gc_echo (tag (), value ())
+  | 3 -> W.King (tag (), value ())
+  | _ -> W.Conc (tag (), value (), List.init (Rng.int rng 6) (fun _ -> Rng.int rng 50))
+
+let prop_plain_roundtrip =
+  qcheck ~count:200 ~name:"plain codec round-trips uncorrupted messages"
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let m = gen_plain rng in
+      match W.encode_plain m with
+      | None -> false
+      | Some bytes -> W.decode_plain bytes = Some m)
+
+let prop_corruption_total =
+  qcheck ~count:300 ~name:"corrupted payloads decode cleanly or drop, never raise"
+    QCheck2.Gen.(
+      let* seed = int_range 0 1_000_000 in
+      let* bit = int_range 0 8192 in
+      return (seed, bit))
+    (fun (seed, bit) ->
+      let rng = Rng.create seed in
+      let m = gen_plain rng in
+      match Injector.corrupt_msg ~bit m with
+      | None -> true (* garbled beyond parsing: clean drop *)
+      | Some m' ->
+        (* Whatever survives the bit-flip must itself be a well-formed
+           plain message: re-encoding and re-decoding is the identity. *)
+        (match W.encode_plain m' with
+        | None -> false
+        | Some bytes -> W.decode_plain bytes = Some m'))
+
+let prop_signed_always_drop =
+  qcheck ~count:50 ~name:"corrupting signature-carrying messages always drops"
+    QCheck2.Gen.(int_range 0 8192)
+    (fun bit ->
+      let pki = Pki.create ~n:4 in
+      let m = W.Committee_vote (7, Pki.sign (Pki.key pki 0) "payload") in
+      Injector.corrupt_msg ~bit m = None)
+
+let suite =
+  [
+    prop_mutations_rejected;
+    prop_ds_tamper_rejected;
+    prop_plain_roundtrip;
+    prop_corruption_total;
+    prop_signed_always_drop;
+  ]
