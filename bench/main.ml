@@ -1,14 +1,21 @@
 (* Benchmark harness.
 
-   Regenerates every experiment table (E1-E8, the reproduction of the
+   Regenerates every experiment table (E1-E13, the reproduction of the
    paper's theorems - see DESIGN.md and EXPERIMENTS.md), then runs
    Bechamel wall-clock micro-benchmarks, one per protocol of the paper.
 
-   Usage: dune exec bench/main.exe [-- --full | --tables-only | --bench-only]
-   Default is the quick sweep; --full runs the paper-sized sweeps. *)
+   Usage: dune exec bench/main.exe
+            [-- --full | --tables-only | --bench-only | --jobs N | --no-cache]
+   Default is the quick sweep; --full runs the paper-sized sweeps.
+   --jobs N fans the experiment cells out over N domains (lib/exec) and
+   additionally reports parallel-vs-serial wall-clock and speedup from
+   fresh uncached sweeps. *)
 
 open Bap_experiments.Common
 module Pki = Bap_crypto.Pki
+module Engine = Bap_exec.Engine
+module Pool = Bap_exec.Pool
+module Cache = Bap_exec.Cache
 
 let stage = Bechamel.Staged.stage
 
@@ -89,14 +96,45 @@ let run_benches () =
     (fun (name, ns) -> Printf.printf "%-45s %10.2f ms/execution\n" name (ns /. 1e6))
     (List.sort compare !rows)
 
+let int_flag args name ~default =
+  let rec find = function
+    | f :: v :: _ when f = name -> (
+      match int_of_string_opt v with Some n -> max 1 n | None -> default)
+    | _ :: rest -> find rest
+    | [] -> default
+  in
+  find args
+
 let () =
   let args = Array.to_list Sys.argv in
   let full = List.mem "--full" args in
   let tables_only = List.mem "--tables-only" args in
   let bench_only = List.mem "--bench-only" args in
+  let no_cache = List.mem "--no-cache" args in
+  let jobs = int_flag args "--jobs" ~default:1 in
+  let quick = not full in
   if not bench_only then begin
     Printf.printf "Experiment tables (E1-E13; see DESIGN.md and EXPERIMENTS.md)%s\n"
       (if full then " [full sweeps]" else " [quick sweeps; pass --full for paper-sized]");
-    Bap_experiments.Runner.run_all ~quick:(not full) ()
+    let cache = if no_cache then None else Some (Cache.create ~dir:Cache.default_dir ()) in
+    let stats =
+      Pool.with_pool ~jobs (fun pool ->
+          Bap_experiments.Runner.run_all ~quick ~pool ?cache ())
+    in
+    Printf.printf "\n== Experiment sweep wall-clock ==\n%s\n"
+      (Format.asprintf "%a" Engine.pp_stats stats);
+    if jobs > 1 then begin
+      (* Fresh, uncached sweeps in both modes: the honest speedup of the
+         work-stealing pool on this machine, unpolluted by cache hits. *)
+      let timed ~jobs =
+        Pool.with_pool ~jobs (fun pool ->
+            Bap_experiments.Runner.run_all ~quick ~pool ~render:false ())
+      in
+      let par = timed ~jobs in
+      let ser = timed ~jobs:1 in
+      Printf.printf "serial   (--jobs 1): %.2fs\nparallel (--jobs %d): %.2fs\nspeedup: %.2fx\n"
+        ser.Engine.wall jobs par.Engine.wall
+        (ser.Engine.wall /. Float.max 1e-9 par.Engine.wall)
+    end
   end;
   if not tables_only then run_benches ()

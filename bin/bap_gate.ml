@@ -1,0 +1,384 @@
+(* CLI: the bench-regression gate.
+
+   Runs a fixed, deterministic smoke sweep over both protocol stacks and
+   the no-prediction baselines — every cell an independent job fanned
+   out over the lib/exec domain pool — and compares the resulting
+   rounds/messages metrics against a committed baseline
+   (BENCH_BASELINE.json):
+
+   - any drift in a correctness-bearing metric (decided round, total
+     rounds, honest messages, agreement) FAILS the gate: the sweep is a
+     pure function of the seeds, so a changed number means changed
+     protocol behaviour, not noise;
+   - wall-clock is machine-dependent, so a >20% regression against the
+     baseline's reference time only WARNS (as a GitHub Actions
+     ::warning:: annotation when running in CI).
+
+   Usage:
+     dune exec bin/bap_gate.exe -- --write             # (re)generate baseline
+     dune exec bin/bap_gate.exe -- --check --jobs 2    # CI gate *)
+
+open Cmdliner
+module Pool = Bap_exec.Pool
+open Bap_experiments.Common
+
+type metrics = {
+  id : string;
+  decided : int; (* first decision round; -1 where not applicable *)
+  rounds : int;
+  msgs : int;
+  ok : bool;
+}
+
+(* ---------- the probe sweep ---------- *)
+
+let unauth_cell ~n ~f ~m () =
+  let t = (n - 1) / 3 in
+  let rng = Rng.create ((61 * f) + (7 * m) + n) in
+  let w = make_workload ~rng ~n ~t ~f ~target_misclassified:m () in
+  let adversary =
+    Adv.adaptive_splitter ~n_minus_t:(n - t) ~junk:(fun r -> -1_000_000 - r)
+  in
+  let d, rounds, msgs, ok, _ = run_unauth ~adversary w in
+  { id = Printf.sprintf "unauth,n=%d,f=%d,m=%d" n f m; decided = d; rounds; msgs; ok }
+
+let auth_cell ~n ~f ~m () =
+  let t = max 1 ((9 * n / 20) - 1) in
+  let rng = Rng.create ((53 * f) + (11 * m) + n) in
+  let w = make_workload ~rng ~n ~t ~f ~target_misclassified:m () in
+  let adversary pki = Adv.prediction_attacker_auth ~pki ~v0:0 ~v1:1 in
+  let d, rounds, msgs, ok, _ = run_auth ~adversary w in
+  { id = Printf.sprintf "auth,n=%d,f=%d,m=%d" n f m; decided = d; rounds; msgs; ok }
+
+let baseline_cell ~proto ~n ~f () =
+  let t = (n - 1) / 3 in
+  let rng = Rng.create (19 * n + f) in
+  let w = make_workload ~rng ~n ~t ~f ~target_misclassified:0 () in
+  let r =
+    match proto with
+    | `Es ->
+      B.run_early_stopping ~t ~faulty:w.faulty ~inputs:w.inputs
+        ~adversary:Bap_sim.Adversary.silent ()
+    | `Pk ->
+      B.run_phase_king ~t ~faulty:w.faulty ~inputs:w.inputs
+        ~adversary:Bap_sim.Adversary.silent ()
+  in
+  {
+    id =
+      Printf.sprintf "%s,n=%d,f=%d" (match proto with `Es -> "es" | `Pk -> "pk") n f;
+    decided = r.B.decided_round;
+    rounds = r.B.rounds;
+    msgs = r.B.messages;
+    ok = r.B.agreement;
+  }
+
+let sweep_cells () =
+  List.concat
+    [
+      List.concat_map
+        (fun n ->
+          let t = (n - 1) / 3 in
+          List.concat_map
+            (fun f -> List.map (fun m -> unauth_cell ~n ~f ~m) [ 0; 2 ])
+            [ 0; t / 2; t ])
+        [ 16; 25; 31 ];
+      List.concat_map
+        (fun n ->
+          let t = max 1 ((9 * n / 20) - 1) in
+          List.concat_map
+            (fun f -> List.map (fun m -> auth_cell ~n ~f ~m) [ 0; 2 ])
+            [ 0; t / 2 ])
+        [ 11; 17 ];
+      List.concat_map
+        (fun proto ->
+          List.map (fun f -> baseline_cell ~proto ~n:25 ~f) [ 0; 4 ])
+        [ `Es; `Pk ];
+    ]
+
+let run_sweep ~jobs =
+  let cells = Array.of_list (sweep_cells ()) in
+  let t0 = Unix.gettimeofday () in
+  let results =
+    Pool.with_pool ~jobs (fun pool -> Pool.run_all pool cells)
+  in
+  let wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  let metrics =
+    Array.to_list results
+    |> List.map (function Ok m -> m | Error e -> raise e)
+  in
+  (metrics, wall_ms)
+
+(* ---------- JSON (hand-rolled: no json dependency in the image) ---------- *)
+
+let json_of ~metrics ~wall_ms =
+  let cell m =
+    Printf.sprintf
+      "    {\"id\": %S, \"decided\": %d, \"rounds\": %d, \"msgs\": %d, \"ok\": %b}"
+      m.id m.decided m.rounds m.msgs m.ok
+  in
+  Printf.sprintf
+    "{\n  \"version\": 1,\n  \"wall_ms\": %.1f,\n  \"cells\": [\n%s\n  ]\n}\n" wall_ms
+    (String.concat ",\n" (List.map cell metrics))
+
+(* Minimal recursive-descent parser for the subset we emit. *)
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  exception Parse of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected %c" c)
+    in
+    let literal word v =
+      String.iter expect word;
+      v
+    in
+    let string_lit () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some 'n' -> Buffer.add_char b '\n'
+          | Some 't' -> Buffer.add_char b '\t'
+          | Some 'r' -> Buffer.add_char b '\r'
+          | Some (('"' | '\\' | '/') as c) -> Buffer.add_char b c
+          | _ -> fail "unsupported escape");
+          advance ();
+          go ()
+        | Some c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+      in
+      go ();
+      Buffer.contents b
+    in
+    let number () =
+      let start = !pos in
+      let is_num c =
+        (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+      in
+      while (match peek () with Some c when is_num c -> true | _ -> false) do
+        advance ()
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> f
+      | None -> fail "bad number"
+    in
+    let rec value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (advance (); Obj [])
+        else
+          let rec fields acc =
+            skip_ws ();
+            let k = string_lit () in
+            skip_ws ();
+            expect ':';
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              fields ((k, v) :: acc)
+            | Some '}' ->
+              advance ();
+              Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected , or }"
+          in
+          fields []
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (advance (); List [])
+        else
+          let rec items acc =
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              items (v :: acc)
+            | Some ']' ->
+              advance ();
+              List (List.rev (v :: acc))
+            | _ -> fail "expected , or ]"
+          in
+          items []
+      | Some '"' -> Str (string_lit ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> Num (number ())
+      | None -> fail "unexpected end of input"
+    in
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let member k = function
+    | Obj fields -> List.assoc_opt k fields
+    | _ -> None
+
+  let to_int = function Some (Num f) -> Some (int_of_float f) | _ -> None
+  let to_float = function Some (Num f) -> Some f | _ -> None
+  let to_bool = function Some (Bool b) -> Some b | _ -> None
+  let to_string = function Some (Str s) -> Some s | _ -> None
+  let to_list = function Some (List l) -> Some l | _ -> None
+end
+
+let parse_baseline text =
+  let open Json in
+  let j = parse text in
+  let wall_ms = to_float (member "wall_ms" j) in
+  let cells =
+    match to_list (member "cells" j) with
+    | None -> invalid_arg "baseline: missing cells"
+    | Some cs ->
+      List.map
+        (fun c ->
+          match
+            ( to_string (member "id" c),
+              to_int (member "decided" c),
+              to_int (member "rounds" c),
+              to_int (member "msgs" c),
+              to_bool (member "ok" c) )
+          with
+          | Some id, Some decided, Some rounds, Some msgs, Some ok ->
+            { id; decided; rounds; msgs; ok }
+          | _ -> invalid_arg "baseline: malformed cell")
+        cs
+  in
+  (cells, wall_ms)
+
+(* ---------- the gate ---------- *)
+
+let in_ci () = Sys.getenv_opt "GITHUB_ACTIONS" = Some "true"
+
+let warn fmt =
+  Printf.ksprintf
+    (fun msg ->
+      if in_ci () then Printf.printf "::warning title=bench-regression::%s\n" msg
+      else Printf.printf "WARNING: %s\n" msg)
+    fmt
+
+let check ~baseline_file ~jobs =
+  let text =
+    let ic = open_in_bin baseline_file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let expected, base_wall = parse_baseline text in
+  let actual, wall_ms = run_sweep ~jobs in
+  let drift = ref [] in
+  let index = List.map (fun m -> (m.id, m)) actual in
+  List.iter
+    (fun e ->
+      match List.assoc_opt e.id index with
+      | None -> drift := Printf.sprintf "cell %s: missing from sweep" e.id :: !drift
+      | Some a ->
+        if (a.decided, a.rounds, a.msgs, a.ok) <> (e.decided, e.rounds, e.msgs, e.ok)
+        then
+          drift :=
+            Printf.sprintf
+              "cell %s: (decided,rounds,msgs,ok) = (%d,%d,%d,%b), baseline (%d,%d,%d,%b)"
+              e.id a.decided a.rounds a.msgs a.ok e.decided e.rounds e.msgs e.ok
+            :: !drift)
+    expected;
+  List.iter
+    (fun a ->
+      if not (List.exists (fun e -> e.id = a.id) expected) then
+        drift := Printf.sprintf "cell %s: not in baseline (run --write?)" a.id :: !drift)
+    actual;
+  Printf.printf "bap_gate: %d cells in %.0f ms (--jobs %d), baseline %s\n"
+    (List.length actual) wall_ms jobs baseline_file;
+  (match base_wall with
+  | Some base when wall_ms > 1.2 *. base ->
+    warn "wall-clock %.0f ms is %.0f%% over the baseline's %.0f ms reference" wall_ms
+      ((wall_ms /. base -. 1.) *. 100.)
+      base
+  | _ -> ());
+  match List.rev !drift with
+  | [] ->
+    Printf.printf "ok: all %d correctness metrics match the baseline\n"
+      (List.length expected);
+    0
+  | ds ->
+    List.iter (fun d -> Printf.printf "DRIFT %s\n" d) ds;
+    Printf.printf "FAILED: %d cell(s) drifted from %s\n" (List.length ds) baseline_file;
+    1
+
+let write ~baseline_file ~jobs =
+  let metrics, wall_ms = run_sweep ~jobs in
+  let oc = open_out_bin baseline_file in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (json_of ~metrics ~wall_ms));
+  Printf.printf "bap_gate: wrote %d cells to %s (%.0f ms)\n" (List.length metrics)
+    baseline_file wall_ms;
+  0
+
+let run mode baseline_file jobs =
+  let jobs = max 1 jobs in
+  match mode with
+  | `Write -> write ~baseline_file ~jobs
+  | `Check -> check ~baseline_file ~jobs
+
+let cmd =
+  let mode =
+    Arg.(
+      value
+      & vflag `Check
+          [
+            (`Check, info [ "check" ] ~doc:"Compare the sweep against the baseline (default).");
+            (`Write, info [ "write" ] ~doc:"Regenerate the baseline file from this machine.");
+          ])
+  in
+  let baseline =
+    Arg.(
+      value
+      & opt string "BENCH_BASELINE.json"
+      & info [ "baseline" ] ~docv:"FILE" ~doc:"Baseline file.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Worker domains for the sweep.")
+  in
+  Cmd.v
+    (Cmd.info "bap_gate"
+       ~doc:"Bench-regression gate: deterministic smoke sweep vs committed baseline")
+    Term.(const run $ mode $ baseline $ jobs)
+
+let () = exit (Cmd.eval' cmd)

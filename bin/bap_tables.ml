@@ -1,23 +1,44 @@
-(* CLI: regenerate the experiment tables (E1-E8, see DESIGN.md and
+(* CLI: regenerate the experiment tables (E1-E13, see DESIGN.md and
    EXPERIMENTS.md).
+
+   Every experiment cell is an independent deterministic job, so the
+   sweep fans out over a work-stealing domain pool and memoises cell
+   results content-addressed under results/cache/ (keyed on the binary's
+   digest: rebuilding invalidates, re-running hits). The tables on
+   stdout are byte-identical whatever --jobs or the cache state; timing
+   goes to stderr.
 
    Examples:
      dune exec bin/bap_tables.exe                 # quick sweeps
      dune exec bin/bap_tables.exe -- --full       # paper-sized sweeps
-     dune exec bin/bap_tables.exe -- --only E5 *)
+     dune exec bin/bap_tables.exe -- --full --jobs 8
+     dune exec bin/bap_tables.exe -- --only E5 --no-cache *)
 
 open Cmdliner
+module Engine = Bap_exec.Engine
+module Pool = Bap_exec.Pool
+module Cache = Bap_exec.Cache
 
-let run full only =
+let run full only jobs no_cache cache_dir =
   let quick = not full in
-  match only with
-  | None -> Bap_experiments.Runner.run_all ~quick ()
-  | Some id ->
-    if not (Bap_experiments.Runner.run_one ~quick id) then begin
-      Fmt.epr "unknown experiment %S; known: %s@." id
-        (String.concat ", " (List.map (fun (i, _, _) -> i) Bap_experiments.Runner.all));
-      exit 1
-    end
+  let jobs = match jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
+  let cache = if no_cache then None else Some (Cache.create ~dir:cache_dir ()) in
+  Pool.with_pool ~jobs (fun pool ->
+      let stats =
+        match only with
+        | None -> Some (Bap_experiments.Runner.run_all ~quick ~pool ?cache ())
+        | Some id -> (
+          match Bap_experiments.Runner.run_one ~quick ~pool ?cache id with
+          | Some stats -> Some stats
+          | None ->
+            Fmt.epr "unknown experiment %S; known: %s@." id
+              (String.concat ", "
+                 (List.map (fun (i, _, _) -> i) Bap_experiments.Runner.all));
+            exit 1)
+      in
+      Option.iter
+        (fun s -> Fmt.epr "[exec] %a@." (fun ppf -> Engine.pp_stats ppf) s)
+        stats)
 
 let cmd =
   let full =
@@ -27,10 +48,30 @@ let cmd =
     Arg.(
       value
       & opt (some string) None
-      & info [ "only" ] ~doc:"Run a single experiment (E1..E8).")
+      & info [ "only" ] ~doc:"Run a single experiment (E1..E13).")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Worker domains for the cell sweep (default: the recommended \
+             domain count of this machine). 1 forces the serial path.")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ] ~doc:"Recompute every cell, bypassing the result cache.")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt string Cache.default_dir
+      & info [ "cache-dir" ] ~docv:"DIR" ~doc:"Result cache directory.")
   in
   Cmd.v
     (Cmd.info "bap_tables" ~doc:"Regenerate the reproduction experiment tables")
-    Term.(const run $ full $ only)
+    Term.(const run $ full $ only $ jobs $ no_cache $ cache_dir)
 
 let () = exit (Cmd.eval cmd)

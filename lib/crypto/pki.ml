@@ -1,8 +1,11 @@
 (* Signatures are unforgeable by construction: the [signature] type is
    abstract and its only constructor, [sign], demands the signer's [key].
-   The per-PKI [universe] stamp prevents replay across executions. *)
+   The per-PKI [universe] stamp prevents replay across executions. The
+   counter is atomic because executions run concurrently on multiple
+   domains (lib/exec): with a plain ref, two racing [create]s could mint
+   the same universe and signatures would replay across them. *)
 
-let next_universe = ref 0
+let next_universe = Atomic.make 0
 
 type t = { universe : int; size : int }
 type key = { key_universe : int; owner : int }
@@ -10,8 +13,7 @@ type signature = { sig_universe : int; sig_signer : int; sig_payload : string }
 
 let create ~n =
   if n <= 0 then invalid_arg "Pki.create: n must be positive";
-  incr next_universe;
-  { universe = !next_universe; size = n }
+  { universe = Atomic.fetch_and_add next_universe 1 + 1; size = n }
 
 let n t = t.size
 

@@ -1,0 +1,104 @@
+type rows = string list list
+
+type t = { root : string; fingerprint : string }
+
+let default_dir = Filename.concat "results" "cache"
+
+let code_fingerprint () =
+  match Digest.file Sys.executable_name with
+  | d -> Digest.to_hex d
+  | exception _ -> "no-executable-fingerprint"
+
+let rec mkdir_p d =
+  if not (Sys.file_exists d) then begin
+    mkdir_p (Filename.dirname d);
+    try Sys.mkdir d 0o755 with Sys_error _ -> ()
+  end
+
+let create ?fingerprint ~dir () =
+  let fingerprint =
+    match fingerprint with Some f -> f | None -> code_fingerprint ()
+  in
+  (try mkdir_p dir with _ -> ());
+  { root = dir; fingerprint }
+
+let dir t = t.root
+
+let key t ~exp_id ~scope ~cell_key =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00" [ t.fingerprint; exp_id; scope; cell_key ]))
+
+let path t k = Filename.concat t.root (k ^ ".rows")
+
+(* Entry format, line oriented:
+     bap-cache 1
+     <number of rows>
+     <field-count>TAB<escaped field>TAB...   (one line per row)
+   Fields go through String.escaped, which escapes tabs and newlines, so
+   splitting on the literal TAB is unambiguous. *)
+
+let magic = "bap-cache 1"
+
+let encode rows =
+  let b = Buffer.create 256 in
+  Buffer.add_string b magic;
+  Buffer.add_char b '\n';
+  Buffer.add_string b (string_of_int (List.length rows));
+  Buffer.add_char b '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string b
+        (String.concat "\t"
+           (string_of_int (List.length row) :: List.map String.escaped row));
+      Buffer.add_char b '\n')
+    rows;
+  Buffer.contents b
+
+let decode s =
+  match String.split_on_char '\n' s with
+  | m :: count :: rest when String.equal m magic -> (
+    match int_of_string_opt count with
+    | None -> None
+    | Some nrows when nrows >= 0 && List.length rest >= nrows ->
+      let parse_row line =
+        match String.split_on_char '\t' line with
+        | count :: fields -> (
+          match int_of_string_opt count with
+          | Some c when c = List.length fields -> (
+            try Some (List.map Scanf.unescaped fields) with _ -> None)
+          | _ -> None)
+        | [] -> None
+      in
+      let rec take k = function
+        | _ when k = 0 -> Some []
+        | [] -> None
+        | l :: ls -> (
+          match (parse_row l, take (k - 1) ls) with
+          | Some row, Some rows -> Some (row :: rows)
+          | _ -> None)
+      in
+      take nrows rest
+    | Some _ -> None)
+  | _ -> None
+
+let read_file p =
+  let ic = open_in_bin p in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let find t k =
+  let p = path t k in
+  if Sys.file_exists p then (try decode (read_file p) with _ -> None) else None
+
+let store t k rows =
+  try
+    mkdir_p t.root;
+    let tmp = Filename.temp_file ~temp_dir:t.root "cell" ".tmp" in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc (encode rows));
+    Sys.rename tmp (path t k)
+  with _ -> ()

@@ -1,0 +1,40 @@
+(** Content-addressed cache of experiment-cell results.
+
+    A cell's address is the MD5 of (code fingerprint, experiment id,
+    scope, cell key). The code fingerprint defaults to the digest of the
+    running executable, so rebuilding with different code invalidates
+    every entry while re-running the same binary hits; experiments never
+    need to declare which code they depend on. Entries live one per file
+    under the cache directory ([results/cache/] by default) in a plain
+    line-oriented text format, and are written atomically (temp file +
+    rename) so concurrent writers of the same key cannot tear an
+    entry. *)
+
+type t
+
+type rows = string list list
+(** The table rows a cell produced. *)
+
+val code_fingerprint : unit -> string
+(** Digest of [Sys.executable_name] (hex). Falls back to a constant when
+    the executable cannot be read (e.g. self-deleted binary). *)
+
+val default_dir : string
+(** ["results/cache"]. *)
+
+val create : ?fingerprint:string -> dir:string -> unit -> t
+(** Open (and create if needed) a cache rooted at [dir].
+    [fingerprint] overrides the code fingerprint — tests use this to
+    exercise invalidation. *)
+
+val dir : t -> string
+
+val key : t -> exp_id:string -> scope:string -> cell_key:string -> string
+(** Stable hex address of one cell under the cache's fingerprint. *)
+
+val find : t -> string -> rows option
+(** Lookup by {!key}. Corrupt or unreadable entries behave as misses. *)
+
+val store : t -> string -> rows -> unit
+(** Persist a cell result. Best-effort: an unwritable cache directory
+    degrades to "no caching" rather than failing the run. *)

@@ -1,0 +1,95 @@
+type stats = {
+  total_cells : int;
+  cache_hits : int;
+  executed : int;
+  jobs : int;
+  wall : float;
+}
+
+(* A cell of some plan, flattened into the global batch. *)
+type slot = {
+  plan_idx : int;
+  cell : Plan.cell;
+  addr : string option; (* cache address, when a cache is in play *)
+  mutable result : Plan.row list option; (* None until computed *)
+}
+
+let run ?pool ?(cache : Cache.t option) ?(render = true) (plans : Plan.t list) =
+  let t0 = Unix.gettimeofday () in
+  let slots =
+    List.concat
+      (List.mapi
+         (fun plan_idx (p : Plan.t) ->
+           List.map
+             (fun (cell : Plan.cell) ->
+               let addr =
+                 Option.map
+                   (fun c ->
+                     Cache.key c ~exp_id:p.exp_id ~scope:p.scope ~cell_key:cell.key)
+                   cache
+               in
+               { plan_idx; cell; addr; result = None })
+             p.cells)
+         plans)
+  in
+  (* Cache pass. *)
+  List.iter
+    (fun s ->
+      match (cache, s.addr) with
+      | Some c, Some a -> s.result <- Cache.find c a
+      | _ -> ())
+    slots;
+  let misses = List.filter (fun s -> s.result = None) slots in
+  let cache_hits = List.length slots - List.length misses in
+  (* Compute pass: the pool when given, inline otherwise. *)
+  let tasks =
+    Array.of_list (List.map (fun s () -> s.cell.Plan.run ()) misses)
+  in
+  let results =
+    match pool with
+    | Some pool -> Pool.run_all pool tasks
+    | None -> Array.map (fun f -> try Ok (f ()) with e -> Error e) tasks
+  in
+  Array.iter (function Error e -> raise e | Ok _ -> ()) results;
+  List.iteri
+    (fun i s ->
+      match results.(i) with
+      | Ok rows -> s.result <- Some rows
+      | Error _ -> assert false)
+    misses;
+  (* Persist fresh results. *)
+  (match cache with
+  | None -> ()
+  | Some c ->
+    List.iter
+      (fun s ->
+        match (s.addr, s.result) with
+        | Some a, Some rows -> Cache.store c a rows
+        | _ -> ())
+      misses);
+  let wall = Unix.gettimeofday () -. t0 in
+  (* Render serially, in plan order, cells in canonical order. *)
+  if render then
+    List.iteri
+      (fun plan_idx (p : Plan.t) ->
+        let mine = List.filter (fun s -> s.plan_idx = plan_idx) slots in
+        let keyed =
+          List.map (fun s -> (s.cell.Plan.key, Option.get s.result)) mine
+        in
+        p.render keyed)
+      plans;
+  {
+    total_cells = List.length slots;
+    cache_hits;
+    executed = List.length misses;
+    jobs = (match pool with Some p -> Pool.size p | None -> 1);
+    wall;
+  }
+
+let run_serial plan = ignore (run [ plan ])
+
+let pp_stats ppf s =
+  Format.fprintf ppf "%d cells: %d cached, %d ran on %d worker%s in %.2fs"
+    s.total_cells s.cache_hits s.executed s.jobs
+    (if s.jobs = 1 then "" else "s")
+    s.wall

@@ -1,0 +1,32 @@
+(** The execution engine: fan experiment cells out over a domain pool,
+    short-circuit through the result cache, reassemble tables in
+    canonical order.
+
+    Output on stdout is byte-identical whatever the pool size or cache
+    state, because cells never print — every byte comes from the plans'
+    [render] functions, called serially in plan order after all cells
+    have finished. *)
+
+type stats = {
+  total_cells : int;
+  cache_hits : int;
+  executed : int;  (** [total_cells - cache_hits]. *)
+  jobs : int;  (** Pool parallelism used (1 when no pool given). *)
+  wall : float;  (** Seconds spent computing (excludes rendering). *)
+}
+
+val run : ?pool:Pool.t -> ?cache:Cache.t -> ?render:bool -> Plan.t list -> stats
+(** Run every plan's cells (cache first, then the pool for the misses,
+    inline when [pool] is absent), store fresh results back, then render
+    each plan in order. [render:false] skips the rendering pass — for
+    timing sweeps without producing output. If any cell raised, its
+    exception is re-raised after the whole batch has settled and nothing
+    is rendered or stored. *)
+
+val run_serial : Plan.t -> unit
+(** [run ~pool:none ~cache:none] on one plan: the reference serial
+    path. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+(** One-line report, e.g.
+    ["26 cells: 20 cached, 6 ran on 8 workers in 1.24s"]. *)

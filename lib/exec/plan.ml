@@ -1,0 +1,14 @@
+type row = string list
+type cell = { key : string; run : unit -> row list }
+
+type t = {
+  exp_id : string;
+  scope : string;
+  cells : cell list;
+  render : (string * row list) list -> unit;
+}
+
+let cell key run = { key; run }
+let row_cell key run = { key; run = (fun () -> [ run () ]) }
+let rows results = List.concat_map snd results
+let scope_of_quick quick = if quick then "quick" else "full"

@@ -1,0 +1,138 @@
+(* Work-stealing pool of domains. One mutex guards the deques and the
+   completion counter: the jobs this pool exists for are whole
+   experiment cells (milliseconds to seconds of simulation each), so
+   queue operations are nowhere near the contention point and the
+   simple locking discipline keeps the completion / shutdown handshakes
+   obviously correct. The stealing structure (one deque per worker,
+   round-robin victim scan) is what balances an uneven batch. *)
+
+type task = { run : unit -> unit }
+
+type state = {
+  jobs : int;
+  m : Mutex.t;
+  work : Condition.t; (* workers sleep here when every deque is dry *)
+  donec : Condition.t; (* the submitter sleeps here during a batch *)
+  queues : task Queue.t array; (* queues.(i) is worker i's deque *)
+  mutable pending : int; (* submitted, not yet completed *)
+  mutable stop : bool;
+}
+
+type t =
+  | Inline
+  | Par of { st : state; domains : unit Domain.t array; mutable down : bool }
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* Pop the caller's own deque, else steal from the first non-empty peer
+   (scanning round-robin from the caller). Must hold [st.m]. *)
+let find_task st i =
+  let rec scan k =
+    if k = st.jobs then None
+    else
+      let j = (i + k) mod st.jobs in
+      if Queue.is_empty st.queues.(j) then scan (k + 1)
+      else Some (Queue.pop st.queues.(j))
+  in
+  scan 0
+
+let complete_one st =
+  st.pending <- st.pending - 1;
+  if st.pending = 0 then Condition.broadcast st.donec
+
+(* Workers own slot [1 .. jobs-1]; slot 0 belongs to the submitter. *)
+let worker st i =
+  Mutex.lock st.m;
+  let rec loop () =
+    match find_task st i with
+    | Some t ->
+      Mutex.unlock st.m;
+      t.run ();
+      Mutex.lock st.m;
+      complete_one st;
+      loop ()
+    | None ->
+      if st.stop then Mutex.unlock st.m
+      else begin
+        Condition.wait st.work st.m;
+        loop ()
+      end
+  in
+  loop ()
+
+let create ~jobs =
+  if jobs <= 1 then Inline
+  else
+    let st =
+      {
+        jobs;
+        m = Mutex.create ();
+        work = Condition.create ();
+        donec = Condition.create ();
+        queues = Array.init jobs (fun _ -> Queue.create ());
+        pending = 0;
+        stop = false;
+      }
+    in
+    let domains =
+      Array.init (jobs - 1) (fun k -> Domain.spawn (fun () -> worker st (k + 1)))
+    in
+    Par { st; domains; down = false }
+
+let size = function Inline -> 1 | Par { st; _ } -> st.jobs
+
+let run_all t fs =
+  match t with
+  | Inline -> Array.map (fun f -> try Ok (f ()) with e -> Error e) fs
+  | Par p ->
+    if p.down then invalid_arg "Pool.run_all: pool is shut down";
+    let st = p.st in
+    let n = Array.length fs in
+    let results =
+      Array.map (fun _ -> Error (Invalid_argument "Pool.run_all: task never ran")) fs
+    in
+    if n > 0 then begin
+      Mutex.lock st.m;
+      Array.iteri
+        (fun i f ->
+          let run () = results.(i) <- (try Ok (f ()) with e -> Error e) in
+          Queue.push { run } st.queues.(i mod st.jobs))
+        fs;
+      st.pending <- st.pending + n;
+      Condition.broadcast st.work;
+      (* The submitting domain works through the batch too (as worker 0)
+         and only sleeps once every remaining task is already running on
+         some other domain. *)
+      let rec help () =
+        if st.pending > 0 then
+          match find_task st 0 with
+          | Some tk ->
+            Mutex.unlock st.m;
+            tk.run ();
+            Mutex.lock st.m;
+            complete_one st;
+            help ()
+          | None ->
+            Condition.wait st.donec st.m;
+            help ()
+      in
+      help ();
+      Mutex.unlock st.m
+    end;
+    results
+
+let shutdown = function
+  | Inline -> ()
+  | Par p ->
+    if not p.down then begin
+      p.down <- true;
+      Mutex.lock p.st.m;
+      p.st.stop <- true;
+      Condition.broadcast p.st.work;
+      Mutex.unlock p.st.m;
+      Array.iter Domain.join p.domains
+    end
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -93,3 +93,19 @@ let header title =
 
 let fi = string_of_int
 let ff f = Printf.sprintf "%.2f" f
+
+module Plan = Bap_exec.Plan
+
+(* The common experiment shape: independent cells, one table, rows in
+   canonical cell order. Cells must not print (see [Plan]); the header
+   and the table are emitted by [render] on the main domain. *)
+let table_plan ~quick ~exp_id ~title ~headers cells =
+  {
+    Plan.exp_id;
+    scope = Plan.scope_of_quick quick;
+    cells;
+    render =
+      (fun results ->
+        header title;
+        Table.print ~headers (Plan.rows results));
+  }

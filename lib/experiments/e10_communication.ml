@@ -11,12 +11,10 @@ let classify_bits ~n ~f =
      message to n - 1 peers. *)
   (n - f) * (n - 1) * (n + 32)
 
-let run ?(quick = false) () =
+let plan ?(quick = false) () =
   let sizes = if quick then [ 16; 25; 31 ] else [ 16; 31; 46; 61 ] in
-  header "E10  communication complexity in bits  (f = t/2, 2 misclassified)";
-  let rows =
-    List.map
-      (fun n ->
+  let cell n =
+    Plan.row_cell (Printf.sprintf "n=%d" n) (fun () ->
         let t = (n - 1) / 3 in
         let f = t / 2 in
         let rng = Rng.create (5000 + n) in
@@ -40,17 +38,17 @@ let run ?(quick = false) () =
           fi o_u.S.R.honest_bits;
           ff (float_of_int o_u.S.R.honest_bits /. n3);
           (match auth_bits with Some b -> fi b | None -> "-");
-          (match auth_bits with
-          | Some b -> ff (float_of_int b /. n3)
-          | None -> "-");
+          (match auth_bits with Some b -> ff (float_of_int b /. n3) | None -> "-");
           (if ok_u then "yes" else "NO");
         ])
-      sizes
   in
-  Table.print
+  table_plan ~quick ~exp_id:"E10"
+    ~title:"E10  communication complexity in bits  (f = t/2, 2 misclassified)"
     ~headers:
       [
         "n"; "t"; "classify-bits"; "unauth-bits"; "unauth/n^3"; "auth-bits"; "auth/n^3";
         "correct";
       ]
-    rows
+    (List.map cell sizes)
+
+let run ?quick () = Bap_exec.Engine.run_serial (plan ?quick ())

@@ -7,46 +7,49 @@
 
 open Common
 
-let run ?(quick = false) () =
+let plan ?(quick = false) () =
   let n = if quick then 31 else 61 in
   let t = (n - 1) / 3 in
   let trials = if quick then 2 else 3 in
-  header
-    (Printf.sprintf
-       "E1  unauth rounds vs B  (n=%d, t=%d, focused errors + lying faulty)" n t);
-  let rows = ref [] in
-  List.iter
-    (fun f ->
-      List.iter
-        (fun m ->
-          let decided = ref [] and bs = ref [] and kas = ref [] and ok = ref true in
-          for trial = 1 to trials do
-            let rng = Rng.create ((97 * f) + (13 * m) + trial) in
-            let w = make_workload ~rng ~n ~t ~f ~target_misclassified:m () in
-            let adversary = Adv.adaptive_splitter ~n_minus_t:(n - t) ~junk:(fun round -> -1_000_000 - round) in
-            let d, _, _, correct, _ = run_unauth ~adversary w in
-            let k_a = measure_k_a ~adversary w in
-            decided := d :: !decided;
-            bs := w.b :: !bs;
-            kas := k_a :: !kas;
-            ok := !ok && correct
-          done;
-          let b_mean = (Summary.of_ints !bs).Summary.mean in
-          rows :=
-            [
-              fi f;
-              fi m;
-              ff b_mean;
-              ff (b_mean /. float_of_int n);
-              Summary.mean_string !kas;
-              Summary.mean_string !decided;
-              fi (min (m + 1) (f + 2));
-              (if !ok then "yes" else "NO");
-            ]
-            :: !rows)
-        [ 0; 1; 2; 4; 8; 10; 12 ])
-    [ 0; t / 2; t ];
-  Table.print
+  let cell f m =
+    Plan.row_cell (Printf.sprintf "f=%d,m=%d" f m) (fun () ->
+        let decided = ref [] and bs = ref [] and kas = ref [] and ok = ref true in
+        for trial = 1 to trials do
+          let rng = Rng.create ((97 * f) + (13 * m) + trial) in
+          let w = make_workload ~rng ~n ~t ~f ~target_misclassified:m () in
+          let adversary =
+            Adv.adaptive_splitter ~n_minus_t:(n - t) ~junk:(fun round -> -1_000_000 - round)
+          in
+          let d, _, _, correct, _ = run_unauth ~adversary w in
+          let k_a = measure_k_a ~adversary w in
+          decided := d :: !decided;
+          bs := w.b :: !bs;
+          kas := k_a :: !kas;
+          ok := !ok && correct
+        done;
+        let b_mean = (Summary.of_ints !bs).Summary.mean in
+        [
+          fi f;
+          fi m;
+          ff b_mean;
+          ff (b_mean /. float_of_int n);
+          Summary.mean_string !kas;
+          Summary.mean_string !decided;
+          fi (min (m + 1) (f + 2));
+          (if !ok then "yes" else "NO");
+        ])
+  in
+  let cells =
+    List.concat_map
+      (fun f -> List.map (cell f) [ 0; 1; 2; 4; 8; 10; 12 ])
+      [ 0; t / 2; t ]
+  in
+  table_plan ~quick ~exp_id:"E1"
+    ~title:
+      (Printf.sprintf
+         "E1  unauth rounds vs B  (n=%d, t=%d, focused errors + lying faulty)" n t)
     ~headers:
       [ "f"; "target-m"; "B"; "B/n"; "k_A"; "decided-round"; "min(m+1,f+2)"; "correct" ]
-    (List.rev !rows)
+    cells
+
+let run ?quick () = Bap_exec.Engine.run_serial (plan ?quick ())

@@ -8,12 +8,10 @@
 
 open Common
 
-let run ?(quick = false) () =
+let plan ?(quick = false) () =
   let sizes = if quick then [ 16; 25; 31 ] else [ 16; 31; 46; 61 ] in
-  header "E3  unauth messages vs n  (f = t/2 silent faults, 2 misclassified)";
-  let rows =
-    List.map
-      (fun n ->
+  let cell n =
+    Plan.row_cell (Printf.sprintf "n=%d" n) (fun () ->
         let t = (n - 1) / 3 in
         let f = t / 2 in
         let rng = Rng.create (1000 + n) in
@@ -35,9 +33,11 @@ let run ?(quick = false) () =
           fi (comp "es");
           (if correct then "yes" else "NO");
         ])
-      sizes
   in
-  Table.print
+  table_plan ~quick ~exp_id:"E3"
+    ~title:"E3  unauth messages vs n  (f = t/2 silent faults, 2 misclassified)"
     ~headers:
       [ "n"; "t"; "f"; "msgs"; "msgs/n^2"; "pred-mach"; "pred/n^2"; "es-msgs"; "correct" ]
-    rows
+    (List.map cell sizes)
+
+let run ?quick () = Bap_exec.Engine.run_serial (plan ?quick ())

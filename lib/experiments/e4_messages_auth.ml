@@ -5,12 +5,10 @@
 
 open Common
 
-let run ?(quick = false) () =
+let plan ?(quick = false) () =
   let sizes = if quick then [ 11; 17; 21 ] else [ 11; 21; 31; 41 ] in
-  header "E4  auth messages vs n  (f = t/2 silent faults, 2 misclassified)";
-  let rows =
-    List.map
-      (fun n ->
+  let cell n =
+    Plan.row_cell (Printf.sprintf "n=%d" n) (fun () ->
         let t = max 1 ((9 * n / 20) - 1) in
         let f = t / 2 in
         let rng = Rng.create (2000 + n) in
@@ -29,6 +27,10 @@ let run ?(quick = false) () =
           Printf.sprintf "%.3f" (float_of_int msgs /. n3);
           (if correct then "yes" else "NO");
         ])
-      sizes
   in
-  Table.print ~headers:[ "n"; "t"; "f"; "msgs"; "msgs/n^2"; "msgs/n^3"; "correct" ] rows
+  table_plan ~quick ~exp_id:"E4"
+    ~title:"E4  auth messages vs n  (f = t/2 silent faults, 2 misclassified)"
+    ~headers:[ "n"; "t"; "f"; "msgs"; "msgs/n^2"; "msgs/n^3"; "correct" ]
+    (List.map cell sizes)
+
+let run ?quick () = Bap_exec.Engine.run_serial (plan ?quick ())

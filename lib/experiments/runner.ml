@@ -1,27 +1,38 @@
-(* Run the experiment suite (E1-E8 from DESIGN.md). [quick] shrinks the
-   sweeps to bench-friendly sizes. *)
+(* Run the experiment suite (E1-E13 from DESIGN.md) through the
+   execution engine (lib/exec). [quick] shrinks the sweeps to
+   bench-friendly sizes; [pool]/[cache] fan the cells out over domains
+   and skip cells whose results are already cached. Output is
+   byte-identical whatever the pool size or cache state. *)
+
+module Engine = Bap_exec.Engine
+module Plan = Bap_exec.Plan
 
 let all = [
-  ("E1", "unauth rounds vs B (Thm 11)", E1_rounds_unauth.run);
-  ("E2", "auth rounds vs B (Thm 12)", E2_rounds_auth.run);
-  ("E3", "unauth messages vs n (Thm 11)", E3_messages_unauth.run);
-  ("E4", "auth messages vs n (Thm 12)", E4_messages_auth.run);
-  ("E5", "round lower bound (Thm 13)", E5_round_lb.run);
-  ("E6", "message lower bound (Thm 14)", E6_message_lb.run);
-  ("E7", "classification quality (Lemma 1)", E7_classification.run);
-  ("E8", "predictions vs baselines", E8_crossover.run);
-  ("E9", "classification-vote ablation", E9_voting_ablation.run);
-  ("E10", "communication complexity in bits", E10_communication.run);
-  ("E11", "learned advice across slots", E11_learned_advice.run);
-  ("E12", "value predictions (extension)", E12_value_predictions.run);
-  ("E13", "component ablation of Algorithm 1", E13_component_ablation.run);
+  ("E1", "unauth rounds vs B (Thm 11)", E1_rounds_unauth.plan);
+  ("E2", "auth rounds vs B (Thm 12)", E2_rounds_auth.plan);
+  ("E3", "unauth messages vs n (Thm 11)", E3_messages_unauth.plan);
+  ("E4", "auth messages vs n (Thm 12)", E4_messages_auth.plan);
+  ("E5", "round lower bound (Thm 13)", E5_round_lb.plan);
+  ("E6", "message lower bound (Thm 14)", E6_message_lb.plan);
+  ("E7", "classification quality (Lemma 1)", E7_classification.plan);
+  ("E8", "predictions vs baselines", E8_crossover.plan);
+  ("E9", "classification-vote ablation", E9_voting_ablation.plan);
+  ("E10", "communication complexity in bits", E10_communication.plan);
+  ("E11", "learned advice across slots", E11_learned_advice.plan);
+  ("E12", "value predictions (extension)", E12_value_predictions.plan);
+  ("E13", "component ablation of Algorithm 1", E13_component_ablation.plan);
 ]
 
-let run_all ?quick () = List.iter (fun (_, _, run) -> run ?quick ()) all
+let plans ?quick () = List.map (fun (_, _, plan) -> plan ?quick ()) all
 
-let run_one ?quick id =
-  match List.find_opt (fun (eid, _, _) -> String.lowercase_ascii eid = String.lowercase_ascii id) all with
-  | Some (_, _, run) ->
-    run ?quick ();
-    true
-  | None -> false
+let run_all ?quick ?pool ?cache ?render () =
+  Engine.run ?pool ?cache ?render (plans ?quick ())
+
+let run_one ?quick ?pool ?cache id =
+  match
+    List.find_opt
+      (fun (eid, _, _) -> String.lowercase_ascii eid = String.lowercase_ascii id)
+      all
+  with
+  | Some (_, _, plan) -> Some (Engine.run ?pool ?cache [ plan ?quick () ])
+  | None -> None

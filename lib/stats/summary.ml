@@ -13,5 +13,23 @@ let of_ints = function
       max = List.fold_left max min_int xs;
     }
 
+(* Exact merge of two partial aggregates: the mean is recomputed from
+   the totals, so merging per-job summaries in any association order
+   equals summarising the concatenated samples. *)
+let merge a b =
+  let count = a.count + b.count in
+  let total = a.total + b.total in
+  {
+    count;
+    total;
+    mean = float_of_int total /. float_of_int count;
+    min = min a.min b.min;
+    max = max a.max b.max;
+  }
+
+let merge_all = function
+  | [] -> invalid_arg "Summary.merge_all: empty"
+  | s :: ss -> List.fold_left merge s ss
+
 let pp ppf s = Fmt.pf ppf "mean %.1f (min %d, max %d, n=%d)" s.mean s.min s.max s.count
 let mean_string xs = Printf.sprintf "%.1f" (of_ints xs).mean

@@ -5,6 +5,16 @@ type t = { count : int; mean : float; min : int; max : int; total : int }
 val of_ints : int list -> t
 (** Raises [Invalid_argument] on the empty list. *)
 
+val merge : t -> t -> t
+(** Combine two partial aggregates exactly: [merge (of_ints a) (of_ints b)]
+    equals [of_ints (a @ b)] (the mean is recomputed from totals, not
+    averaged). Lets parallel jobs summarise their own trials and the
+    collector fold the pieces. *)
+
+val merge_all : t list -> t
+(** Left fold of {!merge}. Raises [Invalid_argument] on the empty
+    list. *)
+
 val pp : t Fmt.t
 val mean_string : int list -> string
 (** Mean with one decimal, e.g. ["12.3"]. *)

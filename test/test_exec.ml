@@ -1,0 +1,184 @@
+(* The execution engine (lib/exec): work-stealing pool semantics,
+   parallel determinism of the experiment cells, and the content
+   addressed result cache. *)
+
+module Pool = Bap_exec.Pool
+module Cache = Bap_exec.Cache
+module Plan = Bap_exec.Plan
+module Engine = Bap_exec.Engine
+module Rng = Bap_sim.Rng
+
+(* ---------- pool ---------- *)
+
+let test_pool_runs_all_in_order () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let tasks = Array.init 100 (fun i () -> i * i) in
+      let results = Pool.run_all pool tasks in
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Ok v -> Alcotest.(check int) "slot matches task" (i * i) v
+          | Error _ -> Alcotest.fail "unexpected task error")
+        results)
+
+let test_pool_inline_matches_parallel () =
+  let mk () = Array.init 50 (fun i () -> Printf.sprintf "r%d" (i * 3)) in
+  let serial = Pool.with_pool ~jobs:1 (fun p -> Pool.run_all p (mk ())) in
+  let par = Pool.with_pool ~jobs:8 (fun p -> Pool.run_all p (mk ())) in
+  Alcotest.(check bool) "same results" true (serial = par)
+
+exception Boom of int
+
+let test_pool_survives_worker_exception () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let tasks =
+        Array.init 20 (fun i () -> if i mod 5 = 0 then raise (Boom i) else i)
+      in
+      let results = Pool.run_all pool tasks in
+      Array.iteri
+        (fun i r ->
+          match (r, i mod 5 = 0) with
+          | Error (Boom j), true -> Alcotest.(check int) "own exception" i j
+          | Ok v, false -> Alcotest.(check int) "own result" i v
+          | _ -> Alcotest.fail "exception landed in the wrong slot")
+        results;
+      (* The failing batch must not wedge or poison the pool. *)
+      let again = Pool.run_all pool (Array.init 10 (fun i () -> i + 1)) in
+      Array.iteri
+        (fun i r -> Alcotest.(check bool) "pool reusable" true (r = Ok (i + 1)))
+        again)
+
+let test_pool_shutdown_is_clean_and_final () =
+  let pool = Pool.create ~jobs:4 in
+  ignore (Pool.run_all pool (Array.init 8 (fun i () -> i)));
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *);
+  Alcotest.check_raises "after shutdown"
+    (Invalid_argument "Pool.run_all: pool is shut down") (fun () ->
+      ignore (Pool.run_all pool [| (fun () -> 0) |]))
+
+(* ---------- parallel determinism on real simulation work ---------- *)
+
+(* A miniature experiment: each cell derives its own Rng from its key
+   and runs a real unauthenticated execution, like every E* cell does. *)
+let sim_plan () =
+  let module V = Bap_core.Value.Int in
+  let module S = Bap_core.Stack.Make (V) in
+  let n = 13 in
+  let t = (n - 1) / 3 in
+  let cell seed =
+    Plan.row_cell (Printf.sprintf "seed=%d" seed) (fun () ->
+        let rng = Rng.create seed in
+        let f = Rng.int rng (t + 1) in
+        let faulty = Array.init f Fun.id in
+        let inputs = Array.init n (fun _ -> Rng.int rng 2) in
+        let advice = Bap_prediction.Gen.perfect ~n ~faulty in
+        let o =
+          S.run_unauth ~t ~faulty ~inputs ~advice ~adversary:Bap_sim.Adversary.silent ()
+        in
+        [
+          string_of_int (S.decision_round o);
+          string_of_int o.S.R.rounds;
+          string_of_int o.S.R.honest_sent;
+          string_of_bool (S.agreement o);
+        ])
+  in
+  {
+    Plan.exp_id = "TEST";
+    scope = "unit";
+    cells = List.map cell (List.init 12 (fun i -> 100 + i));
+    render = ignore;
+  }
+
+let collect plan ~jobs =
+  let rows = ref [] in
+  let plan = { plan with Plan.render = (fun results -> rows := results) } in
+  Pool.with_pool ~jobs (fun pool -> ignore (Engine.run ~pool [ plan ]));
+  !rows
+
+let test_parallel_determinism () =
+  let serial = collect (sim_plan ()) ~jobs:1 in
+  let par = collect (sim_plan ()) ~jobs:8 in
+  Alcotest.(check bool) "rows non-empty" true (serial <> []);
+  Alcotest.(check bool) "--jobs 1 = --jobs 8" true (serial = par)
+
+(* ---------- cache ---------- *)
+
+let temp_cache_dir () =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "bap-cache-test-%d-%d" (Unix.getpid ()) (Hashtbl.hash (Sys.time ())))
+  in
+  d
+
+let counting_plan counter =
+  let cell k =
+    Plan.row_cell (Printf.sprintf "k=%d" k) (fun () ->
+        incr counter;
+        [ string_of_int (k * 7); "x" ^ string_of_int k ])
+  in
+  {
+    Plan.exp_id = "TESTC";
+    scope = "unit";
+    cells = List.map cell [ 1; 2; 3; 4; 5 ];
+    render = ignore;
+  }
+
+let test_cache_hits_and_fingerprint_invalidation () =
+  let dir = temp_cache_dir () in
+  let ran = ref 0 in
+  let cache_a = Cache.create ~fingerprint:"code-A" ~dir () in
+  let s1 = Engine.run ~cache:cache_a [ counting_plan ran ] in
+  Alcotest.(check int) "cold run computes every cell" 5 !ran;
+  Alcotest.(check int) "cold run reports no hits" 0 s1.Engine.cache_hits;
+  (* Same fingerprint: all hits, nothing recomputed, same rows. *)
+  let rows_of c plan =
+    let got = ref [] in
+    let plan = { plan with Plan.render = (fun r -> got := r) } in
+    ignore (Engine.run ~cache:c [ plan ]);
+    !got
+  in
+  let warm = rows_of cache_a (counting_plan ran) in
+  Alcotest.(check int) "warm run computes nothing" 5 !ran;
+  let fresh = ref 0 in
+  let expected = rows_of (Cache.create ~fingerprint:"code-A" ~dir ()) (counting_plan fresh) in
+  Alcotest.(check bool) "warm rows equal cached rows" true (warm = expected);
+  (* Changed code fingerprint: every entry invalid, all cells rerun. *)
+  let cache_b = Cache.create ~fingerprint:"code-B" ~dir () in
+  let reran = ref 0 in
+  let s2 = Engine.run ~cache:cache_b [ counting_plan reran ] in
+  Alcotest.(check int) "fingerprint change recomputes" 5 !reran;
+  Alcotest.(check int) "no stale hits across fingerprints" 0 s2.Engine.cache_hits
+
+let test_cache_corrupt_entry_is_a_miss () =
+  let dir = temp_cache_dir () in
+  let c = Cache.create ~fingerprint:"code-A" ~dir () in
+  let k = Cache.key c ~exp_id:"X" ~scope:"s" ~cell_key:"c" in
+  Cache.store c k [ [ "a"; "b" ]; [ "tab\there"; "nl\nthere" ] ];
+  (match Cache.find c k with
+  | Some rows ->
+    Alcotest.(check bool) "round-trips escapes" true
+      (rows = [ [ "a"; "b" ]; [ "tab\there"; "nl\nthere" ] ])
+  | None -> Alcotest.fail "stored entry not found");
+  (* Truncate the entry on disk: must behave as a miss, not an error. *)
+  let path = Filename.concat dir (k ^ ".rows") in
+  let oc = open_out_bin path in
+  output_string oc "bap-cache 1\n2\n";
+  close_out oc;
+  Alcotest.(check bool) "corrupt entry is a miss" true (Cache.find c k = None)
+
+let suite =
+  [
+    Alcotest.test_case "pool: results land in task order" `Quick test_pool_runs_all_in_order;
+    Alcotest.test_case "pool: inline = parallel" `Quick test_pool_inline_matches_parallel;
+    Alcotest.test_case "pool: survives worker exception" `Quick
+      test_pool_survives_worker_exception;
+    Alcotest.test_case "pool: shutdown clean, idempotent, final" `Quick
+      test_pool_shutdown_is_clean_and_final;
+    Alcotest.test_case "engine: --jobs 1 = --jobs 8 on real cells" `Quick
+      test_parallel_determinism;
+    Alcotest.test_case "cache: hit on same code, invalidate on new code" `Quick
+      test_cache_hits_and_fingerprint_invalidation;
+    Alcotest.test_case "cache: corrupt entry degrades to miss" `Quick
+      test_cache_corrupt_entry_is_a_miss;
+  ]

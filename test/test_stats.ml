@@ -31,6 +31,25 @@ let test_summary_empty () =
 let test_mean_string () =
   Alcotest.(check string) "one decimal" "2.5" (Summary.mean_string [ 1; 2; 3; 4 ])
 
+let test_summary_merge () =
+  (* Merging per-job partial aggregates must equal aggregating the
+     concatenated samples, whatever the split. *)
+  let xs = [ 5; 1; 9; 2 ] and ys = [ 7; 3 ] in
+  let merged = Summary.merge (Summary.of_ints xs) (Summary.of_ints ys) in
+  let whole = Summary.of_ints (xs @ ys) in
+  Alcotest.(check int) "count" whole.Summary.count merged.Summary.count;
+  Alcotest.(check int) "min" whole.Summary.min merged.Summary.min;
+  Alcotest.(check int) "max" whole.Summary.max merged.Summary.max;
+  Alcotest.(check int) "total" whole.Summary.total merged.Summary.total;
+  Alcotest.(check (float 1e-9)) "mean" whole.Summary.mean merged.Summary.mean;
+  let parts = List.map (fun x -> Summary.of_ints [ x ]) (xs @ ys) in
+  let folded = Summary.merge_all parts in
+  Alcotest.(check (float 1e-9)) "merge_all mean" whole.Summary.mean folded.Summary.mean;
+  Alcotest.(check int) "merge_all total" whole.Summary.total folded.Summary.total;
+  Alcotest.check_raises "merge_all empty"
+    (Invalid_argument "Summary.merge_all: empty") (fun () ->
+      ignore (Summary.merge_all []))
+
 let test_value_modules () =
   let module VI = Bap_core.Value.Int in
   let module VB = Bap_core.Value.Bool in
@@ -47,5 +66,6 @@ let suite =
     Alcotest.test_case "summary" `Quick test_summary;
     Alcotest.test_case "summary rejects empty" `Quick test_summary_empty;
     Alcotest.test_case "mean string" `Quick test_mean_string;
+    Alcotest.test_case "summary merge" `Quick test_summary_merge;
     Alcotest.test_case "value domains" `Quick test_value_modules;
   ]
