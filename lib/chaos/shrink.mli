@@ -1,0 +1,14 @@
+(** Zeller-Hildebrandt delta debugging (ddmin) over lists, used to
+    reduce a violating fault schedule to a minimal reproducing one. The
+    procedure is deterministic: candidate order depends only on the
+    input list, so a shrink replays identically from the same seed. *)
+
+val chunks : 'a list -> int -> 'a list list
+(** [chunks lst n] splits [lst] into [n] contiguous chunks whose sizes
+    differ by at most one. *)
+
+val minimize : check:('a list -> bool) -> 'a list -> 'a list
+(** [minimize ~check lst] assumes [check lst = true] ("still violates")
+    and greedily searches subsets and complements at doubling
+    granularity, returning a 1-chunk-minimal sublist on which [check]
+    still holds. Worst case O(length lst ^ 2) calls to [check]. *)

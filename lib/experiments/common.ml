@@ -88,6 +88,13 @@ let measure_k_a ?(adversary = Adversary.silent) w =
   in
   k_a
 
+(* Explicit djb2-style string hash for deriving cell RNG seeds.
+   Hashtbl.hash would also be deterministic within one binary, but its
+   value is an implementation detail of the runtime — a compiler bump
+   would silently reseed every sweep that used it. *)
+let seed_of_string s =
+  String.fold_left (fun h c -> ((h * 33) + Char.code c) land 0x3FFFFFFF) 5381 s
+
 let header title =
   Printf.printf "\n== %s ==\n" title
 

@@ -11,7 +11,7 @@ let plan ?(quick = false) () =
   let f = t in
   let cell (placement, name) budget =
     Plan.row_cell (Printf.sprintf "placement=%s,budget=%d" name budget) (fun () ->
-        let rng = Rng.create (budget + Hashtbl.hash name) in
+        let rng = Rng.create (budget + seed_of_string name) in
         let faulty = Array.of_list (Rng.sample_without_replacement rng f n) in
         let advice = Gen.generate ~rng ~n ~faulty ~budget placement in
         let b = (Quality.measure ~n ~faulty advice).Quality.b in

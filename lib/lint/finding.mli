@@ -1,0 +1,37 @@
+(** Lint findings and the rule catalog.
+
+    Rule ids are stable: a retired id is never reused, and the gate
+    keys baseline entries on them. The long-form catalog (rationale,
+    how to waive) lives in DESIGN.md. *)
+
+type severity = Error | Warning
+
+val severity_to_string : severity -> string
+
+type rule = {
+  id : string;
+  severity : severity;
+  summary : string;
+}
+
+val catalog : rule list
+
+val rule : string -> rule
+(** @raise Invalid_argument on an unknown id. *)
+
+type t = {
+  rule_id : string;
+  file : string;  (** Repo-relative path with [/] separators. *)
+  line : int;  (** 1-based; 0 for file-level findings. *)
+  col : int;  (** 0-based, as in compiler locations. *)
+  message : string;
+}
+
+val v : rule_id:string -> file:string -> line:int -> col:int -> string -> t
+(** @raise Invalid_argument on an unknown rule id. *)
+
+val compare_finding : t -> t -> int
+(** Deterministic report order: file, then line, column, rule id. *)
+
+val severity_of : t -> severity
+val pp : t Fmt.t

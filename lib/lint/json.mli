@@ -1,0 +1,27 @@
+(** Minimal JSON reader/printer helpers for the repo's committed
+    baseline artifacts. Supports exactly the subset those files use; not
+    a general-purpose JSON library. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse of string
+
+val parse : string -> t
+(** @raise Parse on malformed input. *)
+
+val member : string -> t -> t option
+val to_int : t option -> int option
+val to_float : t option -> float option
+val to_bool : t option -> bool option
+val to_string : t option -> string option
+val to_list : t option -> t list option
+
+val escape : string -> string
+(** Escape a string for embedding between double quotes in JSON
+    output. *)

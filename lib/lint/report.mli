@@ -1,0 +1,4 @@
+(** Rendering a lint run against its baseline, human and JSON. *)
+
+val pp_human : Format.formatter -> Baseline.diff -> unit
+val to_json : Baseline.diff -> string

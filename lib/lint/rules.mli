@@ -1,0 +1,14 @@
+(** The rule catalog's implementation: one Parsetree walk per file.
+
+    Checks are syntactic (no typing pass) and tuned to the repo's
+    idioms; see DESIGN.md "Static analysis" for the catalog and
+    {!Source} for the waiver-comment escape hatch. *)
+
+val check : Source.t -> Finding.t list
+(** All AST-level rules on one parsed file, waivers applied, sorted.
+    A file that failed to parse yields a single X001 finding. *)
+
+val check_interfaces : mls:string list -> mlis:string list -> Finding.t list
+(** L002: every [.ml] in an interface-complete library (lib/core,
+    lib/chaos, lib/lint) must have a sibling [.mli]. Paths are
+    repo-relative. *)

@@ -1,0 +1,126 @@
+(* Source loading: read an .ml file, parse it with the compiler's own
+   parser (compiler-libs, no ppx), and extract waiver comments.
+
+   Waivers are the escape hatch for rules that are deliberately
+   conservative: a comment containing
+
+     LINT: waive <RULE-ID> [<RULE-ID>...] <reason>
+
+   on the same line as a finding, or on the line directly above it,
+   suppresses those rule ids at that site. The reason is free text but
+   socially mandatory — a waiver with no justification should not
+   survive review. *)
+
+type t = {
+  path : string;  (** Repo-relative path with [/] separators. *)
+  text : string;
+  structure : Parsetree.structure option;  (** [None] when parsing failed. *)
+  parse_error : (int * int * string) option;  (** line, col, message. *)
+  waivers : (int * string list) list;  (** line -> waived rule ids. *)
+}
+
+let is_rule_id s =
+  String.length s = 4
+  && s.[0] >= 'A'
+  && s.[0] <= 'Z'
+  && String.for_all (fun c -> c >= '0' && c <= '9') (String.sub s 1 3)
+
+(* Find "LINT: waive" markers line by line. Comment syntax is not
+   tracked — the marker is specific enough that a string match is
+   exact in practice, and it keeps waivers usable from any position
+   (end-of-line, own line, inside a doc comment). *)
+let waivers_of_text text =
+  let find_marker line =
+    let marker = "LINT: waive" in
+    let n = String.length line and m = String.length marker in
+    let rec scan i =
+      if i + m > n then None
+      else if String.sub line i m = marker then Some (i + m)
+      else scan (i + 1)
+    in
+    scan 0
+  in
+  let rule_ids_after line start =
+    let words =
+      String.split_on_char ' ' (String.sub line start (String.length line - start))
+    in
+    let rec take acc = function
+      | [] -> List.rev acc
+      | "" :: rest -> take acc rest
+      | w :: rest ->
+        let w = String.trim w in
+        let w =
+          (* allow comma-separated lists: "D003, S001" *)
+          if String.length w > 0 && w.[String.length w - 1] = ',' then
+            String.sub w 0 (String.length w - 1)
+          else w
+        in
+        if is_rule_id w then take (w :: acc) rest
+        else List.rev acc (* ids come first; the rest is the reason *)
+    in
+    take [] words
+  in
+  let lines = String.split_on_char '\n' text in
+  List.filteri (fun _ _ -> true) lines
+  |> List.mapi (fun i line -> (i + 1, line))
+  |> List.filter_map (fun (lnum, line) ->
+         match find_marker line with
+         | None -> None
+         | Some start -> (
+           match rule_ids_after line start with
+           | [] -> None
+           | ids -> Some (lnum, ids)))
+
+let waived t ~rule_id ~line =
+  let at l =
+    match List.assoc_opt l t.waivers with
+    | Some ids -> List.mem rule_id ids
+    | None -> false
+  in
+  at line || at (line - 1)
+
+let parse ~path text =
+  let lexbuf = Lexing.from_string text in
+  Lexing.set_filename lexbuf path;
+  match Parse.implementation lexbuf with
+  | structure ->
+    {
+      path;
+      text;
+      structure = Some structure;
+      parse_error = None;
+      waivers = waivers_of_text text;
+    }
+  | exception exn ->
+    let pos_of (loc : Location.t) =
+      ( loc.Location.loc_start.Lexing.pos_lnum,
+        loc.Location.loc_start.Lexing.pos_cnum - loc.Location.loc_start.Lexing.pos_bol
+      )
+    in
+    let line, col, msg =
+      match exn with
+      | Syntaxerr.Error e ->
+        let l, c = pos_of (Syntaxerr.location_of_error e) in
+        (l, c, "syntax error")
+      | Lexer.Error (_, loc) ->
+        let l, c = pos_of loc in
+        (l, c, "lexical error")
+      | exn -> (1, 0, Printexc.to_string exn)
+    in
+    {
+      path;
+      text;
+      structure = None;
+      parse_error = Some (line, col, msg);
+      waivers = waivers_of_text text;
+    }
+
+let load ~root rel =
+  let full = Filename.concat root rel in
+  let ic = open_in_bin full in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  parse ~path:rel text

@@ -104,12 +104,14 @@ let test_parallel_determinism () =
 
 (* ---------- cache ---------- *)
 
+(* Unique per call without reading the clock: pid + an in-process
+   counter is collision-free and keeps the test binary deterministic. *)
+let temp_dir_seq = Atomic.make 0
+
 let temp_cache_dir () =
-  let d =
-    Filename.concat (Filename.get_temp_dir_name ())
-      (Printf.sprintf "bap-cache-test-%d-%d" (Unix.getpid ()) (Hashtbl.hash (Sys.time ())))
-  in
-  d
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "bap-cache-test-%d-%d" (Unix.getpid ())
+       (Atomic.fetch_and_add temp_dir_seq 1))
 
 let counting_plan counter =
   let cell k =

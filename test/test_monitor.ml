@@ -41,6 +41,27 @@ let test_equivocators_caught () =
   Alcotest.(check (list int)) "equivocators flagged" [ 0; 1; 2 ]
     verdict.Observer.suspects
 
+(* The evidence list is assembled from a Hashtbl fold, whose visitation
+   order is unspecified; the observer must sort it so that verdicts are
+   reproducible values. Pin the order and the run-to-run stability. *)
+let test_evidence_order_deterministic () =
+  let observe () =
+    let verdict, _, _ =
+      run_traced ~adversary:Adversary.silent ~n:13 ~t:4 ~f:3 ~budget:0 ()
+    in
+    verdict
+  in
+  let v1 = observe () and v2 = observe () in
+  Alcotest.(check (list (pair int string)))
+    "evidence in (who, reason) order" (List.sort compare v1.Observer.evidence)
+    v1.Observer.evidence;
+  Alcotest.(check (list (pair int string)))
+    "same run, same evidence" v1.Observer.evidence v2.Observer.evidence;
+  Alcotest.(check (list int))
+    "suspects are the evidence keys"
+    (List.map fst v1.Observer.evidence)
+    v1.Observer.suspects
+
 let test_splitter_caught_via_degenerate_l () =
   (* With uninformed (all-honest) advice the faulty processes sit in the
      leader blocks, where the splitter's degenerate conciliation
@@ -179,6 +200,8 @@ let suite =
       test_passive_faults_undetectable;
     Alcotest.test_case "silent faults caught" `Quick test_silent_faults_caught;
     Alcotest.test_case "equivocators caught" `Quick test_equivocators_caught;
+    Alcotest.test_case "evidence order is deterministic" `Quick
+      test_evidence_order_deterministic;
     Alcotest.test_case "splitter caught via degenerate leader sets" `Quick
       test_splitter_caught_via_degenerate_l;
     prop_soundness;

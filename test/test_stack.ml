@@ -75,6 +75,24 @@ let test_messages_by_component_auth () =
   let total = List.fold_left (fun acc (_, c) -> acc + c) 0 by in
   Alcotest.(check int) "partition" o.S.R.honest_sent total
 
+(* The per-component totals come out of a Hashtbl fold; the stack must
+   sort the (label, count) rows so the attribution is a reproducible
+   value, not an artifact of hashing. Pin the order and stability. *)
+let test_messages_by_component_order () =
+  let n = 9 and t = 3 in
+  let faulty = [| 0 |] in
+  let advice = Gen.perfect ~n ~faulty in
+  let inputs = Array.init n (fun i -> i mod 2) in
+  let attribute () =
+    let o, pki = S.run_auth ~t ~faulty ~inputs ~advice () in
+    let cfg = S.auth_config ~pki ~key:(Pki.key pki 0) ~t in
+    S.messages_by_component cfg ~t o
+  in
+  let by1 = attribute () and by2 = attribute () in
+  Alcotest.(check (list (pair string int)))
+    "rows in label order" (List.sort compare by1) by1;
+  Alcotest.(check (list (pair string int))) "same run, same rows" by1 by2
+
 let test_wrapper_rounds_formula () =
   (* The run never exceeds the wrapper's static round bound. *)
   let n = 13 and t = 4 in
@@ -102,5 +120,7 @@ let suite =
     Alcotest.test_case "bool-valued stack" `Quick test_bool_stack;
     Alcotest.test_case "auth message attribution partitions" `Quick
       test_messages_by_component_auth;
+    Alcotest.test_case "message attribution order is deterministic" `Quick
+      test_messages_by_component_order;
     Alcotest.test_case "runs bounded by wrapper schedule" `Quick test_wrapper_rounds_formula;
   ]
