@@ -14,6 +14,8 @@
 
 module Fuzz = Bap_chaos.Fuzz
 module Schedule = Bap_chaos.Schedule
+module Harness = Bap_chaos.Harness
+module Supervisor = Bap_exec.Supervisor
 open Cmdliner
 
 let parse_protocols s =
@@ -23,7 +25,49 @@ let parse_protocols s =
     Error (`Msg (Printf.sprintf "unknown protocol list %S (use unauth,auth,es,pk)" s))
   else Ok ps
 
-let run runs seed protocols self_test quiet =
+(* Under --harness-chaos the whole campaign runs as one supervised cell.
+   Injected faults fire *before* the campaign function runs, so the
+   failed attempts print nothing: stdout for the surviving attempt is
+   byte-identical to a chaos-free run of the same seed, and the recovery
+   story goes to stderr. The schedule (crash 80% / hang 20%, faulty for
+   the first two attempts) guarantees attempts 0-1 fault and attempt 2
+   runs clean, well inside the retry budget of 4. *)
+let supervised_campaign ~chaos_seed f =
+  match chaos_seed with
+  | None -> Some (f ())
+  | Some seed ->
+    let h = Harness.create ~crash_pct:80 ~hang_pct:20 ~faulty_attempts:2 ~seed () in
+    let inject ~key ~attempt =
+      match Harness.decide h ~key ~attempt with
+      | Some Harness.Crash -> Some Supervisor.Inject_crash
+      | Some Harness.Hang -> Some Supervisor.Inject_hang
+      | None -> None
+    in
+    let config =
+      { Supervisor.retries = 4; timeout_s = Some 2.0; seed; inject = Some inject }
+    in
+    Supervisor.with_supervisor config (fun sup ->
+        match Supervisor.supervise sup ~key:"bap-fuzz/campaign" f with
+        | Supervisor.Completed { value; attempts; ledger } ->
+          if ledger <> [] then
+            Fmt.epr "[chaos] campaign recovered after %d attempt(s): %a@."
+              attempts
+              (fun ppf -> Supervisor.pp_ledger ppf)
+              ledger;
+          Some value
+        | Supervisor.Quarantined { ledger } ->
+          Fmt.epr "[chaos] campaign QUARANTINED: %a@."
+            (fun ppf -> Supervisor.pp_ledger ppf)
+            ledger;
+          None)
+
+let run runs seed protocols self_test quiet chaos_seed =
+  Supervisor.install_exit_handlers
+    ~on_signal:(fun ~signal_name ->
+      Fmt.epr "@.[%s] campaign interrupted; re-run the same command to \
+               reproduce (output is a pure function of the seed)@."
+        signal_name)
+    ();
   Fmt.pr "bap_fuzz: runs=%d seed=%d protocols=[%s]%s@." runs seed
     (String.concat "," (List.map Fuzz.E.protocol_name protocols))
     (if self_test then " self-test" else "");
@@ -31,7 +75,12 @@ let run runs seed protocols self_test quiet =
     if (not quiet) && run mod 100 = 0 then
       Fmt.pr "  progress: %d runs, %d violation(s)@." run violations
   in
-  let c = Fuzz.campaign ~sabotage:self_test ~progress ~protocols ~runs ~seed () in
+  match
+    supervised_campaign ~chaos_seed (fun () ->
+        Fuzz.campaign ~sabotage:self_test ~progress ~protocols ~runs ~seed ())
+  with
+  | None -> 4
+  | Some c ->
   List.iter (fun cx -> Fmt.pr "%a@." Fuzz.pp_counterexample cx) c.Fuzz.counterexamples;
   Fmt.pr "checksum=%Lx@." c.Fuzz.checksum;
   let n_cx = List.length c.Fuzz.counterexamples in
@@ -86,8 +135,19 @@ let cmd =
   let quiet =
     Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress the periodic progress lines.")
   in
+  let chaos_seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "harness-chaos" ] ~docv:"SEED"
+          ~doc:
+            "Run the campaign under the harness supervisor with injected \
+             crashes and hangs from a seeded schedule. The campaign's stdout \
+             stays byte-identical to a chaos-free run; the recovery ledger \
+             goes to stderr. Exit 4 if even the retry budget cannot save it.")
+  in
   Cmd.v
     (Cmd.info "bap_fuzz" ~doc:"Chaos-fuzz the Byzantine agreement stack's safety oracles")
-    Term.(const run $ runs $ seed $ protocols $ self_test $ quiet)
+    Term.(const run $ runs $ seed $ protocols $ self_test $ quiet $ chaos_seed)
 
 let () = exit (Cmd.eval' cmd)

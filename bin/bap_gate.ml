@@ -20,6 +20,7 @@
 
 open Cmdliner
 module Pool = Bap_exec.Pool
+module Supervisor = Bap_exec.Supervisor
 open Bap_experiments.Common
 
 type metrics = {
@@ -95,18 +96,42 @@ let sweep_cells () =
         [ `Es; `Pk ];
     ]
 
+(* Each probe cell runs supervised (one retry, no injection): a
+   transient crash re-runs once, and a genuinely broken cell becomes a
+   typed gate failure listing which probes died — exit 1 with the cells
+   named, not a stack trace that hides how much of the sweep was fine. *)
 let run_sweep ~jobs =
   let cells = Array.of_list (sweep_cells ()) in
   let t0 = Unix.gettimeofday () in
-  let results =
-    Pool.with_pool ~jobs (fun pool -> Pool.run_all pool cells)
+  let config = { Supervisor.default_config with retries = 1 } in
+  let outcomes =
+    Supervisor.with_supervisor config (fun sup ->
+        let tasks =
+          Array.mapi
+            (fun i cell () ->
+              Supervisor.supervise sup ~key:(Printf.sprintf "gate/%d" i) cell)
+            cells
+        in
+        Pool.with_pool ~jobs (fun pool -> Pool.run_all pool tasks))
   in
   let wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
-  let metrics =
-    Array.to_list results
-    |> List.map (function Ok m -> m | Error e -> raise e)
+  let metrics, failed =
+    Array.to_list outcomes
+    |> List.mapi (fun i r -> (i, r))
+    |> List.partition_map (fun (i, r) ->
+           match r with
+           | Ok (Supervisor.Completed { value; _ }) -> Either.Left value
+           | Ok (Supervisor.Quarantined { ledger }) ->
+             Either.Right
+               (Format.asprintf "probe cell gate/%d: %a" i
+                  (fun ppf -> Supervisor.pp_ledger ppf)
+                  ledger)
+           | Error e ->
+             Either.Right
+               (Printf.sprintf "probe cell gate/%d: harness error %s" i
+                  (Printexc.to_string e)))
   in
-  (metrics, wall_ms)
+  (metrics, failed, wall_ms)
 
 (* ---------- JSON (hand-rolled: no json dependency in the image) ---------- *)
 
@@ -300,7 +325,12 @@ let check ~baseline_file ~jobs =
       (fun () -> really_input_string ic (in_channel_length ic))
   in
   let expected, base_wall = parse_baseline text in
-  let actual, wall_ms = run_sweep ~jobs in
+  let actual, failed, wall_ms = run_sweep ~jobs in
+  if failed <> [] then begin
+    List.iter (fun msg -> Printf.printf "QUARANTINED %s\n" msg) failed;
+    Printf.printf "FAILED: %d probe cell(s) died despite retry\n"
+      (List.length failed)
+  end;
   let drift = ref [] in
   let index = List.map (fun m -> (m.id, m)) actual in
   List.iter
@@ -329,18 +359,25 @@ let check ~baseline_file ~jobs =
       ((wall_ms /. base -. 1.) *. 100.)
       base
   | _ -> ());
-  match List.rev !drift with
-  | [] ->
+  match (List.rev !drift, failed) with
+  | [], [] ->
     Printf.printf "ok: all %d correctness metrics match the baseline\n"
       (List.length expected);
     0
-  | ds ->
+  | ds, _ ->
     List.iter (fun d -> Printf.printf "DRIFT %s\n" d) ds;
-    Printf.printf "FAILED: %d cell(s) drifted from %s\n" (List.length ds) baseline_file;
+    if ds <> [] then
+      Printf.printf "FAILED: %d cell(s) drifted from %s\n" (List.length ds)
+        baseline_file;
     1
 
 let write ~baseline_file ~jobs =
-  let metrics, wall_ms = run_sweep ~jobs in
+  let metrics, failed, wall_ms = run_sweep ~jobs in
+  if failed <> [] then begin
+    List.iter (fun msg -> Printf.printf "QUARANTINED %s\n" msg) failed;
+    Printf.printf "refusing to write a baseline from a degraded sweep\n";
+    exit 1
+  end;
   let oc = open_out_bin baseline_file in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
@@ -350,6 +387,7 @@ let write ~baseline_file ~jobs =
   0
 
 let run mode baseline_file jobs =
+  Supervisor.install_exit_handlers ();
   let jobs = max 1 jobs in
   match mode with
   | `Write -> write ~baseline_file ~jobs

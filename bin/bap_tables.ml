@@ -8,37 +8,126 @@
    stdout are byte-identical whatever --jobs or the cache state; timing
    goes to stderr.
 
+   Every sweep also keeps a write-ahead journal (results/sweep.journal):
+   each finished cell is flushed as it completes, so a killed run
+   resumes with --resume and reproduces the uninterrupted tables
+   exactly. Cells run supervised — crashes and watchdog timeouts are
+   retried up to --retries; cells that exhaust the budget are
+   quarantined and the sweep finishes DEGRADED (exit 4) with partial
+   tables instead of dying. --harness-chaos SEED turns the chaos layer
+   against the harness itself.
+
    Examples:
      dune exec bin/bap_tables.exe                 # quick sweeps
      dune exec bin/bap_tables.exe -- --full       # paper-sized sweeps
      dune exec bin/bap_tables.exe -- --full --jobs 8
-     dune exec bin/bap_tables.exe -- --only E5 --no-cache *)
+     dune exec bin/bap_tables.exe -- --only E5 --no-cache
+     dune exec bin/bap_tables.exe -- --resume     # continue a killed sweep
+     dune exec bin/bap_tables.exe -- --harness-chaos 7 --timeout 2 *)
 
 open Cmdliner
 module Engine = Bap_exec.Engine
 module Pool = Bap_exec.Pool
 module Cache = Bap_exec.Cache
+module Journal = Bap_exec.Journal
+module Supervisor = Bap_exec.Supervisor
+module Harness = Bap_chaos.Harness
 
-let run full only jobs no_cache cache_dir =
+let resume_command () =
+  let args = Array.to_list Sys.argv in
+  String.concat " " (args @ if List.mem "--resume" args then [] else [ "--resume" ])
+
+let run full only jobs no_cache cache_dir retries timeout journal_path no_journal
+    resume chaos_seed =
   let quick = not full in
   let jobs = match jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
   let cache = if no_cache then None else Some (Cache.create ~dir:cache_dir ()) in
-  Pool.with_pool ~jobs (fun pool ->
-      let stats =
-        match only with
-        | None -> Some (Bap_experiments.Runner.run_all ~quick ~pool ?cache ())
-        | Some id -> (
-          match Bap_experiments.Runner.run_one ~quick ~pool ?cache id with
-          | Some stats -> Some stats
-          | None ->
-            Fmt.epr "unknown experiment %S; known: %s@." id
-              (String.concat ", "
-                 (List.map (fun (i, _, _) -> i) Bap_experiments.Runner.all));
-            exit 1)
-      in
-      Option.iter
-        (fun s -> Fmt.epr "[exec] %a@." (fun ppf -> Engine.pp_stats ppf) s)
-        stats)
+  let fingerprint =
+    match cache with Some c -> Cache.fingerprint c | None -> Cache.code_fingerprint ()
+  in
+  let chaos = Option.map (fun seed -> Harness.create ~seed ()) chaos_seed in
+  (* Chaos implies a watchdog: injected hangs need a deadline to die by. *)
+  let timeout =
+    match (timeout, chaos) with None, Some _ -> Some 5.0 | t, _ -> t
+  in
+  (match (chaos, cache) with
+  | Some h, Some c ->
+    let damaged = Harness.corrupt_cache h ~dir:(Cache.dir c) in
+    if damaged > 0 then Fmt.epr "[chaos] corrupted %d cache shard(s)@." damaged
+  | _ -> ());
+  let journal =
+    if no_journal then None
+    else Some (Journal.open_ ~resume ~path:journal_path ~fingerprint ())
+  in
+  (match journal with
+  | Some j when resume ->
+    Fmt.epr "[journal] resumed %d cell(s) from %s@." (Journal.entries j)
+      (Journal.path j)
+  | _ -> ());
+  Supervisor.install_exit_handlers
+    ~on_signal:(fun ~signal_name ->
+      match journal with
+      | Some j ->
+        Journal.close j;
+        Fmt.epr "@.[%s] journal flushed: %d cell(s) in %s@.resume with:  %s@."
+          signal_name (Journal.entries j) (Journal.path j) (resume_command ())
+      | None -> Fmt.epr "@.[%s] no journal in play; nothing to resume@." signal_name)
+    ();
+  let inject =
+    Option.map
+      (fun h ~key ~attempt ->
+        match Harness.decide h ~key ~attempt with
+        | Some Harness.Crash -> Some Supervisor.Inject_crash
+        | Some Harness.Hang -> Some Supervisor.Inject_hang
+        | None -> None)
+      chaos
+  in
+  let config =
+    {
+      Supervisor.retries;
+      timeout_s = timeout;
+      seed = (match chaos_seed with Some s -> s | None -> 0);
+      inject;
+    }
+  in
+  Supervisor.with_supervisor config (fun supervisor ->
+      Pool.with_pool ~jobs (fun pool ->
+          let stats =
+            match only with
+            | None ->
+              Some
+                (Bap_experiments.Runner.run_all ~quick ~pool ?cache ?journal
+                   ~supervisor ())
+            | Some id -> (
+              match
+                Bap_experiments.Runner.run_one ~quick ~pool ?cache ?journal
+                  ~supervisor id
+              with
+              | Some stats -> Some stats
+              | None ->
+                Fmt.epr "unknown experiment %S; known: %s@." id
+                  (String.concat ", "
+                     (List.map (fun (i, _, _) -> i) Bap_experiments.Runner.all));
+                exit 1)
+          in
+          Option.iter Journal.close journal;
+          match stats with
+          | None -> ()
+          | Some s ->
+            Fmt.epr "[exec] %a@." (fun ppf -> Engine.pp_stats ppf) s;
+            List.iter
+              (fun (cid, ledger) ->
+                Fmt.epr "[supervisor] %s: %a@." cid
+                  (fun ppf -> Supervisor.pp_ledger ppf)
+                  ledger)
+              s.Engine.ledgers;
+            if Engine.degraded s then begin
+              List.iter
+                (fun (exp_id, key) ->
+                  Fmt.epr "[supervisor] QUARANTINED %s/%s@." exp_id key)
+                s.Engine.quarantined;
+              exit 4
+            end))
 
 let cmd =
   let full =
@@ -70,8 +159,57 @@ let cmd =
       & opt string Cache.default_dir
       & info [ "cache-dir" ] ~docv:"DIR" ~doc:"Result cache directory.")
   in
+  let retries =
+    Arg.(
+      value & opt int 2
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Extra attempts for a crashed or timed-out cell before it is \
+             quarantined.")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECS"
+          ~doc:
+            "Per-attempt watchdog deadline. Cooperative: cells observe it at \
+             their next supervision tick. Defaults to none (5.0 under \
+             --harness-chaos).")
+  in
+  let journal_path =
+    Arg.(
+      value
+      & opt string Journal.default_path
+      & info [ "journal" ] ~docv:"PATH" ~doc:"Write-ahead journal for the sweep.")
+  in
+  let no_journal =
+    Arg.(value & flag & info [ "no-journal" ] ~doc:"Disable the sweep journal.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume a killed sweep from its journal: cells already recorded \
+             are replayed, only the rest run. Output is byte-identical to an \
+             uninterrupted run.")
+  in
+  let chaos_seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "harness-chaos" ] ~docv:"SEED"
+          ~doc:
+            "Inject worker crashes, hangs, and cache-shard corruption into the \
+             harness itself from a seeded schedule. The default schedule only \
+             faults early attempts, so the supervised sweep recovers to \
+             byte-identical tables.")
+  in
   Cmd.v
     (Cmd.info "bap_tables" ~doc:"Regenerate the reproduction experiment tables")
-    Term.(const run $ full $ only $ jobs $ no_cache $ cache_dir)
+    Term.(
+      const run $ full $ only $ jobs $ no_cache $ cache_dir $ retries $ timeout
+      $ journal_path $ no_journal $ resume $ chaos_seed)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,96 @@
+(* Chaos for the harness itself: PR 1 made the simulated protocol
+   fault-injectable; this schedule attacks the execution stack that runs
+   it. Faults are derived purely from (seed, cell key, attempt), so two
+   runs of the same seed inject exactly the same crashes and hangs at
+   any --jobs level — which is what lets the tests assert that a
+   fault-injected sweep recovers to byte-identical output.
+
+   The recovery guarantee is built into the schedule: a non-doomed cell
+   only faults on its first [faulty_attempts] attempts, so any retry
+   budget >= faulty_attempts recovers every such cell. Doomed cells
+   (off by default) fault on every attempt — they exercise the
+   quarantine / DEGRADED path. *)
+
+type fault = Crash | Hang
+
+type t = {
+  seed : int;
+  crash_pct : int;
+  hang_pct : int;
+  doomed_pct : int;
+  cache_pct : int;
+  faulty_attempts : int;
+}
+
+let create ?(crash_pct = 25) ?(hang_pct = 10) ?(doomed_pct = 0)
+    ?(cache_pct = 25) ?(faulty_attempts = 2) ~seed () =
+  let pct name v =
+    if v < 0 || v > 100 then
+      invalid_arg (Printf.sprintf "Harness.create: %s = %d not in 0..100" name v)
+  in
+  pct "crash_pct" crash_pct;
+  pct "hang_pct" hang_pct;
+  pct "doomed_pct" doomed_pct;
+  pct "cache_pct" cache_pct;
+  if crash_pct + hang_pct > 100 then
+    invalid_arg "Harness.create: crash_pct + hang_pct > 100";
+  if faulty_attempts < 0 then invalid_arg "Harness.create: faulty_attempts < 0";
+  { seed; crash_pct; hang_pct; doomed_pct; cache_pct; faulty_attempts }
+
+let djb2 s =
+  String.fold_left (fun h c -> ((h * 33) + Char.code c) land max_int) 5381 s
+
+let roll t ~salt ~key = djb2 (Printf.sprintf "%d|%s|%s" t.seed salt key) mod 100
+
+let doomed t ~key = roll t ~salt:"doom" ~key < t.doomed_pct
+
+let decide t ~key ~attempt =
+  if doomed t ~key then Some Crash
+  else if attempt >= t.faulty_attempts then None
+  else
+    let r = roll t ~salt:(string_of_int attempt) ~key in
+    if r < t.crash_pct then Some Crash
+    else if r < t.crash_pct + t.hang_pct then Some Hang
+    else None
+
+let corrupt_cache t ~dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then 0
+  else begin
+    let shards =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".rows")
+      |> List.sort String.compare
+    in
+    List.fold_left
+      (fun n shard ->
+        if roll t ~salt:"cache" ~key:shard < t.cache_pct then begin
+          let p = Filename.concat dir shard in
+          (* Flip one byte in place: enough to break the entry's digest
+             check, exactly the damage verify-on-read must absorb. *)
+          match
+            let fd = Unix.openfile p [ Unix.O_RDWR ] 0o644 in
+            Fun.protect
+              ~finally:(fun () -> Unix.close fd)
+              (fun () ->
+                let size = (Unix.fstat fd).Unix.st_size in
+                if size = 0 then false
+                else begin
+                  let off = djb2 (Printf.sprintf "%d|off|%s" t.seed shard) mod size in
+                  ignore (Unix.lseek fd off Unix.SEEK_SET);
+                  let b = Bytes.create 1 in
+                  if Unix.read fd b 0 1 <> 1 then false
+                  else begin
+                    Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xff));
+                    ignore (Unix.lseek fd off Unix.SEEK_SET);
+                    ignore (Unix.write fd b 0 1);
+                    true
+                  end
+                end)
+          with
+          | true -> n + 1
+          | false -> n
+          | exception Unix.Unix_error _ -> n
+        end
+        else n)
+      0 shards
+  end

@@ -1,0 +1,45 @@
+(** Seeded chaos schedules for the execution harness itself.
+
+    Where {!Schedule} injects faults into the *simulated protocol*, this
+    module injects them into the *stack that runs the experiments*:
+    worker crashes, artificial hangs, and cache-shard corruption, all
+    derived purely from (seed, cell key, attempt). Same seed, same
+    faults — at any [--jobs] level — so tests can assert the supervisor
+    recovers a fault-injected sweep to byte-identical output.
+
+    No dependency on [lib/exec]: the sweep binaries adapt {!fault} to
+    [Supervisor.injected]. *)
+
+type fault = Crash | Hang
+
+type t
+
+val create :
+  ?crash_pct:int ->
+  ?hang_pct:int ->
+  ?doomed_pct:int ->
+  ?cache_pct:int ->
+  ?faulty_attempts:int ->
+  seed:int ->
+  unit ->
+  t
+(** Defaults: 25% crash, 10% hang, 0% doomed, 25% cache corruption,
+    [faulty_attempts = 2]. A non-doomed cell only faults on its first
+    [faulty_attempts] attempts, so any retry budget >= that recovers it
+    — the default schedule degrades nothing. [doomed_pct] marks cells
+    that fault on {e every} attempt, forcing quarantine. Raises
+    [Invalid_argument] on percentages outside 0..100 or
+    [crash_pct + hang_pct > 100]. *)
+
+val decide : t -> key:string -> attempt:int -> fault option
+(** The fault (if any) to inject into this attempt of this cell. Pure:
+    depends only on the schedule and its arguments. *)
+
+val doomed : t -> key:string -> bool
+(** Whether this cell faults on every attempt under this schedule. *)
+
+val corrupt_cache : t -> dir:string -> int
+(** Flip one byte in a deterministic subset ([cache_pct]) of the
+    [*.rows] shards under [dir], returning how many were damaged —
+    exactly the torn-write damage the cache's verify-on-read must absorb
+    as misses. Missing directory = 0. *)

@@ -1,13 +1,13 @@
 type rows = string list list
 
-type t = { root : string; fingerprint : string }
+type t = { root : string; fingerprint : string; corrupt : int Atomic.t }
 
 let default_dir = Filename.concat "results" "cache"
 
 let code_fingerprint () =
   match Digest.file Sys.executable_name with
   | d -> Digest.to_hex d
-  | exception _ -> "no-executable-fingerprint"
+  | exception Sys_error _ -> "no-executable-fingerprint"
 
 let rec mkdir_p d =
   if not (Sys.file_exists d) then begin
@@ -19,33 +19,37 @@ let create ?fingerprint ~dir () =
   let fingerprint =
     match fingerprint with Some f -> f | None -> code_fingerprint ()
   in
-  (try mkdir_p dir with _ -> ());
-  { root = dir; fingerprint }
+  mkdir_p dir;
+  { root = dir; fingerprint; corrupt = Atomic.make 0 }
 
 let dir t = t.root
+let fingerprint t = t.fingerprint
+let corrupt_count t = Atomic.get t.corrupt
+
+let cell_address ~fingerprint ~exp_id ~scope ~cell_key =
+  Digest.to_hex
+    (Digest.string (String.concat "\x00" [ fingerprint; exp_id; scope; cell_key ]))
 
 let key t ~exp_id ~scope ~cell_key =
-  Digest.to_hex
-    (Digest.string
-       (String.concat "\x00" [ t.fingerprint; exp_id; scope; cell_key ]))
+  cell_address ~fingerprint:t.fingerprint ~exp_id ~scope ~cell_key
 
 let path t k = Filename.concat t.root (k ^ ".rows")
 
-(* Entry format, line oriented:
-     bap-cache 1
-     <number of rows>
+(* Row payload, line oriented:
      <field-count>TAB<escaped field>TAB...   (one line per row)
    Fields go through String.escaped, which escapes tabs and newlines, so
-   splitting on the literal TAB is unambiguous. *)
+   splitting on the literal TAB is unambiguous. An entry on disk wraps
+   the payload with a digest:
+     bap-cache 2
+     <md5 hex of the payload>
+     <payload lines...>
+   Verify-on-read of the digest catches torn writes *and* bit flips
+   inside field text, which the v1 per-line field counts could not. *)
 
-let magic = "bap-cache 1"
+let magic = "bap-cache 2"
 
-let encode rows =
+let encode_rows rows =
   let b = Buffer.create 256 in
-  Buffer.add_string b magic;
-  Buffer.add_char b '\n';
-  Buffer.add_string b (string_of_int (List.length rows));
-  Buffer.add_char b '\n';
   List.iter
     (fun row ->
       Buffer.add_string b
@@ -55,32 +59,49 @@ let encode rows =
     rows;
   Buffer.contents b
 
+let decode_rows s =
+  let lines =
+    (* A well-formed payload ends in '\n'; the final split fragment is
+       the empty string, not a row. *)
+    match String.split_on_char '\n' s with
+    | ls when List.length ls > 0 && String.equal (List.nth ls (List.length ls - 1)) "" ->
+      List.filteri (fun i _ -> i < List.length ls - 1) ls
+    | ls -> ls
+  in
+  let parse_row line =
+    match String.split_on_char '\t' line with
+    | count :: fields -> (
+      match int_of_string_opt count with
+      | Some c when c = List.length fields -> (
+        try Some (List.map Scanf.unescaped fields)
+        with Scanf.Scan_failure _ | Failure _ -> None)
+      | _ -> None)
+    | [] -> None
+  in
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | l :: ls -> ( match parse_row l with Some r -> go (r :: acc) ls | None -> None)
+  in
+  go [] lines
+
+let encode rows =
+  let payload = encode_rows rows in
+  String.concat "\n" [ magic; Digest.to_hex (Digest.string payload); payload ]
+
 let decode s =
-  match String.split_on_char '\n' s with
-  | m :: count :: rest when String.equal m magic -> (
-    match int_of_string_opt count with
-    | None -> None
-    | Some nrows when nrows >= 0 && List.length rest >= nrows ->
-      let parse_row line =
-        match String.split_on_char '\t' line with
-        | count :: fields -> (
-          match int_of_string_opt count with
-          | Some c when c = List.length fields -> (
-            try Some (List.map Scanf.unescaped fields) with _ -> None)
-          | _ -> None)
-        | [] -> None
-      in
-      let rec take k = function
-        | _ when k = 0 -> Some []
-        | [] -> None
-        | l :: ls -> (
-          match (parse_row l, take (k - 1) ls) with
-          | Some row, Some rows -> Some (row :: rows)
-          | _ -> None)
-      in
-      take nrows rest
-    | Some _ -> None)
-  | _ -> None
+  match String.index_opt s '\n' with
+  | None -> None
+  | Some i -> (
+    if not (String.equal (String.sub s 0 i) magic) then None
+    else
+      match String.index_from_opt s (i + 1) '\n' with
+      | None -> None
+      | Some j ->
+        let digest = String.sub s (i + 1) (j - i - 1) in
+        let payload = String.sub s (j + 1) (String.length s - j - 1) in
+        if String.equal digest (Digest.to_hex (Digest.string payload)) then
+          decode_rows payload
+        else None)
 
 let read_file p =
   let ic = open_in_bin p in
@@ -90,7 +111,19 @@ let read_file p =
 
 let find t k =
   let p = path t k in
-  if Sys.file_exists p then (try decode (read_file p) with _ -> None) else None
+  if not (Sys.file_exists p) then None
+  else
+    let contents = try Some (read_file p) with Sys_error _ -> None in
+    match Option.map decode contents with
+    | Some (Some rows) -> Some rows
+    | Some None ->
+      (* Corrupt entry: a torn write or on-disk damage. Leaving it would
+         cost a decode on every future run — delete it, count it, and
+         let the engine surface the tally. *)
+      Atomic.incr t.corrupt;
+      (try Sys.remove p with Sys_error _ -> ());
+      None
+    | None -> None
 
 let store t k rows =
   try
@@ -101,4 +134,4 @@ let store t k rows =
       ~finally:(fun () -> close_out_noerr oc)
       (fun () -> output_string oc (encode rows));
     Sys.rename tmp (path t k)
-  with _ -> ()
+  with Sys_error _ -> ()

@@ -5,10 +5,12 @@
     running executable, so rebuilding with different code invalidates
     every entry while re-running the same binary hits; experiments never
     need to declare which code they depend on. Entries live one per file
-    under the cache directory ([results/cache/] by default) in a plain
-    line-oriented text format, and are written atomically (temp file +
-    rename) so concurrent writers of the same key cannot tear an
-    entry. *)
+    under the cache directory ([results/cache/] by default) as a
+    digest-framed text payload (format [bap-cache 2]), and are written
+    atomically (temp file + rename) so concurrent writers of the same
+    key cannot tear an entry. A corrupt entry — torn write, bit flip,
+    stale v1 format — is treated as a miss, deleted from disk, and
+    counted; the engine surfaces the tally in its summary line. *)
 
 type t
 
@@ -29,12 +31,31 @@ val create : ?fingerprint:string -> dir:string -> unit -> t
 
 val dir : t -> string
 
+val fingerprint : t -> string
+(** The fingerprint this cache (and any journal sharing it) is keyed on. *)
+
+val cell_address :
+  fingerprint:string -> exp_id:string -> scope:string -> cell_key:string -> string
+(** Stable hex address of one cell. The same address scheme keys the
+    sweep journal, so cache and journal agree on cell identity. *)
+
 val key : t -> exp_id:string -> scope:string -> cell_key:string -> string
-(** Stable hex address of one cell under the cache's fingerprint. *)
+(** [cell_address] under the cache's own fingerprint. *)
 
 val find : t -> string -> rows option
-(** Lookup by {!key}. Corrupt or unreadable entries behave as misses. *)
+(** Lookup by {!key}. Corrupt or unreadable entries behave as misses;
+    corrupt ones are additionally deleted and counted. *)
 
 val store : t -> string -> rows -> unit
 (** Persist a cell result. Best-effort: an unwritable cache directory
     degrades to "no caching" rather than failing the run. *)
+
+val corrupt_count : t -> int
+(** Corrupt entries encountered (and deleted) since [create]. *)
+
+val encode_rows : rows -> string
+(** Serialize rows to the line-oriented payload format (no digest
+    framing). Shared with the journal's record payloads. *)
+
+val decode_rows : string -> rows option
+(** Inverse of {!encode_rows}; [None] on any malformation. *)

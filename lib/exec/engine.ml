@@ -1,20 +1,33 @@
 type stats = {
   total_cells : int;
   cache_hits : int;
+  journal_hits : int;
   executed : int;
+  retried : int;
+  quarantined : (string * string) list;
+  ledgers : (string * Supervisor.attempt_record list) list;
+  cache_corrupt : int;
   jobs : int;
   wall : float;
 }
 
+let degraded s = s.quarantined <> []
+
 (* A cell of some plan, flattened into the global batch. *)
 type slot = {
   plan_idx : int;
+  exp_id : string;
   cell : Plan.cell;
+  cid : string; (* Plan.cell_id — supervisor / chaos / report identity *)
   addr : string option; (* cache address, when a cache is in play *)
+  jaddr : string option; (* journal address, when a journal is in play *)
   mutable result : Plan.row list option; (* None until computed *)
+  mutable ledger : Supervisor.attempt_record list;
+  mutable quarantined : bool;
 }
 
-let run ?pool ?(cache : Cache.t option) ?(render = true) (plans : Plan.t list) =
+let run ?pool ?(cache : Cache.t option) ?(journal : Journal.t option)
+    ?(supervisor : Supervisor.t option) ?(render = true) (plans : Plan.t list) =
   let t0 = Unix.gettimeofday () in
   let slots =
     List.concat
@@ -28,60 +41,139 @@ let run ?pool ?(cache : Cache.t option) ?(render = true) (plans : Plan.t list) =
                      Cache.key c ~exp_id:p.exp_id ~scope:p.scope ~cell_key:cell.key)
                    cache
                in
-               { plan_idx; cell; addr; result = None })
+               let jaddr =
+                 Option.map
+                   (fun j ->
+                     Journal.address j ~exp_id:p.exp_id ~scope:p.scope
+                       ~cell_key:cell.key)
+                   journal
+               in
+               {
+                 plan_idx;
+                 exp_id = p.exp_id;
+                 cell;
+                 cid = Plan.cell_id ~exp_id:p.exp_id ~scope:p.scope ~key:cell.key;
+                 addr;
+                 jaddr;
+                 result = None;
+                 ledger = [];
+                 quarantined = false;
+               })
              p.cells)
          plans)
   in
+  (* Journal pass first: the journal is this sweep's own write-ahead log,
+     so a resumed run trusts it before consulting the shared cache. *)
+  List.iter
+    (fun s ->
+      match (journal, s.jaddr) with
+      | Some j, Some a -> s.result <- Journal.find j a
+      | _ -> ())
+    slots;
+  let journal_hits = List.length (List.filter (fun s -> s.result <> None) slots) in
   (* Cache pass. *)
   List.iter
     (fun s ->
       match (cache, s.addr) with
-      | Some c, Some a -> s.result <- Cache.find c a
+      | Some c, Some a when s.result = None -> s.result <- Cache.find c a
       | _ -> ())
     slots;
   let misses = List.filter (fun s -> s.result = None) slots in
-  let cache_hits = List.length slots - List.length misses in
-  (* Compute pass: the pool when given, inline otherwise. *)
-  let tasks =
-    Array.of_list (List.map (fun s () -> s.cell.Plan.run ()) misses)
+  let cache_hits = List.length slots - List.length misses - journal_hits in
+  (* Anything already known (journal or cache hit) still belongs in the
+     journal, so a later resume never depends on the cache's fate. *)
+  let persist_known s =
+    match (journal, s.jaddr, s.result) with
+    | Some j, Some a, Some rows -> Journal.append j a rows
+    | _ -> ()
   in
+  List.iter (fun s -> if s.result <> None then persist_known s) slots;
+  (* Persist one freshly computed slot: journal first (the crash-safety
+     contract), then the cache. Runs on the computing domain via the
+     pool's on_result hook, so a kill loses only unfinished cells. *)
+  let persist_fresh s =
+    (match (journal, s.jaddr, s.result) with
+    | Some j, Some a, Some rows -> Journal.append j a rows
+    | _ -> ());
+    match (cache, s.addr, s.result) with
+    | Some c, Some a, Some rows -> Cache.store c a rows
+    | _ -> ()
+  in
+  (* Compute pass: the pool when given, inline otherwise. Supervised
+     tasks fold every failure into their slot and never raise; the
+     unsupervised path keeps the historical re-raise semantics. *)
+  let miss_arr = Array.of_list misses in
+  let tasks =
+    Array.map
+      (fun s ->
+        match supervisor with
+        | None ->
+          fun () ->
+            s.result <- Some (s.cell.Plan.run ());
+            ()
+        | Some sup ->
+          fun () ->
+            (match Supervisor.supervise sup ~key:s.cid s.cell.Plan.run with
+            | Supervisor.Completed { value; ledger; _ } ->
+              s.result <- Some value;
+              s.ledger <- ledger
+            | Supervisor.Quarantined { ledger } ->
+              s.quarantined <- true;
+              s.ledger <- ledger);
+            ())
+      miss_arr
+  in
+  let on_result i = persist_fresh miss_arr.(i) in
   let results =
     match pool with
-    | Some pool -> Pool.run_all pool tasks
-    | None -> Array.map (fun f -> try Ok (f ()) with e -> Error e) tasks
+    | Some pool -> Pool.run_all ~on_result pool tasks
+    | None ->
+      Array.mapi
+        (fun i f ->
+          let r = try Ok (f ()) with e -> Error e in
+          on_result i;
+          r)
+        tasks
   in
-  Array.iter (function Error e -> raise e | Ok _ -> ()) results;
-  List.iteri
-    (fun i s ->
-      match results.(i) with
-      | Ok rows -> s.result <- Some rows
-      | Error _ -> assert false)
-    misses;
-  (* Persist fresh results. *)
-  (match cache with
-  | None -> ()
-  | Some c ->
-    List.iter
-      (fun s ->
-        match (s.addr, s.result) with
-        | Some a, Some rows -> Cache.store c a rows
-        | _ -> ())
-      misses);
+  (* Without a supervisor a raise still aborts the sweep (after the batch
+     has settled and everything finished is journaled). *)
+  Array.iter (function Error e -> raise e | Ok () -> ()) results;
   let wall = Unix.gettimeofday () -. t0 in
-  (* Render serially, in plan order, cells in canonical order. *)
+  (* Render serially, in plan order, cells in canonical order.
+     Quarantined cells are simply absent from their plan's input — the
+     renderer prints a partial table and the runner marks it DEGRADED. *)
   if render then
     List.iteri
       (fun plan_idx (p : Plan.t) ->
         let mine = List.filter (fun s -> s.plan_idx = plan_idx) slots in
         let keyed =
-          List.map (fun s -> (s.cell.Plan.key, Option.get s.result)) mine
+          List.filter_map
+            (fun s ->
+              Option.map (fun rows -> (s.cell.Plan.key, rows)) s.result)
+            mine
         in
         p.render keyed)
       plans;
+  let failed = List.filter (fun s -> s.ledger <> []) misses in
   {
     total_cells = List.length slots;
     cache_hits;
-    executed = List.length misses;
+    journal_hits;
+    executed = Array.length miss_arr;
+    retried =
+      List.fold_left
+        (fun acc s ->
+          acc
+          + List.length s.ledger
+          - if s.quarantined then 1 else 0
+          (* a quarantined cell's final failure was not retried *))
+        0 failed;
+    quarantined =
+      List.filter_map
+        (fun s -> if s.quarantined then Some (s.exp_id, s.cell.Plan.key) else None)
+        misses;
+    ledgers = List.map (fun s -> (s.cid, s.ledger)) failed;
+    cache_corrupt = (match cache with Some c -> Cache.corrupt_count c | None -> 0);
     jobs = (match pool with Some p -> Pool.size p | None -> 1);
     wall;
   }
@@ -92,4 +184,13 @@ let pp_stats ppf s =
   Format.fprintf ppf "%d cells: %d cached, %d ran on %d worker%s in %.2fs"
     s.total_cells s.cache_hits s.executed s.jobs
     (if s.jobs = 1 then "" else "s")
-    s.wall
+    s.wall;
+  if s.journal_hits > 0 then
+    Format.fprintf ppf ", %d from journal" s.journal_hits;
+  if s.retried > 0 then
+    Format.fprintf ppf ", %d failed attempt(s) retried" s.retried;
+  if s.cache_corrupt > 0 then
+    Format.fprintf ppf ", cache corrupt entries: %d" s.cache_corrupt;
+  if s.quarantined <> [] then
+    Format.fprintf ppf ", DEGRADED: %d cell(s) quarantined"
+      (List.length s.quarantined)

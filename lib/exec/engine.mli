@@ -1,27 +1,59 @@
 (** The execution engine: fan experiment cells out over a domain pool,
-    short-circuit through the result cache, reassemble tables in
-    canonical order.
+    short-circuit through the journal and the result cache, reassemble
+    tables in canonical order.
 
-    Output on stdout is byte-identical whatever the pool size or cache
-    state, because cells never print — every byte comes from the plans'
-    [render] functions, called serially in plan order after all cells
-    have finished. *)
+    Output on stdout is byte-identical whatever the pool size, cache or
+    journal state, because cells never print — every byte comes from the
+    plans' [render] functions, called serially in plan order after all
+    cells have finished.
+
+    With a [supervisor], cell failures no longer abort the sweep: each
+    failing attempt is retried per the supervisor's budget and cells
+    that exhaust it are quarantined — omitted from their plan's render
+    input and listed in [stats.quarantined], leaving the sweep complete
+    but DEGRADED. With a [journal], every finished cell is flushed to a
+    write-ahead log as it completes, so a killed sweep resumes without
+    recomputing. *)
 
 type stats = {
   total_cells : int;
   cache_hits : int;
-  executed : int;  (** [total_cells - cache_hits]. *)
+  journal_hits : int;  (** Cells replayed from a resumed journal. *)
+  executed : int;  (** Cells actually run this time. *)
+  retried : int;  (** Failed attempts that were retried (and so re-run). *)
+  quarantined : (string * string) list;
+      (** [(exp_id, cell key)] of cells that exhausted their retry
+          budget, in plan order. Empty = clean run. *)
+  ledgers : (string * Supervisor.attempt_record list) list;
+      (** Per-cell failure ledgers ({!Plan.cell_id} keyed), for every
+          cell that failed at least one attempt. Deterministic for a
+          fixed supervisor seed. *)
+  cache_corrupt : int;  (** Corrupt cache entries deleted during the run. *)
   jobs : int;  (** Pool parallelism used (1 when no pool given). *)
   wall : float;  (** Seconds spent computing (excludes rendering). *)
 }
 
-val run : ?pool:Pool.t -> ?cache:Cache.t -> ?render:bool -> Plan.t list -> stats
-(** Run every plan's cells (cache first, then the pool for the misses,
-    inline when [pool] is absent), store fresh results back, then render
-    each plan in order. [render:false] skips the rendering pass — for
-    timing sweeps without producing output. If any cell raised, its
-    exception is re-raised after the whole batch has settled and nothing
-    is rendered or stored. *)
+val degraded : stats -> bool
+(** [quarantined <> []] — the sweep completed but lost cells. *)
+
+val run :
+  ?pool:Pool.t ->
+  ?cache:Cache.t ->
+  ?journal:Journal.t ->
+  ?supervisor:Supervisor.t ->
+  ?render:bool ->
+  Plan.t list ->
+  stats
+(** Run every plan's cells — journal replay first, then cache, then the
+    pool for the rest (inline when [pool] is absent) — persisting each
+    fresh result to journal and cache as it completes, then render each
+    plan in order. [render:false] skips the rendering pass — for timing
+    sweeps without producing output.
+
+    Without [supervisor], a raising cell re-raises after the whole batch
+    has settled (everything finished is already journaled) and nothing
+    is rendered. With one, failures are retried/quarantined and the run
+    always renders — partially, if cells were lost. *)
 
 val run_serial : Plan.t -> unit
 (** [run ~pool:none ~cache:none] on one plan: the reference serial
@@ -29,4 +61,7 @@ val run_serial : Plan.t -> unit
 
 val pp_stats : Format.formatter -> stats -> unit
 (** One-line report, e.g.
-    ["26 cells: 20 cached, 6 ran on 8 workers in 1.24s"]. *)
+    ["26 cells: 20 cached, 6 ran on 8 workers in 1.24s, 3 from journal,
+      2 failed attempt(s) retried, cache corrupt entries: 1, DEGRADED:
+      1 cell(s) quarantined"] — the optional segments appear only when
+    nonzero. *)

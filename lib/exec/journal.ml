@@ -1,0 +1,154 @@
+(* Crash-safe write-ahead journal for sweeps.
+
+   Every completed cell is appended as one framed record and flushed
+   before the sweep moves on, so a SIGKILL (or CI timeout, or Ctrl-C)
+   loses at most the cells that had not finished. On resume the valid
+   prefix is replayed, a torn tail is truncated away, and the sweep
+   re-runs only what is missing — producing byte-identical tables to an
+   uninterrupted run at any --jobs level, because rendering order comes
+   from the plan, never from completion order.
+
+   On-disk format (text, line-framed):
+
+     bap-journal 1 <fingerprint>\n
+     cell <addr> <payload-bytes> <md5 hex of payload>\n
+     <payload>
+     cell ...
+
+   where <addr> is the Cache.cell_address of the cell under
+   <fingerprint> and <payload> is Cache.encode_rows of its result
+   (payloads end in '\n' by construction). The digest makes any torn or
+   damaged record — and everything after it — detectable; the
+   fingerprint makes a journal written by a different build invalid as
+   a whole, exactly like the cache. *)
+
+type t = {
+  jpath : string;
+  fp : string;
+  entries : (string, Cache.rows) Hashtbl.t;
+  mutable oc : out_channel option;
+  jm : Mutex.t;
+}
+
+let default_path = Filename.concat "results" "sweep.journal"
+
+let header_of fp = Printf.sprintf "bap-journal 1 %s\n" fp
+
+let read_file p =
+  let ic = open_in_bin p in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Parse the longest valid prefix. Returns the entries found (in file
+   order) and the byte offset where validity ends. A header mismatch
+   validates zero bytes, discarding the stale journal wholesale. *)
+let parse_prefix ~fp s =
+  let header = header_of fp in
+  let hlen = String.length header in
+  if String.length s < hlen || not (String.equal (String.sub s 0 hlen) header)
+  then ([], 0)
+  else begin
+    let entries = ref [] in
+    let pos = ref hlen in
+    let valid = ref hlen in
+    let ok = ref true in
+    while !ok do
+      match String.index_from_opt s !pos '\n' with
+      | None -> ok := false
+      | Some eol -> (
+        let line = String.sub s !pos (eol - !pos) in
+        match String.split_on_char ' ' line with
+        | [ "cell"; addr; len; digest ] -> (
+          match int_of_string_opt len with
+          | Some n when n >= 0 && eol + 1 + n <= String.length s ->
+            let payload = String.sub s (eol + 1) n in
+            if String.equal digest (Digest.to_hex (Digest.string payload)) then (
+              match Cache.decode_rows payload with
+              | Some rows ->
+                entries := (addr, rows) :: !entries;
+                pos := eol + 1 + n;
+                valid := !pos
+              | None -> ok := false)
+            else ok := false
+          | _ -> ok := false)
+        | _ -> ok := false)
+    done;
+    (List.rev !entries, !valid)
+  end
+
+let rec mkdir_p d =
+  if not (Sys.file_exists d) then begin
+    mkdir_p (Filename.dirname d);
+    try Sys.mkdir d 0o755 with Sys_error _ -> ()
+  end
+
+(* Best-effort open: an unwritable journal path degrades to "no
+   journaling" (oc = None) rather than failing the sweep. *)
+let open_ ?(resume = false) ~path ~fingerprint () =
+  let entries = Hashtbl.create 64 in
+  let t =
+    { jpath = path; fp = fingerprint; entries; oc = None; jm = Mutex.create () }
+  in
+  mkdir_p (Filename.dirname path);
+  (try
+     if resume && Sys.file_exists path then begin
+       let parsed, valid = parse_prefix ~fp:fingerprint (read_file path) in
+       List.iter (fun (addr, rows) -> Hashtbl.replace entries addr rows) parsed;
+       if valid = 0 then begin
+         (* Stale build or corrupt header: start the journal over. *)
+         let oc = open_out_bin path in
+         output_string oc (header_of fingerprint);
+         flush oc;
+         t.oc <- Some oc
+       end
+       else begin
+         (* Drop the torn tail, then append after the valid prefix. *)
+         (try Unix.truncate path valid with Unix.Unix_error _ -> ());
+         let oc = open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path in
+         t.oc <- Some oc
+       end
+     end
+     else begin
+       let oc = open_out_bin path in
+       output_string oc (header_of fingerprint);
+       flush oc;
+       t.oc <- Some oc
+     end
+   with Sys_error _ -> ());
+  t
+
+let find t addr = Hashtbl.find_opt t.entries addr
+
+let append t addr rows =
+  if not (Hashtbl.mem t.entries addr) then begin
+    Hashtbl.replace t.entries addr rows;
+    Mutex.lock t.jm;
+    (match t.oc with
+    | Some oc -> (
+      try
+        let payload = Cache.encode_rows rows in
+        Printf.fprintf oc "cell %s %d %s\n%s" addr (String.length payload)
+          (Digest.to_hex (Digest.string payload))
+          payload;
+        (* One flush per record is the crash-safety contract: after
+           [append] returns, a SIGKILL cannot lose this cell. *)
+        flush oc
+      with Sys_error _ -> t.oc <- None)
+    | None -> ());
+    Mutex.unlock t.jm
+  end
+
+let address t = Cache.cell_address ~fingerprint:t.fp
+let entries t = Hashtbl.length t.entries
+let path t = t.jpath
+
+let close t =
+  Mutex.lock t.jm;
+  (match t.oc with
+  | Some oc ->
+    (try flush oc with Sys_error _ -> ());
+    close_out_noerr oc;
+    t.oc <- None
+  | None -> ());
+  Mutex.unlock t.jm

@@ -12,3 +12,5 @@ let cell key run = { key; run }
 let row_cell key run = { key; run = (fun () -> [ run () ]) }
 let rows results = List.concat_map snd results
 let scope_of_quick quick = if quick then "quick" else "full"
+let keys t = List.map (fun c -> c.key) t.cells
+let cell_id ~exp_id ~scope ~key = String.concat "/" [ exp_id; scope; key ]

@@ -39,3 +39,13 @@ val rows : (string * row list) list -> row list
     input. *)
 
 val scope_of_quick : bool -> string
+
+val keys : t -> string list
+(** Every cell key, in canonical order — what a complete table contains,
+    so renderers can name exactly which cells a DEGRADED run lost. *)
+
+val cell_id : exp_id:string -> scope:string -> key:string -> string
+(** ["E1/full/f=3,m=4"] — the human-readable cell identity used by the
+    supervisor's quarantine reports and chaos schedules (the cache and
+    journal use {!Cache.cell_address}, which also folds in the code
+    fingerprint). *)

@@ -81,9 +81,24 @@ let create ~jobs =
 
 let size = function Inline -> 1 | Par { st; _ } -> st.jobs
 
-let run_all t fs =
+(* A raising [on_result] callback would kill the worker domain that ran
+   it and deadlock the batch's completion handshake, so it is guarded:
+   persistence hooks are best-effort by contract and report their own
+   failures through their own channels (e.g. the journal degrading to
+   closed). *)
+(* LINT: waive R001 guard keeps worker domains alive; hooks self-report *)
+let guarded_cb cb i = try cb i with _ -> ()
+
+let run_all ?on_result t fs =
+  let notify i = match on_result with Some cb -> guarded_cb cb i | None -> () in
   match t with
-  | Inline -> Array.map (fun f -> try Ok (f ()) with e -> Error e) fs
+  | Inline ->
+    Array.mapi
+      (fun i f ->
+        let r = try Ok (f ()) with e -> Error e in
+        notify i;
+        r)
+      fs
   | Par p ->
     if p.down then invalid_arg "Pool.run_all: pool is shut down";
     let st = p.st in
@@ -95,7 +110,10 @@ let run_all t fs =
       Mutex.lock st.m;
       Array.iteri
         (fun i f ->
-          let run () = results.(i) <- (try Ok (f ()) with e -> Error e) in
+          let run () =
+            results.(i) <- (try Ok (f ()) with e -> Error e);
+            notify i
+          in
           Queue.push { run } st.queues.(i mod st.jobs))
         fs;
       st.pending <- st.pending + n;

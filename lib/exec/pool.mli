@@ -22,12 +22,19 @@ val default_jobs : unit -> int
 val size : t -> int
 (** Parallelism the pool was created with (>= 1). *)
 
-val run_all : t -> (unit -> 'a) array -> ('a, exn) result array
+val run_all :
+  ?on_result:(int -> unit) -> t -> (unit -> 'a) array -> ('a, exn) result array
 (** Run a batch, blocking until every task has finished. Result [i]
     belongs to task [i] whatever order the tasks actually ran in. A
     task's exception is captured in its own slot; it neither kills the
     worker nor poisons the rest of the batch, and the pool stays usable
-    for further batches. Raises [Invalid_argument] after {!shutdown}. *)
+    for further batches. Raises [Invalid_argument] after {!shutdown}.
+
+    [on_result i] fires on the domain that ran task [i], right after its
+    slot is written — the engine's incremental-persistence hook (journal
+    append, cache store), so a kill mid-batch loses only unfinished
+    cells. The callback must be thread-safe; exceptions it raises are
+    swallowed (a raising hook would kill its worker domain). *)
 
 val shutdown : t -> unit
 (** Join all worker domains. Idempotent. Any batch submitted after

@@ -23,16 +23,35 @@ let all = [
   ("E13", "component ablation of Algorithm 1", E13_component_ablation.plan);
 ]
 
-let plans ?quick () = List.map (fun (_, _, plan) -> plan ?quick ()) all
+(* Under a supervisor, a quarantined cell is simply missing from the
+   render input. The renderers themselves stay oblivious — this wrapper
+   prints the explicit DEGRADED marker under any table that came up
+   short, naming exactly the cells that were lost. *)
+let wrap_degraded (p : Plan.t) =
+  let render keyed =
+    p.render keyed;
+    let present = List.map fst keyed in
+    let missing =
+      List.filter (fun k -> not (List.mem k present)) (Plan.keys p)
+    in
+    Bap_stats.Table.print_degraded ~exp_id:p.exp_id ~quarantined:missing
+  in
+  { p with render }
 
-let run_all ?quick ?pool ?cache ?render () =
-  Engine.run ?pool ?cache ?render (plans ?quick ())
+let plans ?quick () =
+  List.map (fun (_, _, plan) -> wrap_degraded (plan ?quick ())) all
 
-let run_one ?quick ?pool ?cache id =
+let run_all ?quick ?pool ?cache ?journal ?supervisor ?render () =
+  Engine.run ?pool ?cache ?journal ?supervisor ?render (plans ?quick ())
+
+let run_one ?quick ?pool ?cache ?journal ?supervisor id =
   match
     List.find_opt
       (fun (eid, _, _) -> String.lowercase_ascii eid = String.lowercase_ascii id)
       all
   with
-  | Some (_, _, plan) -> Some (Engine.run ?pool ?cache [ plan ?quick () ])
+  | Some (_, _, plan) ->
+    Some
+      (Engine.run ?pool ?cache ?journal ?supervisor
+         [ wrap_degraded (plan ?quick ()) ])
   | None -> None

@@ -79,6 +79,14 @@ let catalog =
       summary = "module without an .mli in an interface-complete library";
     };
     {
+      id = "R001";
+      severity = Error;
+      summary =
+        "bare `with _ ->` / `try ... with e -> ()` swallowing exceptions \
+         outside the supervisor: failures must surface as typed Cell_failure \
+         outcomes";
+    };
+    {
       id = "X001";
       severity = Error;
       summary = "source file failed to parse";

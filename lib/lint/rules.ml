@@ -22,6 +22,10 @@ let in_dir dir path =
 let rng_home = "lib/sim/rng.ml"
 let marshal_home = "lib/exec/cache.ml"
 
+(* The one place allowed to fold arbitrary exceptions into data: that is
+   its whole job (raises become typed Cell_failure outcomes there). *)
+let supervisor_home = "lib/exec/supervisor.ml"
+
 (* Wall-clock reads are the business of the execution engine (worker
    pools, cache timing) and the CLIs/benches that report them. *)
 let clock_allowed path = in_dir "lib/exec" path || in_dir "bin" path || in_dir "bench" path
@@ -119,6 +123,32 @@ let rec protocol_shaped e =
   | Pexp_tuple es -> List.exists protocol_shaped es
   | Pexp_constraint (e, _) -> protocol_shaped e
   | _ -> false
+
+(* R001: a handler that swallows every exception. Catch-all patterns
+   ([_], also through alias/constraint/or) always swallow; a named
+   binder ([with e -> ...]) only counts when the body is literally [()]
+   — binding-and-inspecting or re-raising idioms stay quiet, since the
+   exception's identity survives. *)
+let rec catch_all_pat p =
+  match p.ppat_desc with
+  | Ppat_any -> true
+  | Ppat_alias (p, _) | Ppat_constraint (p, _) -> catch_all_pat p
+  | Ppat_or (a, b) -> catch_all_pat a || catch_all_pat b
+  | _ -> false
+
+let rec is_unit_expr e =
+  match e.pexp_desc with
+  | Pexp_construct ({ txt = Longident.Lident "()"; _ }, None) -> true
+  | Pexp_constraint (e, _) -> is_unit_expr e
+  | _ -> false
+
+let swallows_exception_case c =
+  c.pc_guard = None
+  && (catch_all_pat c.pc_lhs
+     ||
+     match c.pc_lhs.ppat_desc with
+     | Ppat_var _ -> is_unit_expr c.pc_rhs
+     | _ -> false)
 
 (* ---------- the walk ---------- *)
 
@@ -236,6 +266,35 @@ let check (src : Source.t) : Finding.t list =
           (match e.pexp_desc with
           | Pexp_ident { txt; loc } -> check_ident ~loc txt
           | _ -> ());
+          (* R001: exception-swallowing handlers. *)
+          (if path <> supervisor_home then
+             match e.pexp_desc with
+             | Pexp_try (_, cases) ->
+               List.iter
+                 (fun c ->
+                   if swallows_exception_case c then
+                     emit ~loc:c.pc_lhs.ppat_loc "R001"
+                       "handler swallows every exception; catch the expected \
+                        constructors or run the code under the supervisor")
+                 cases
+             | Pexp_match (_, cases) ->
+               List.iter
+                 (fun c ->
+                   match c.pc_lhs.ppat_desc with
+                   | Ppat_exception p
+                     when c.pc_guard = None
+                          && (catch_all_pat p
+                             ||
+                             match p.ppat_desc with
+                             | Ppat_var _ -> is_unit_expr c.pc_rhs
+                             | _ -> false) ->
+                     emit ~loc:c.pc_lhs.ppat_loc "R001"
+                       "exception case swallows every exception; match the \
+                        expected constructors or run the code under the \
+                        supervisor"
+                   | _ -> ())
+                 cases
+             | _ -> ());
           match e.pexp_desc with
           | Pexp_apply (f, args) -> (
             (* D003: Hashtbl iteration order. *)

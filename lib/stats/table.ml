@@ -19,3 +19,14 @@ let render ~headers rows =
   String.concat "\n" (fmt_row headers :: sep :: List.map fmt_row rows)
 
 let print ~headers rows = print_endline (render ~headers rows)
+
+let degraded_banner ~exp_id ~quarantined =
+  Printf.sprintf
+    "!! DEGRADED %s: %d cell(s) quarantined after exhausting their retry \
+     budget: %s"
+    exp_id
+    (List.length quarantined)
+    (String.concat "; " quarantined)
+
+let print_degraded ~exp_id ~quarantined =
+  if quarantined <> [] then print_endline (degraded_banner ~exp_id ~quarantined)

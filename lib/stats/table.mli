@@ -6,3 +6,12 @@ val render : headers:string list -> string list list -> string
 
 val print : headers:string list -> string list list -> unit
 (** [render] to stdout, followed by a newline. *)
+
+val degraded_banner : exp_id:string -> quarantined:string list -> string
+(** The marker printed under a partial table when cells were quarantined,
+    e.g. ["!! DEGRADED E1: 2 cell(s) quarantined after exhausting their
+    retry budget: f=3,m=4; f=5,m=8"]. *)
+
+val print_degraded : exp_id:string -> quarantined:string list -> unit
+(** [degraded_banner] to stdout when [quarantined] is non-empty; silent
+    otherwise, so clean tables stay byte-identical. *)

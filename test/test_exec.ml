@@ -162,12 +162,36 @@ let test_cache_corrupt_entry_is_a_miss () =
     Alcotest.(check bool) "round-trips escapes" true
       (rows = [ [ "a"; "b" ]; [ "tab\there"; "nl\nthere" ] ])
   | None -> Alcotest.fail "stored entry not found");
-  (* Truncate the entry on disk: must behave as a miss, not an error. *)
+  (* Truncate the entry on disk: must behave as a miss, not an error —
+     and the damaged shard must be deleted and counted, not left to
+     cost a failed decode on every future run. *)
   let path = Filename.concat dir (k ^ ".rows") in
   let oc = open_out_bin path in
   output_string oc "bap-cache 1\n2\n";
   close_out oc;
-  Alcotest.(check bool) "corrupt entry is a miss" true (Cache.find c k = None)
+  Alcotest.(check int) "no corruption seen yet" 0 (Cache.corrupt_count c);
+  Alcotest.(check bool) "corrupt entry is a miss" true (Cache.find c k = None);
+  Alcotest.(check int) "corrupt entry counted" 1 (Cache.corrupt_count c);
+  Alcotest.(check bool) "corrupt entry deleted" false (Sys.file_exists path);
+  Alcotest.(check bool) "second lookup a plain miss" true (Cache.find c k = None);
+  Alcotest.(check int) "plain miss not double-counted" 1 (Cache.corrupt_count c);
+  (* A single flipped byte inside field text (what Harness.corrupt_cache
+     injects) must also fail the digest check. *)
+  Cache.store c k [ [ "payload" ] ];
+  let text =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let b = Bytes.of_string text in
+  let off = Bytes.length b - 2 in
+  Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0xff));
+  let oc = open_out_bin path in
+  output_bytes oc b;
+  close_out oc;
+  Alcotest.(check bool) "bit-flipped entry is a miss" true (Cache.find c k = None);
+  Alcotest.(check int) "bit flip counted" 2 (Cache.corrupt_count c)
 
 let suite =
   [

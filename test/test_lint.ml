@@ -168,6 +168,34 @@ let test_l002 () =
   check_ids "monitor is not (yet) interface-complete" []
     (Rules.check_interfaces ~mls:[ "lib/monitor/foo.ml" ] ~mlis:[])
 
+(* ---------- R001: exception-swallowing handlers ---------- *)
+
+let test_r001 () =
+  check_ids "bare catch-all fires" [ "R001" ]
+    (lint ~path:"lib/core/x.ml" "let f g = try g () with _ -> 0");
+  check_ids "named binder discarded to unit fires" [ "R001" ]
+    (lint ~path:"lib/core/x.ml" "let f g = try g () with e -> ()");
+  check_ids "catch-all through an or-pattern fires" [ "R001" ]
+    (lint ~path:"lib/core/x.ml" "let f g = try g () with Not_found | _ -> 0");
+  check_ids "exception case in a match fires" [ "R001" ]
+    (lint ~path:"lib/core/x.ml"
+       "let f g = match g () with x -> x | exception _ -> 0");
+  check_ids "typed handler is the idiom" []
+    (lint ~path:"lib/core/x.ml" "let f g = try g () with Not_found -> 0");
+  check_ids "binding and using the exception is fine" []
+    (lint ~path:"lib/exec/x.ml" "let f g = try Ok (g ()) with e -> Error e");
+  check_ids "typed exception case is fine" []
+    (lint ~path:"lib/core/x.ml"
+       "let f g = match g () with x -> x | exception Not_found -> 0");
+  check_ids "the supervisor is the sanctioned home" []
+    (lint ~path:"lib/exec/supervisor.ml" "let f g = try g () with _ -> 0")
+
+let test_r001_waiver () =
+  check_ids "waiver suppresses the guard idiom" []
+    (lint ~path:"lib/exec/x.ml"
+       "(* LINT: waive R001 keeps worker domains alive *)\n\
+        let guarded cb i = try cb i with _ -> ()")
+
 (* ---------- X001: parse failures surface as findings ---------- *)
 
 let test_x001 () =
@@ -234,6 +262,8 @@ let suite =
     Alcotest.test_case "S001 waiver" `Quick test_s001_waiver;
     Alcotest.test_case "L001 layering" `Quick test_l001;
     Alcotest.test_case "L002 interfaces" `Quick test_l002;
+    Alcotest.test_case "R001 exception swallowing" `Quick test_r001;
+    Alcotest.test_case "R001 waiver" `Quick test_r001_waiver;
     Alcotest.test_case "X001 parse failure" `Quick test_x001;
     Alcotest.test_case "baseline round-trip" `Quick test_baseline_roundtrip;
     Alcotest.test_case "repo lints clean" `Quick test_repo_is_clean;
