@@ -33,9 +33,18 @@ module Journal = Bap_exec.Journal
 module Supervisor = Bap_exec.Supervisor
 module Harness = Bap_chaos.Harness
 
+let shell_quote a =
+  let plain = function
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' -> true
+    | '-' | '_' | '.' | '/' | '=' | ':' | ',' | '+' | '%' | '@' -> true
+    | _ -> false
+  in
+  if a <> "" && String.for_all plain a then a else Filename.quote a
+
 let resume_command () =
   let args = Array.to_list Sys.argv in
-  String.concat " " (args @ if List.mem "--resume" args then [] else [ "--resume" ])
+  let args = args @ if List.mem "--resume" args then [] else [ "--resume" ] in
+  String.concat " " (List.map shell_quote args)
 
 let run full only jobs no_cache cache_dir retries timeout journal_path no_journal
     resume chaos_seed =
@@ -68,7 +77,9 @@ let run full only jobs no_cache cache_dir retries timeout journal_path no_journa
     ~on_signal:(fun ~signal_name ->
       match journal with
       | Some j ->
-        Journal.close j;
+        (* Non-blocking: the handler may have interrupted Journal.append
+           on this very thread, which already holds the journal lock. *)
+        Journal.signal_close j;
         Fmt.epr "@.[%s] journal flushed: %d cell(s) in %s@.resume with:  %s@."
           signal_name (Journal.entries j) (Journal.path j) (resume_command ())
       | None -> Fmt.epr "@.[%s] no journal in play; nothing to resume@." signal_name)

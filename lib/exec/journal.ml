@@ -77,6 +77,12 @@ let parse_prefix ~fp s =
     (List.rev !entries, !valid)
   end
 
+let write_record oc addr rows =
+  let payload = Cache.encode_rows rows in
+  Printf.fprintf oc "cell %s %d %s\n%s" addr (String.length payload)
+    (Digest.to_hex (Digest.string payload))
+    payload
+
 let rec mkdir_p d =
   if not (Sys.file_exists d) then begin
     mkdir_p (Filename.dirname d);
@@ -93,7 +99,8 @@ let open_ ?(resume = false) ~path ~fingerprint () =
   mkdir_p (Filename.dirname path);
   (try
      if resume && Sys.file_exists path then begin
-       let parsed, valid = parse_prefix ~fp:fingerprint (read_file path) in
+       let contents = read_file path in
+       let parsed, valid = parse_prefix ~fp:fingerprint contents in
        List.iter (fun (addr, rows) -> Hashtbl.replace entries addr rows) parsed;
        if valid = 0 then begin
          (* Stale build or corrupt header: start the journal over. *)
@@ -104,9 +111,27 @@ let open_ ?(resume = false) ~path ~fingerprint () =
        end
        else begin
          (* Drop the torn tail, then append after the valid prefix. *)
-         (try Unix.truncate path valid with Unix.Unix_error _ -> ());
-         let oc = open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path in
-         t.oc <- Some oc
+         let truncated =
+           valid = String.length contents
+           || (try Unix.truncate path valid; true
+               with Unix.Unix_error _ -> false)
+         in
+         if truncated then begin
+           let oc =
+             open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path
+           in
+           t.oc <- Some oc
+         end
+         else begin
+           (* Truncate failed, so the torn tail is stuck on disk. Appending
+              after it would hide every later record behind the corrupt one
+              on the next resume — rewrite the valid prefix fresh instead. *)
+           let oc = open_out_bin path in
+           output_string oc (header_of fingerprint);
+           List.iter (fun (addr, rows) -> write_record oc addr rows) parsed;
+           flush oc;
+           t.oc <- Some oc
+         end
        end
      end
      else begin
@@ -121,34 +146,50 @@ let open_ ?(resume = false) ~path ~fingerprint () =
 let find t addr = Hashtbl.find_opt t.entries addr
 
 let append t addr rows =
+  (* The dedup check and the table update must both sit inside the lock:
+     append runs concurrently from every pool worker, and OCaml 5's
+     Hashtbl is not domain-safe — a racing replace/resize can corrupt
+     the table. *)
+  Mutex.lock t.jm;
   if not (Hashtbl.mem t.entries addr) then begin
     Hashtbl.replace t.entries addr rows;
-    Mutex.lock t.jm;
-    (match t.oc with
+    match t.oc with
     | Some oc -> (
       try
-        let payload = Cache.encode_rows rows in
-        Printf.fprintf oc "cell %s %d %s\n%s" addr (String.length payload)
-          (Digest.to_hex (Digest.string payload))
-          payload;
+        write_record oc addr rows;
         (* One flush per record is the crash-safety contract: after
            [append] returns, a SIGKILL cannot lose this cell. *)
         flush oc
       with Sys_error _ -> t.oc <- None)
-    | None -> ());
-    Mutex.unlock t.jm
-  end
+    | None -> ()
+  end;
+  Mutex.unlock t.jm
 
 let address t = Cache.cell_address ~fingerprint:t.fp
 let entries t = Hashtbl.length t.entries
 let path t = t.jpath
 
-let close t =
-  Mutex.lock t.jm;
-  (match t.oc with
+let close_locked t =
+  match t.oc with
   | Some oc ->
     (try flush oc with Sys_error _ -> ());
     close_out_noerr oc;
     t.oc <- None
-  | None -> ());
+  | None -> ()
+
+let close t =
+  Mutex.lock t.jm;
+  close_locked t;
   Mutex.unlock t.jm
+
+let signal_close t =
+  (* Called from a signal handler, which may have interrupted the very
+     thread that holds [t.jm] inside [append] — a blocking lock would
+     self-deadlock. If the lock is contended we simply skip the close:
+     every record is flushed as it is appended, so at most one
+     in-progress record is lost, and the resume path discards a torn
+     tail anyway. *)
+  if Mutex.try_lock t.jm then begin
+    close_locked t;
+    Mutex.unlock t.jm
+  end

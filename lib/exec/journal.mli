@@ -44,3 +44,10 @@ val path : t -> string
 
 val close : t -> unit
 (** Flush and release the file handle. Idempotent. *)
+
+val signal_close : t -> unit
+(** Signal-handler-safe {!close}: acquires the journal lock with a
+    non-blocking attempt, so a handler that interrupted {!append}
+    mid-record cannot self-deadlock on the lock it already holds. If
+    the lock is contended, nothing is done — every appended record is
+    already flushed, so nothing recorded is lost. *)

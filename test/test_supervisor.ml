@@ -108,6 +108,39 @@ let test_journal_kill_and_resume () =
   Journal.close j4;
   Sys.remove jpath
 
+(* Concurrent appends from many domains: the dedup table must be
+   serialised by the journal lock (OCaml 5 Hashtbl is not domain-safe),
+   and signal_close must stay safe and idempotent alongside close. *)
+let test_journal_concurrent_append () =
+  let jpath = temp_path "bap-journal-conc" in
+  let fingerprint = "test-build" in
+  let j = Journal.open_ ~path:jpath ~fingerprint () in
+  let per_domain = 200 and domains = 6 in
+  let worker d () =
+    for i = 0 to per_domain - 1 do
+      (* Half the addresses are shared across domains so the dedup path
+         runs under real contention, not just the happy path. *)
+      let addr =
+        if i mod 2 = 0 then Printf.sprintf "shared-%d" i
+        else Printf.sprintf "own-%d-%d" d i
+      in
+      Journal.append j addr [ [ string_of_int d; string_of_int i ] ]
+    done
+  in
+  let ds = List.init domains (fun d -> Domain.spawn (worker d)) in
+  List.iter Domain.join ds;
+  let expected = (per_domain / 2) + (domains * per_domain / 2) in
+  Alcotest.(check int) "every distinct address recorded once" expected
+    (Journal.entries j);
+  Journal.signal_close j;
+  Journal.signal_close j;
+  Journal.close j;
+  (* What signal_close left on disk is a valid resumable journal. *)
+  let j2 = Journal.open_ ~resume:true ~path:jpath ~fingerprint () in
+  Alcotest.(check int) "resume sees every record" expected (Journal.entries j2);
+  Journal.close j2;
+  Sys.remove jpath
+
 (* (c) Retry ledgers are a pure function of the seed. *)
 let test_ledger_deterministic () =
   let run () =
@@ -222,6 +255,8 @@ let suite =
       test_chaos_jobs1_equals_jobs8;
     Alcotest.test_case "journal: kill, resume, byte-identical" `Quick
       test_journal_kill_and_resume;
+    Alcotest.test_case "journal: concurrent append + signal_close" `Quick
+      test_journal_concurrent_append;
     Alcotest.test_case "ledger: stable across re-runs of a seed" `Quick
       test_ledger_deterministic;
     Alcotest.test_case "quarantine: DEGRADED table, not abort" `Quick
