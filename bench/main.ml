@@ -16,6 +16,7 @@ module Pki = Bap_crypto.Pki
 module Engine = Bap_exec.Engine
 module Pool = Bap_exec.Pool
 module Cache = Bap_exec.Cache
+module Tel = Bap_telemetry.Telemetry
 
 let stage = Bechamel.Staged.stage
 
@@ -105,6 +106,50 @@ let int_flag args name ~default =
   in
   find args
 
+let string_flag args name =
+  let rec find = function
+    | f :: v :: _ when f = name -> Some v
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find args
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+(* CI gate: the telemetry spine must cost < 5% wall-clock when recording
+   a full JSONL trace of the quick sweep. min-of-3 on each side filters
+   scheduler noise; both sides are fresh uncached sweeps so cache state
+   cannot tilt the comparison. Exit 1 on regression. *)
+let trace_overhead ~jobs =
+  let trace_path = Filename.concat (Filename.get_temp_dir_name ()) "bap_overhead.jsonl" in
+  let sweep () =
+    Pool.with_pool ~jobs (fun pool ->
+        Bap_experiments.Runner.run_all ~quick:true ~pool ~render:false ())
+  in
+  let min_of_3 f =
+    let walls = List.init 3 (fun _ -> (f ()).Engine.wall) in
+    List.fold_left Float.min infinity walls
+  in
+  let off = min_of_3 sweep in
+  let on_ =
+    min_of_3 (fun () ->
+        Tel.install ~wall:true (Tel.Jsonl trace_path);
+        Fun.protect ~finally:Tel.shutdown sweep)
+  in
+  (try Sys.remove trace_path with Sys_error _ -> ());
+  let overhead = (on_ -. off) /. Float.max 1e-9 off in
+  Printf.printf
+    "trace overhead: off %.2fs  on %.2fs  overhead %+.1f%% (budget 5%%)\n"
+    off on_ (100. *. overhead);
+  if overhead > 0.05 then begin
+    Printf.printf "FAILED: tracing overhead above budget\n";
+    exit 1
+  end
+
 let () =
   let args = Array.to_list Sys.argv in
   let full = List.mem "--full" args in
@@ -112,7 +157,16 @@ let () =
   let bench_only = List.mem "--bench-only" args in
   let no_cache = List.mem "--no-cache" args in
   let jobs = int_flag args "--jobs" ~default:1 in
+  let trace_out = string_flag args "--trace-out" in
+  let metrics_json = string_flag args "--metrics-json" in
   let quick = not full in
+  if List.mem "--trace-overhead" args then begin
+    trace_overhead ~jobs;
+    exit 0
+  end;
+  (match trace_out with
+  | Some path -> Tel.install ~wall:true (Tel.Jsonl path)
+  | None -> if metrics_json <> None then Tel.install Tel.Counters_only);
   if not bench_only then begin
     Printf.printf "Experiment tables (E1-E13; see DESIGN.md and EXPERIMENTS.md)%s\n"
       (if full then " [full sweeps]" else " [quick sweeps; pass --full for paper-sized]");
@@ -137,4 +191,8 @@ let () =
         (ser.Engine.wall /. Float.max 1e-9 par.Engine.wall)
     end
   end;
-  if not tables_only then run_benches ()
+  if not tables_only then run_benches ();
+  (match metrics_json with
+  | Some path -> write_file path (Tel.Metrics.to_json (Tel.Metrics.snapshot ()))
+  | None -> ());
+  Tel.shutdown ()

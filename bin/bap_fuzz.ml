@@ -16,6 +16,7 @@ module Fuzz = Bap_chaos.Fuzz
 module Schedule = Bap_chaos.Schedule
 module Harness = Bap_chaos.Harness
 module Supervisor = Bap_exec.Supervisor
+module Tel = Bap_telemetry.Telemetry
 open Cmdliner
 
 let parse_protocols s =
@@ -61,7 +62,7 @@ let supervised_campaign ~chaos_seed f =
             ledger;
           None)
 
-let run runs seed protocols self_test quiet chaos_seed =
+let run_campaign runs seed protocols self_test quiet chaos_seed =
   Supervisor.install_exit_handlers
     ~on_signal:(fun ~signal_name ->
       Fmt.epr "@.[%s] campaign interrupted; re-run the same command to \
@@ -109,6 +110,23 @@ let run runs seed protocols self_test quiet chaos_seed =
     2
   end
 
+let run runs seed protocols self_test quiet chaos_seed trace_out metrics_json =
+  (* Telemetry goes to files only: campaign stdout stays a pure function
+     of the seed. *)
+  (match trace_out with
+  | Some path -> Tel.install ~wall:true (Tel.Jsonl path)
+  | None -> if metrics_json <> None then Tel.install Tel.Counters_only);
+  let code = run_campaign runs seed protocols self_test quiet chaos_seed in
+  (match metrics_json with
+  | Some path ->
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (Tel.Metrics.to_json (Tel.Metrics.snapshot ())))
+  | None -> ());
+  Tel.shutdown ();
+  code
+
 let cmd =
   let runs =
     Arg.(value & opt int 500 & info [ "runs" ] ~doc:"Number of random configurations.")
@@ -146,8 +164,26 @@ let cmd =
              stays byte-identical to a chaos-free run; the recovery ledger \
              goes to stderr. Exit 4 if even the retry budget cannot save it.")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a JSONL telemetry trace of every simulated execution in \
+             the campaign. Analyse with bap_trace. Never touches stdout.")
+  in
+  let metrics_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-json" ] ~docv:"FILE"
+          ~doc:"Write the merged metrics registry as JSON after the campaign.")
+  in
   Cmd.v
     (Cmd.info "bap_fuzz" ~doc:"Chaos-fuzz the Byzantine agreement stack's safety oracles")
-    Term.(const run $ runs $ seed $ protocols $ self_test $ quiet $ chaos_seed)
+    Term.(
+      const run $ runs $ seed $ protocols $ self_test $ quiet $ chaos_seed
+      $ trace_out $ metrics_json)
 
 let () = exit (Cmd.eval' cmd)

@@ -145,142 +145,9 @@ let json_of ~metrics ~wall_ms =
     "{\n  \"version\": 1,\n  \"wall_ms\": %.1f,\n  \"cells\": [\n%s\n  ]\n}\n" wall_ms
     (String.concat ",\n" (List.map cell metrics))
 
-(* Minimal recursive-descent parser for the subset we emit. *)
-module Json = struct
-  type t =
-    | Null
-    | Bool of bool
-    | Num of float
-    | Str of string
-    | List of t list
-    | Obj of (string * t) list
-
-  exception Parse of string
-
-  let parse (s : string) : t =
-    let n = String.length s in
-    let pos = ref 0 in
-    let fail msg = raise (Parse (Printf.sprintf "%s at offset %d" msg !pos)) in
-    let peek () = if !pos < n then Some s.[!pos] else None in
-    let advance () = incr pos in
-    let rec skip_ws () =
-      match peek () with
-      | Some (' ' | '\t' | '\n' | '\r') ->
-        advance ();
-        skip_ws ()
-      | _ -> ()
-    in
-    let expect c =
-      match peek () with
-      | Some c' when c' = c -> advance ()
-      | _ -> fail (Printf.sprintf "expected %c" c)
-    in
-    let literal word v =
-      String.iter expect word;
-      v
-    in
-    let string_lit () =
-      expect '"';
-      let b = Buffer.create 16 in
-      let rec go () =
-        match peek () with
-        | None -> fail "unterminated string"
-        | Some '"' -> advance ()
-        | Some '\\' ->
-          advance ();
-          (match peek () with
-          | Some 'n' -> Buffer.add_char b '\n'
-          | Some 't' -> Buffer.add_char b '\t'
-          | Some 'r' -> Buffer.add_char b '\r'
-          | Some (('"' | '\\' | '/') as c) -> Buffer.add_char b c
-          | _ -> fail "unsupported escape");
-          advance ();
-          go ()
-        | Some c ->
-          Buffer.add_char b c;
-          advance ();
-          go ()
-      in
-      go ();
-      Buffer.contents b
-    in
-    let number () =
-      let start = !pos in
-      let is_num c =
-        (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
-      in
-      while (match peek () with Some c when is_num c -> true | _ -> false) do
-        advance ()
-      done;
-      match float_of_string_opt (String.sub s start (!pos - start)) with
-      | Some f -> f
-      | None -> fail "bad number"
-    in
-    let rec value () =
-      skip_ws ();
-      match peek () with
-      | Some '{' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some '}' then (advance (); Obj [])
-        else
-          let rec fields acc =
-            skip_ws ();
-            let k = string_lit () in
-            skip_ws ();
-            expect ':';
-            let v = value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-              advance ();
-              fields ((k, v) :: acc)
-            | Some '}' ->
-              advance ();
-              Obj (List.rev ((k, v) :: acc))
-            | _ -> fail "expected , or }"
-          in
-          fields []
-      | Some '[' ->
-        advance ();
-        skip_ws ();
-        if peek () = Some ']' then (advance (); List [])
-        else
-          let rec items acc =
-            let v = value () in
-            skip_ws ();
-            match peek () with
-            | Some ',' ->
-              advance ();
-              items (v :: acc)
-            | Some ']' ->
-              advance ();
-              List (List.rev (v :: acc))
-            | _ -> fail "expected , or ]"
-          in
-          items []
-      | Some '"' -> Str (string_lit ())
-      | Some 't' -> literal "true" (Bool true)
-      | Some 'f' -> literal "false" (Bool false)
-      | Some 'n' -> literal "null" Null
-      | Some _ -> Num (number ())
-      | None -> fail "unexpected end of input"
-    in
-    let v = value () in
-    skip_ws ();
-    if !pos <> n then fail "trailing garbage";
-    v
-
-  let member k = function
-    | Obj fields -> List.assoc_opt k fields
-    | _ -> None
-
-  let to_int = function Some (Num f) -> Some (int_of_float f) | _ -> None
-  let to_float = function Some (Num f) -> Some f | _ -> None
-  let to_bool = function Some (Bool b) -> Some b | _ -> None
-  let to_string = function Some (Str s) -> Some s | _ -> None
-  let to_list = function Some (List l) -> Some l | _ -> None
-end
+(* JSON parsing lives in lib/telemetry (shared with the trace sinks and
+   bap_trace); this alias keeps the call sites below unchanged. *)
+module Json = Bap_telemetry.Json
 
 let parse_baseline text =
   let open Json in
@@ -386,12 +253,54 @@ let write ~baseline_file ~jobs =
     baseline_file wall_ms;
   0
 
-let run mode baseline_file jobs =
+(* ---------- the stats gate ---------- *)
+
+(* Consume a bap_tables --stats-json report and mirror bap_tables' own
+   exit discipline: 4 when the sweep was DEGRADED (quarantined cells),
+   0 when clean. Lets CI gate on a sweep that ran elsewhere. *)
+let check_stats ~stats_file =
+  let text =
+    let ic = open_in_bin stats_file in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let open Json in
+  match parse text with
+  | exception Parse msg ->
+    Printf.printf "bap_gate: %s: unparseable stats: %s\n" stats_file msg;
+    1
+  | j ->
+    let field k = Option.value ~default:0 (to_int (member k j)) in
+    let quarantined = Option.value ~default:[] (to_list (member "quarantined" j)) in
+    Printf.printf
+      "bap_gate: stats %s: %d cells (%d executed, %d cache hits, %d journal \
+       hits) on %d job(s), %d retried\n"
+      stats_file (field "total_cells") (field "executed") (field "cache_hits")
+      (field "journal_hits") (field "jobs") (field "retried");
+    if quarantined = [] then begin
+      Printf.printf "ok: sweep clean\n";
+      0
+    end
+    else begin
+      List.iter
+        (fun q ->
+          Printf.printf "QUARANTINED %s/%s\n"
+            (Option.value ~default:"?" (to_string (member "exp_id" q)))
+            (Option.value ~default:"?" (to_string (member "key" q))))
+        quarantined;
+      Printf.printf "FAILED: sweep DEGRADED (%d cell(s) quarantined)\n"
+        (List.length quarantined);
+      4
+    end
+
+let run mode baseline_file jobs stats_file =
   Supervisor.install_exit_handlers ();
   let jobs = max 1 jobs in
-  match mode with
-  | `Write -> write ~baseline_file ~jobs
-  | `Check -> check ~baseline_file ~jobs
+  match (stats_file, mode) with
+  | Some stats_file, _ -> check_stats ~stats_file
+  | None, `Write -> write ~baseline_file ~jobs
+  | None, `Check -> check ~baseline_file ~jobs
 
 let cmd =
   let mode =
@@ -414,9 +323,19 @@ let cmd =
       value & opt int 1
       & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Worker domains for the sweep.")
   in
+  let stats_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "check-stats" ] ~docv:"FILE"
+          ~doc:
+            "Instead of sweeping, read a bap_tables --stats-json report and \
+             exit 4 if that sweep was DEGRADED (quarantined cells), 0 if \
+             clean.")
+  in
   Cmd.v
     (Cmd.info "bap_gate"
        ~doc:"Bench-regression gate: deterministic smoke sweep vs committed baseline")
-    Term.(const run $ mode $ baseline $ jobs)
+    Term.(const run $ mode $ baseline $ jobs $ stats_file)
 
 let () = exit (Cmd.eval' cmd)

@@ -32,6 +32,13 @@ module Cache = Bap_exec.Cache
 module Journal = Bap_exec.Journal
 module Supervisor = Bap_exec.Supervisor
 module Harness = Bap_chaos.Harness
+module Tel = Bap_telemetry.Telemetry
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
 
 let shell_quote a =
   let plain = function
@@ -47,7 +54,12 @@ let resume_command () =
   String.concat " " (List.map shell_quote args)
 
 let run full only jobs no_cache cache_dir retries timeout journal_path no_journal
-    resume chaos_seed =
+    resume chaos_seed trace_out metrics_json stats_json =
+  (* Telemetry writes only to the named files, never stdout, so the
+     tables stay byte-identical whether or not tracing is on. *)
+  (match trace_out with
+  | Some path -> Tel.install ~wall:true (Tel.Jsonl path)
+  | None -> if metrics_json <> None then Tel.install Tel.Counters_only);
   let quick = not full in
   let jobs = match jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
   let cache = if no_cache then None else Some (Cache.create ~dir:cache_dir ()) in
@@ -101,44 +113,59 @@ let run full only jobs no_cache cache_dir retries timeout journal_path no_journa
       inject;
     }
   in
-  Supervisor.with_supervisor config (fun supervisor ->
-      Pool.with_pool ~jobs (fun pool ->
-          let stats =
-            match only with
-            | None ->
-              Some
-                (Bap_experiments.Runner.run_all ~quick ~pool ?cache ?journal
-                   ~supervisor ())
-            | Some id -> (
-              match
-                Bap_experiments.Runner.run_one ~quick ~pool ?cache ?journal
-                  ~supervisor id
-              with
-              | Some stats -> Some stats
+  let final_stats = ref None in
+  let code =
+    Supervisor.with_supervisor config (fun supervisor ->
+        Pool.with_pool ~jobs (fun pool ->
+            let stats =
+              match only with
               | None ->
-                Fmt.epr "unknown experiment %S; known: %s@." id
-                  (String.concat ", "
-                     (List.map (fun (i, _, _) -> i) Bap_experiments.Runner.all));
-                exit 1)
-          in
-          Option.iter Journal.close journal;
-          match stats with
-          | None -> ()
-          | Some s ->
-            Fmt.epr "[exec] %a@." (fun ppf -> Engine.pp_stats ppf) s;
-            List.iter
-              (fun (cid, ledger) ->
-                Fmt.epr "[supervisor] %s: %a@." cid
-                  (fun ppf -> Supervisor.pp_ledger ppf)
-                  ledger)
-              s.Engine.ledgers;
-            if Engine.degraded s then begin
+                Some
+                  (Bap_experiments.Runner.run_all ~quick ~pool ?cache ?journal
+                     ~supervisor ())
+              | Some id -> (
+                match
+                  Bap_experiments.Runner.run_one ~quick ~pool ?cache ?journal
+                    ~supervisor id
+                with
+                | Some stats -> Some stats
+                | None ->
+                  Fmt.epr "unknown experiment %S; known: %s@." id
+                    (String.concat ", "
+                       (List.map (fun (i, _, _) -> i) Bap_experiments.Runner.all));
+                  exit 1)
+            in
+            Option.iter Journal.close journal;
+            match stats with
+            | None -> 0
+            | Some s ->
+              final_stats := Some s;
+              Fmt.epr "[exec] %a@." (fun ppf -> Engine.pp_stats ppf) s;
               List.iter
-                (fun (exp_id, key) ->
-                  Fmt.epr "[supervisor] QUARANTINED %s/%s@." exp_id key)
-                s.Engine.quarantined;
-              exit 4
-            end))
+                (fun (cid, ledger) ->
+                  Fmt.epr "[supervisor] %s: %a@." cid
+                    (fun ppf -> Supervisor.pp_ledger ppf)
+                    ledger)
+                s.Engine.ledgers;
+              if Engine.degraded s then begin
+                List.iter
+                  (fun (exp_id, key) ->
+                    Fmt.epr "[supervisor] QUARANTINED %s/%s@." exp_id key)
+                  s.Engine.quarantined;
+                4
+              end
+              else 0))
+  in
+  (* Flush the telemetry artifacts before a DEGRADED exit: a partial
+     sweep's trace is exactly the one worth inspecting. *)
+  (match metrics_json with
+  | Some path -> write_file path (Tel.Metrics.to_json (Tel.Metrics.snapshot ()))
+  | None -> ());
+  (match (stats_json, !final_stats) with
+  | Some path, Some s -> write_file path (Engine.stats_json s)
+  | _ -> ());
+  Tel.shutdown ();
+  if code <> 0 then exit code
 
 let cmd =
   let full =
@@ -217,10 +244,41 @@ let cmd =
              faults early attempts, so the supervised sweep recovers to \
              byte-identical tables.")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a JSONL telemetry trace (Chrome trace-event compatible) of \
+             the sweep: round/phase spans from the simulator, cell lifecycle \
+             spans from the engine. Analyse with bap_trace. Never touches \
+             stdout.")
+  in
+  let metrics_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-json" ] ~docv:"FILE"
+          ~doc:
+            "Write the merged metrics registry (counters, gauges, histograms) \
+             as JSON after the sweep.")
+  in
+  let stats_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-json" ] ~docv:"FILE"
+          ~doc:
+            "Write Engine.stats (cache/journal hits, retries, quarantined \
+             cells, ledgers, wall, jobs) as JSON. Consumable by bap_gate \
+             --check-stats.")
+  in
   Cmd.v
     (Cmd.info "bap_tables" ~doc:"Regenerate the reproduction experiment tables")
     Term.(
       const run $ full $ only $ jobs $ no_cache $ cache_dir $ retries $ timeout
-      $ journal_path $ no_journal $ resume $ chaos_seed)
+      $ journal_path $ no_journal $ resume $ chaos_seed $ trace_out
+      $ metrics_json $ stats_json)
 
 let () = exit (Cmd.eval cmd)

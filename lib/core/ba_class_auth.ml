@@ -53,7 +53,10 @@ end = struct
     let rec grow k = if feasible ~n ~t ~k:(k + 1) then grow (k + 1) else k in
     if feasible ~n ~t ~k:0 then grow 0 else -1
 
+  module Ps = Phase_span.Make (R)
+
   let run ctx ~pki ~key ~t ~k ~base_tag x c =
+    Ps.run ctx "bc" @@ fun () ->
     let n = R.n ctx in
     if not (feasible ~n ~t ~k) then begin
       (* Common knowledge: all honest skip together (see Algorithm 5). *)

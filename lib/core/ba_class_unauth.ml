@@ -52,7 +52,10 @@ end = struct
     let lo = width * (phi - 1) in
     List.init width (fun j -> order.(lo + j))
 
+  module Ps = Phase_span.Make (R)
+
   let run ctx ~t ~k ~base_tag x c =
+    Ps.run ctx "bc" @@ fun () ->
     if not (feasible ~n:(R.n ctx) ~t ~k) then begin
       (* The side condition is common knowledge (it only depends on n, t
          and k), so all honest processes skip together: they spend the

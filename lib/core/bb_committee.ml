@@ -63,7 +63,10 @@ end = struct
     mutable fresh : W.chain list;  (* R_i: valid chains from the last round *)
   }
 
+  module Ps = Phase_span.Make (R)
+
   let run_instances ctx ~pki ~key ~t ~k ~tag ~cc ~senders x =
+    Ps.run ctx "bb" @@ fun () ->
     let n = R.n ctx in
     let me = R.id ctx in
     let quorum = t + 1 in

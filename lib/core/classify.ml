@@ -17,12 +17,15 @@ module Make
       vectors (own included) predict it honest; vectors of the wrong
       length and duplicate vectors from one sender are ignored. *)
 end = struct
+  module Ps = Phase_span.Make (R)
+
   let rounds = 1
 
   let run ctx advice =
-    let inbox = R.broadcast ctx (W.Advice advice) in
-    let received =
-      Inbox.first inbox ~f:(function W.Advice a -> Some a | _ -> None)
-    in
-    Classification.vote ~n:(R.n ctx) received
+    Ps.run ctx "classify" (fun () ->
+        let inbox = R.broadcast ctx (W.Advice advice) in
+        let received =
+          Inbox.first inbox ~f:(function W.Advice a -> Some a | _ -> None)
+        in
+        Classification.vote ~n:(R.n ctx) received)
 end

@@ -24,7 +24,10 @@ module Make
 end = struct
   let rounds = 1
 
+  module Ps = Phase_span.Make (R)
+
   let run ctx ~l_set ~tag v =
+    Ps.run ctx "conciliate" @@ fun () ->
     let n = R.n ctx in
     let me = R.id ctx in
     let in_l = List.mem me l_set in

@@ -51,7 +51,10 @@ end = struct
   let rounds ~gc_rounds ~phases = phases * ((2 * gc_rounds) + 1)
   let tags_used ~phases = 3 * phases
 
+  module Ps = Phase_span.Make (R)
+
   let run ctx ~gc ~gc_rounds ~phases ~base_tag x =
+    Ps.run ctx "es" @@ fun () ->
     let n = R.n ctx in
     let me = R.id ctx in
     let v = ref x in

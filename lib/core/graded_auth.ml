@@ -242,7 +242,10 @@ end = struct
           | [] | _ :: _ :: _ -> None))
       states
 
+  module Ps = Phase_span.Make (R)
+
   let run ctx ~pki ~key ~t ~tag v =
+    Ps.run ctx "gc" @@ fun () ->
     let n = R.n ctx in
     let quorum = n - t in
     let deliveries = gradecast ctx ~pki ~key ~t ~tag v in

@@ -27,7 +27,10 @@ end = struct
   let restrict l_set votes =
     Array.mapi (fun sender v -> if List.mem sender l_set then v else None) votes
 
+  module Ps = Phase_span.Make (R)
+
   let run ctx ~k ~l_set ~tag v =
+    Ps.run ctx "gcs" @@ fun () ->
     let me = R.id ctx in
     let in_l = List.mem me l_set in
     (* Round 1: members of their own L broadcast their input. *)

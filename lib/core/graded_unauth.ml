@@ -30,9 +30,12 @@ module Make
   (** Returns [(value, grade)] with grade 0 or 1. Requires t < n/3 for
       the strong-unanimity and coherence guarantees. *)
 end = struct
+  module Ps = Phase_span.Make (R)
+
   let rounds = 2
 
   let run ctx ~t ~tag v =
+    Ps.run ctx "gc" @@ fun () ->
     let n = R.n ctx in
     let inbox = R.broadcast ctx (W.Gc_init (tag, v)) in
     let votes =

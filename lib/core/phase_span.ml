@@ -1,0 +1,19 @@
+(* Telemetry helper for lock-step protocol code: one span per
+   sub-protocol invocation, emitted by process 0 only.
+
+   Every process runs the same deterministic schedule, so emitting from
+   all n fibers would record n copies of each phase; process 0's fiber
+   is the run's schedule. Begin/end both carry the process's current
+   round r: a sub-protocol entered at round r first affects the wire in
+   round r + 1, so its round extent is [begin.round + 1, end.round] —
+   the convention bap_trace's summary uses for attribution. *)
+
+module Tel = Bap_telemetry.Telemetry
+
+module Make (R : Bap_sim.Runtime.S) = struct
+  let run ctx name f =
+    Tel.span_if (R.id ctx = 0) ~cat:"core" ~name
+      ~attrs:(fun () -> [ ("round", Tel.Int (R.round ctx)) ])
+      ~end_attrs:(fun () -> [ ("round", Tel.Int (R.round ctx)) ])
+      f
+end

@@ -1,0 +1,10 @@
+(** Per-sub-protocol telemetry spans for lock-step protocol code. *)
+
+module Make (R : Bap_sim.Runtime.S) : sig
+  val run : R.ctx -> string -> (unit -> 'a) -> 'a
+  (** [run ctx name f] wraps [f] in a [cat:"core"] span named [name],
+      emitted only from process 0 (all processes execute the same
+      deterministic schedule, so one copy suffices). Begin and end
+      events carry the current round, giving the span the round extent
+      [begin.round + 1 .. end.round]. *)
+end

@@ -23,6 +23,7 @@ module Make
 struct
   module Classify_p = Classify.Make (W) (R)
   module Es = Early_stopping.Make (V) (W) (R)
+  module Tel = Bap_telemetry.Telemetry
 
   type config = {
     classify : R.ctx -> Advice.t -> Advice.t;
@@ -108,6 +109,13 @@ struct
      decision through a grade-1 graded consensus, whose coherence makes
      every honest process carry the same value into phase 1. *)
   let run ?value_prediction cfg ctx ~t x advice =
+    (* One span per lock-step schedule, not one per process: process 0's
+       fiber stands for the run (see Phase_span). *)
+    let emit = R.id ctx = 0 in
+    Tel.span_if emit ~cat:"core" ~name:"wrapper"
+      ~attrs:(fun () -> [ ("round", Tel.Int (R.round ctx)); ("t", Tel.Int t) ])
+      ~end_attrs:(fun () -> [ ("round", Tel.Int (R.round ctx)) ])
+    @@ fun () ->
     let c = cfg.classify ctx advice in
     let v = ref x in
     let decision = ref None in
@@ -122,16 +130,29 @@ struct
     (match value_prediction with
     | None -> ()
     | Some predicted ->
-      let v1, g1 = cfg.gc ctx ~tag:(fresh 1) !v in
-      v := if g1 = 0 then predicted else v1;
-      let v2, g2 = cfg.gc ctx ~tag:(fresh 1) !v in
-      v := v2;
-      if g2 = 1 then begin
-        decision := Some !v;
-        decided_round := R.round ctx
-      end);
+      Tel.span_if emit ~cat:"core" ~name:"value-pred"
+        ~attrs:(fun () -> [ ("round", Tel.Int (R.round ctx)) ])
+        ~end_attrs:(fun () -> [ ("round", Tel.Int (R.round ctx)) ])
+        (fun () ->
+          let v1, g1 = cfg.gc ctx ~tag:(fresh 1) !v in
+          v := if g1 = 0 then predicted else v1;
+          let v2, g2 = cfg.gc ctx ~tag:(fresh 1) !v in
+          v := v2;
+          if g2 = 1 then begin
+            decision := Some !v;
+            decided_round := R.round ctx
+          end));
     (try
        for phi = 1 to phases_total ~t do
+         Tel.span_if emit ~cat:"core" ~name:"phase"
+           ~attrs:(fun () ->
+             [
+               ("round", Tel.Int (R.round ctx));
+               ("phi", Tel.Int phi);
+               ("k", Tel.Int (k_of_phase phi));
+             ])
+           ~end_attrs:(fun () -> [ ("round", Tel.Int (R.round ctx)) ])
+         @@ fun () ->
          let k = k_of_phase phi in
          let v1, g1 = cfg.gc ctx ~tag:(fresh 1) !v in
          v := v1;

@@ -1,3 +1,5 @@
+module Tel = Bap_telemetry.Telemetry
+
 type stats = {
   total_cells : int;
   cache_hits : int;
@@ -22,6 +24,7 @@ type slot = {
   addr : string option; (* cache address, when a cache is in play *)
   jaddr : string option; (* journal address, when a journal is in play *)
   mutable result : Plan.row list option; (* None until computed *)
+  mutable origin : string; (* "journal-hit" / "cache-hit", "" when computed *)
   mutable ledger : Supervisor.attempt_record list;
   mutable quarantined : bool;
 }
@@ -29,6 +32,25 @@ type slot = {
 let run ?pool ?(cache : Cache.t option) ?(journal : Journal.t option)
     ?(supervisor : Supervisor.t option) ?(render = true) (plans : Plan.t list) =
   let t0 = Unix.gettimeofday () in
+  (* The sweep span's end attributes are deliberately scheduling-free:
+     no jobs, no wall time — those live in the metrics snapshot, so the
+     logical trace stays identical across --jobs settings. *)
+  let out = ref None in
+  Tel.span ~cat:"exec" ~name:"sweep"
+    ~attrs:(fun () -> [ ("plans", Tel.Int (List.length plans)) ])
+    ~end_attrs:(fun () ->
+      match !out with
+      | None -> []
+      | Some s ->
+        [
+          ("cells", Tel.Int s.total_cells);
+          ("executed", Tel.Int s.executed);
+          ("cache_hits", Tel.Int s.cache_hits);
+          ("journal_hits", Tel.Int s.journal_hits);
+          ("retried", Tel.Int s.retried);
+          ("quarantined", Tel.Int (List.length s.quarantined));
+        ])
+  @@ fun () ->
   let slots =
     List.concat
       (List.mapi
@@ -56,6 +78,7 @@ let run ?pool ?(cache : Cache.t option) ?(journal : Journal.t option)
                  addr;
                  jaddr;
                  result = None;
+                 origin = "";
                  ledger = [];
                  quarantined = false;
                })
@@ -67,7 +90,9 @@ let run ?pool ?(cache : Cache.t option) ?(journal : Journal.t option)
   List.iter
     (fun s ->
       match (journal, s.jaddr) with
-      | Some j, Some a -> s.result <- Journal.find j a
+      | Some j, Some a ->
+        s.result <- Journal.find j a;
+        if s.result <> None then s.origin <- "journal-hit"
       | _ -> ())
     slots;
   let journal_hits = List.length (List.filter (fun s -> s.result <> None) slots) in
@@ -75,8 +100,20 @@ let run ?pool ?(cache : Cache.t option) ?(journal : Journal.t option)
   List.iter
     (fun s ->
       match (cache, s.addr) with
-      | Some c, Some a when s.result = None -> s.result <- Cache.find c a
+      | Some c, Some a when s.result = None ->
+        s.result <- Cache.find c a;
+        if s.result <> None then s.origin <- "cache-hit"
       | _ -> ())
+    slots;
+  (* Short-circuited cells still appear in the trace: one instant per
+     hit, in deterministic slot order on the main track. *)
+  List.iter
+    (fun s ->
+      if s.origin <> "" then
+        Tel.instant ~cat:"exec" ~name:"cell"
+          ~attrs:(fun () ->
+            [ ("id", Tel.Str s.cid); ("outcome", Tel.Str s.origin) ])
+          ())
     slots;
   let misses = List.filter (fun s -> s.result = None) slots in
   let cache_hits = List.length slots - List.length misses - journal_hits in
@@ -103,24 +140,39 @@ let run ?pool ?(cache : Cache.t option) ?(journal : Journal.t option)
      tasks fold every failure into their slot and never raise; the
      unsupervised path keeps the historical re-raise semantics. *)
   let miss_arr = Array.of_list misses in
+  (* Each executing cell gets its own telemetry track named by its cell
+     id: per-track event order is then the cell's own program order,
+     independent of which domain ran it or in what interleaving. *)
+  let in_cell_span s body () =
+    Tel.with_track s.cid @@ fun () ->
+    Tel.span ~cat:"exec" ~name:"cell"
+      ~attrs:(fun () -> [ ("id", Tel.Str s.cid) ])
+      ~end_attrs:(fun () ->
+        [
+          ( "outcome",
+            Tel.Str (if s.quarantined then "quarantined" else "executed") );
+          ("failed_attempts", Tel.Int (List.length s.ledger));
+        ])
+      body
+  in
   let tasks =
     Array.map
       (fun s ->
         match supervisor with
         | None ->
-          fun () ->
-            s.result <- Some (s.cell.Plan.run ());
-            ()
+          in_cell_span s (fun () ->
+              s.result <- Some (s.cell.Plan.run ());
+              ())
         | Some sup ->
-          fun () ->
-            (match Supervisor.supervise sup ~key:s.cid s.cell.Plan.run with
-            | Supervisor.Completed { value; ledger; _ } ->
-              s.result <- Some value;
-              s.ledger <- ledger
-            | Supervisor.Quarantined { ledger } ->
-              s.quarantined <- true;
-              s.ledger <- ledger);
-            ())
+          in_cell_span s (fun () ->
+              (match Supervisor.supervise sup ~key:s.cid s.cell.Plan.run with
+              | Supervisor.Completed { value; ledger; _ } ->
+                s.result <- Some value;
+                s.ledger <- ledger
+              | Supervisor.Quarantined { ledger } ->
+                s.quarantined <- true;
+                s.ledger <- ledger);
+              ()))
       miss_arr
   in
   let on_result i = persist_fresh miss_arr.(i) in
@@ -155,28 +207,39 @@ let run ?pool ?(cache : Cache.t option) ?(journal : Journal.t option)
         p.render keyed)
       plans;
   let failed = List.filter (fun s -> s.ledger <> []) misses in
-  {
-    total_cells = List.length slots;
-    cache_hits;
-    journal_hits;
-    executed = Array.length miss_arr;
-    retried =
-      List.fold_left
-        (fun acc s ->
-          acc
-          + List.length s.ledger
-          - if s.quarantined then 1 else 0
-          (* a quarantined cell's final failure was not retried *))
-        0 failed;
-    quarantined =
-      List.filter_map
-        (fun s -> if s.quarantined then Some (s.exp_id, s.cell.Plan.key) else None)
-        misses;
-    ledgers = List.map (fun s -> (s.cid, s.ledger)) failed;
-    cache_corrupt = (match cache with Some c -> Cache.corrupt_count c | None -> 0);
-    jobs = (match pool with Some p -> Pool.size p | None -> 1);
-    wall;
-  }
+  let s =
+    {
+      total_cells = List.length slots;
+      cache_hits;
+      journal_hits;
+      executed = Array.length miss_arr;
+      retried =
+        List.fold_left
+          (fun acc s ->
+            acc
+            + List.length s.ledger
+            - if s.quarantined then 1 else 0
+            (* a quarantined cell's final failure was not retried *))
+          0 failed;
+      quarantined =
+        List.filter_map
+          (fun s -> if s.quarantined then Some (s.exp_id, s.cell.Plan.key) else None)
+          misses;
+      ledgers = List.map (fun s -> (s.cid, s.ledger)) failed;
+      cache_corrupt = (match cache with Some c -> Cache.corrupt_count c | None -> 0);
+      jobs = (match pool with Some p -> Pool.size p | None -> 1);
+      wall;
+    }
+  in
+  Tel.Metrics.counter "exec.cells" s.total_cells;
+  Tel.Metrics.counter "exec.cache_hits" s.cache_hits;
+  Tel.Metrics.counter "exec.journal_hits" s.journal_hits;
+  Tel.Metrics.counter "exec.executed" s.executed;
+  Tel.Metrics.counter "exec.retried" s.retried;
+  Tel.Metrics.counter "exec.quarantined" (List.length s.quarantined);
+  Tel.Metrics.counter "exec.cache_corrupt" s.cache_corrupt;
+  out := Some s;
+  s
 
 let run_serial plan = ignore (run [ plan ])
 
@@ -194,3 +257,49 @@ let pp_stats ppf s =
   if s.quarantined <> [] then
     Format.fprintf ppf ", DEGRADED: %d cell(s) quarantined"
       (List.length s.quarantined)
+
+(* Machine-readable form of the same report, for --stats-json and
+   bap_gate --check-stats. Keys are fixed; the parser side lives in
+   Bap_telemetry.Json. *)
+let stats_json (s : stats) =
+  let esc = Bap_telemetry.Json.escape in
+  let attempt (a : Supervisor.attempt_record) =
+    let kind, detail =
+      match a.kind with
+      | Supervisor.Crashed msg -> ("crashed", Printf.sprintf ", \"detail\": \"%s\"" (esc msg))
+      | Supervisor.Timed_out d -> ("timed_out", Printf.sprintf ", \"deadline_s\": %g" d)
+    in
+    Printf.sprintf "{\"attempt\": %d, \"kind\": \"%s\"%s, \"backoff_ms\": %d}"
+      a.attempt kind detail a.backoff_ms
+  in
+  let quarantined =
+    List.map
+      (fun (exp_id, key) ->
+        Printf.sprintf "{\"exp_id\": \"%s\", \"key\": \"%s\"}" (esc exp_id) (esc key))
+      s.quarantined
+  in
+  let ledgers =
+    List.map
+      (fun (cid, ledger) ->
+        Printf.sprintf "{\"cell\": \"%s\", \"attempts\": [%s]}" (esc cid)
+          (String.concat ", " (List.map attempt ledger)))
+      s.ledgers
+  in
+  Printf.sprintf
+    "{\n\
+    \  \"version\": 1,\n\
+    \  \"total_cells\": %d,\n\
+    \  \"cache_hits\": %d,\n\
+    \  \"journal_hits\": %d,\n\
+    \  \"executed\": %d,\n\
+    \  \"retried\": %d,\n\
+    \  \"cache_corrupt\": %d,\n\
+    \  \"jobs\": %d,\n\
+    \  \"wall_s\": %.3f,\n\
+    \  \"quarantined\": [%s],\n\
+    \  \"ledgers\": [%s]\n\
+     }\n"
+    s.total_cells s.cache_hits s.journal_hits s.executed s.retried s.cache_corrupt
+    s.jobs s.wall
+    (String.concat ", " quarantined)
+    (String.concat ", " ledgers)

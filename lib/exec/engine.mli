@@ -59,6 +59,11 @@ val run_serial : Plan.t -> unit
 (** [run ~pool:none ~cache:none] on one plan: the reference serial
     path. *)
 
+val stats_json : stats -> string
+(** The same report as {!pp_stats} in machine-readable JSON (version 1):
+    scalar fields plus the quarantined list and per-cell failure
+    ledgers. Consumed by [bap_gate --check-stats]. *)
+
 val pp_stats : Format.formatter -> stats -> unit
 (** One-line report, e.g.
     ["26 cells: 20 cached, 6 ran on 8 workers in 1.24s, 3 from journal,

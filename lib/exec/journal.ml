@@ -152,6 +152,7 @@ let append t addr rows =
      the table. *)
   Mutex.lock t.jm;
   if not (Hashtbl.mem t.entries addr) then begin
+    Bap_telemetry.Telemetry.Metrics.counter "journal.appends" 1;
     Hashtbl.replace t.entries addr rows;
     match t.oc with
     | Some oc -> (

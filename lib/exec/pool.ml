@@ -32,7 +32,10 @@ let find_task st i =
     else
       let j = (i + k) mod st.jobs in
       if Queue.is_empty st.queues.(j) then scan (k + 1)
-      else Some (Queue.pop st.queues.(j))
+      else begin
+        if k > 0 then Bap_telemetry.Telemetry.Metrics.counter "pool.steals" 1;
+        Some (Queue.pop st.queues.(j))
+      end
   in
   scan 0
 
@@ -117,6 +120,7 @@ let run_all ?on_result t fs =
           Queue.push { run } st.queues.(i mod st.jobs))
         fs;
       st.pending <- st.pending + n;
+      Bap_telemetry.Telemetry.Metrics.gauge_max "pool.pending" st.pending;
       Condition.broadcast st.work;
       (* The submitting domain works through the batch too (as worker 0)
          and only sleeps once every remaining task is already running on

@@ -193,6 +193,7 @@ let run_attempt t ~key ~attempt f =
     | exception e -> Error (Crashed (Printexc.to_string e)))
 
 let supervise t ~key f =
+  let module Tel = Bap_telemetry.Telemetry in
   let retries = max 0 t.config.retries in
   let rec go attempt ledger =
     match run_attempt t ~key ~attempt f with
@@ -201,8 +202,35 @@ let supervise t ~key f =
       let entry =
         { attempt; kind; backoff_ms = backoff_ms ~seed:t.config.seed ~key ~attempt }
       in
-      if attempt >= retries then Quarantined { ledger = List.rev (entry :: ledger) }
-      else go (attempt + 1) (entry :: ledger)
+      let kind_name =
+        match kind with Crashed _ -> "crashed" | Timed_out _ -> "timed_out"
+      in
+      Tel.Metrics.counter "supervisor.failed_attempts" 1;
+      if attempt >= retries then begin
+        Tel.instant ~cat:"exec" ~name:"quarantine"
+          ~attrs:(fun () ->
+            [
+              ("key", Tel.Str key);
+              ("attempt", Tel.Int attempt);
+              ("kind", Tel.Str kind_name);
+            ])
+          ();
+        Tel.Metrics.counter "supervisor.quarantined" 1;
+        Quarantined { ledger = List.rev (entry :: ledger) }
+      end
+      else begin
+        Tel.instant ~cat:"exec" ~name:"retry"
+          ~attrs:(fun () ->
+            [
+              ("key", Tel.Str key);
+              ("attempt", Tel.Int attempt);
+              ("kind", Tel.Str kind_name);
+              ("backoff_ms", Tel.Int entry.backoff_ms);
+            ])
+          ();
+        Tel.Metrics.counter "supervisor.retries" 1;
+        go (attempt + 1) (entry :: ledger)
+      end
   in
   go 0 []
 

@@ -91,6 +91,7 @@ module Make (V : Bap_core.Value.S) (W : Bap_core.Wire.S with type value = V.t) =
           round := r;
           Hashtbl.reset seen;
           Hashtbl.reset roots
+        | Trace.Round_end _ -> ()
         | Trace.Decide _ -> ()
         | Trace.Deliver { src; dst = _; msg; byzantine = _ } ->
           if !round = 1 && src >= 0 && src < n then spoke_round1.(src) <- true;

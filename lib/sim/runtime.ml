@@ -45,6 +45,8 @@ module type S = sig
 end
 
 module Make (M : MSG) : S with type msg = M.t = struct
+  module Tel = Bap_telemetry.Telemetry
+
   type msg = M.t
   type ctx = { ctx_id : int; ctx_n : int; mutable ctx_round : int }
 
@@ -121,6 +123,25 @@ module Make (M : MSG) : S with type msg = M.t = struct
       decision_round.(i) <- round;
       record (Trace.Decide { who = i; round })
     in
+    let honest_sent = ref 0 in
+    let honest_bits = ref 0 in
+    let honest_received = Array.make n 0 in
+    let adversary_sent = ref 0 in
+    let per_round = ref [] in
+    let round = ref 0 in
+    (* The sim.run span covers the spawn too: the first segment of every
+       protocol (up to its first exchange) runs inside [spawn], and any
+       phase spans it opens must land inside this one. *)
+    Tel.span ~cat:"sim" ~name:"sim.run"
+      ~attrs:(fun () -> [ ("n", Tel.Int n); ("f", Tel.Int (Array.length faulty)) ])
+      ~end_attrs:(fun () ->
+        [
+          ("rounds", Tel.Int !round);
+          ("msgs", Tel.Int !honest_sent);
+          ("bits", Tel.Int !honest_bits);
+          ("adversary_msgs", Tel.Int !adversary_sent);
+        ])
+      (fun () ->
     let status = Array.init n (fun i -> spawn (fun () -> body ctxs.(i))) in
     Array.iteri
       (fun i st -> match st with Finished r -> note_finish i r 0 | Yielded _ -> ())
@@ -133,16 +154,22 @@ module Make (M : MSG) : S with type msg = M.t = struct
         status;
       !any
     in
-    let honest_sent = ref 0 in
-    let honest_bits = ref 0 in
-    let honest_received = Array.make n 0 in
-    let adversary_sent = ref 0 in
-    let per_round = ref [] in
-    let round = ref 0 in
+    let this_round = ref 0 in
+    let bits0 = ref 0 in
     while honest_running () do
       incr round;
       if !round > max_rounds then raise (Round_limit_exceeded max_rounds);
       record (Trace.Round_begin !round);
+      this_round := 0;
+      bits0 := !honest_bits;
+      Tel.span ~cat:"sim" ~name:"round"
+        ~attrs:(fun () -> [ ("round", Tel.Int !round) ])
+        ~end_attrs:(fun () ->
+          [
+            ("msgs", Tel.Int !this_round);
+            ("bits", Tel.Int (!honest_bits - !bits0));
+          ])
+        (fun () ->
       Array.iter (fun c -> c.ctx_round <- !round) ctxs;
       (* Materialise the outboxes so each is evaluated exactly once. *)
       let out = Array.make_matrix n n [] in
@@ -208,7 +235,6 @@ module Make (M : MSG) : S with type msg = M.t = struct
             eff_out.(src).(dst) <- perturb ~round:!round ~src ~dst eff_out.(src).(dst)
           done
         done);
-      let this_round = ref 0 in
       for src = 0 to n - 1 do
         for dst = 0 to n - 1 do
           if src <> dst then begin
@@ -253,8 +279,13 @@ module Make (M : MSG) : S with type msg = M.t = struct
             let st' = Effect.Deep.continue k inbox in
             status.(i) <- st';
             (match st' with Finished r -> note_finish i r !round | Yielded _ -> ()))
-        status
-    done;
+        status);
+      record (Trace.Round_end !round);
+      Tel.Metrics.counter "sim.rounds" 1;
+      Tel.Metrics.counter "sim.msgs" !this_round;
+      Tel.Metrics.counter "sim.bits" (!honest_bits - !bits0);
+      Tel.Metrics.observe "sim.round_msgs" !this_round
+    done);
     {
       n;
       faulty;

@@ -1,5 +1,6 @@
 type 'msg event =
   | Round_begin of int
+  | Round_end of int
   | Deliver of { src : int; dst : int; msg : 'msg; byzantine : bool }
   | Decide of { who : int; round : int }
 
@@ -25,10 +26,17 @@ let dropped t = t.dropped
 
 let pp_event pp_msg ppf = function
   | Round_begin r -> Fmt.pf ppf "-- round %d --" r
+  | Round_end r -> Fmt.pf ppf "-- round %d ends --" r
   | Deliver { src; dst; msg; byzantine } ->
     Fmt.pf ppf "%d -> %d%s: %a" src dst (if byzantine then " [byz]" else "") pp_msg msg
   | Decide { who; round } -> Fmt.pf ppf "process %d returned in round %d" who round
 
 let pp pp_msg ppf t =
-  Fmt.(list ~sep:cut (pp_event pp_msg)) ppf (events t);
-  if t.dropped > 0 then Fmt.pf ppf "@,... (%d events dropped)" t.dropped
+  let evs = events t in
+  Fmt.(list ~sep:cut (pp_event pp_msg)) ppf evs;
+  if t.dropped > 0 then begin
+    (* No leading cut when every event was dropped: the count line must
+       render on its own, not after a blank line. *)
+    if evs <> [] then Fmt.cut ppf ();
+    Fmt.pf ppf "... (%d events dropped)" t.dropped
+  end

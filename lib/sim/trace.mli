@@ -6,6 +6,11 @@
 
 type 'msg event =
   | Round_begin of int  (** A new synchronous round starts. *)
+  | Round_end of int
+      (** The round's deliveries and process steps are complete. Every
+          [Round_begin r] is paired with a [Round_end r], so a round's
+          extent no longer has to be inferred from the next
+          [Round_begin]. *)
   | Deliver of { src : int; dst : int; msg : 'msg; byzantine : bool }
       (** [msg] was delivered from [src] to [dst]; [byzantine] marks
           messages emitted (or rewritten) by the adversary. *)
@@ -26,4 +31,6 @@ val dropped : 'msg t -> int
 (** Number of events discarded because the limit was reached. *)
 
 val pp : 'msg Fmt.t -> 'msg t Fmt.t
-(** Human-readable rendering, one event per line. *)
+(** Human-readable rendering, one event per line. When events were
+    discarded, a final [... (N events dropped)] line reports the
+    count. *)

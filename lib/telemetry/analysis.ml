@@ -1,0 +1,376 @@
+(* Offline analysis of JSONL traces: the engine behind bap_trace.
+
+   The summary reconstructs the paper-facing accounting (rounds,
+   messages, bits — per sub-protocol phase) from the trace alone. The
+   simulator's round spans carry per-round message/bit counts; the core
+   sub-protocol spans carry their round extent as begin/end attributes.
+   A sub-protocol that starts when the process has consumed round [r0]
+   first affects the wire in round [r0 + 1], so a core span with begin
+   attribute [r0] and end attribute [r1] owns rounds [r0 + 1 .. r1];
+   each round is attributed to the smallest enclosing extent (innermost
+   sub-protocol wins), which mirrors how Stack.messages_by_component
+   attributes costs from Wrapper.schedule. *)
+
+module Tel = Telemetry
+
+(* ---------- loading ---------- *)
+
+let value_of_json = function
+  | Json.Num f ->
+    if Float.is_integer f && Float.abs f < 1e15 then Tel.Int (int_of_float f)
+    else Tel.Float f
+  | Json.Str s -> Tel.Str s
+  | Json.Bool b -> Tel.Bool b
+  | Json.Null | Json.List _ | Json.Obj _ -> Tel.Str "<composite>"
+
+let ev_of_json j =
+  let str k d = Option.value ~default:d (Json.to_string (Json.member k j)) in
+  let ph =
+    match str "ph" "i" with
+    | "B" -> Tel.Begin
+    | "E" -> Tel.End
+    | _ -> Tel.Instant
+  in
+  let attrs =
+    match Json.member "args" j with
+    | Some (Json.Obj l) -> List.map (fun (k, v) -> (k, value_of_json v)) l
+    | _ -> []
+  in
+  {
+    Tel.name = str "name" "";
+    cat = str "cat" "";
+    ph;
+    seq = Option.value ~default:0 (Json.to_int (Json.member "ts" j));
+    track = str "track" "main";
+    attrs;
+    wall_us = Json.to_float (Json.member "wall_us" j);
+  }
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go lineno acc =
+        match In_channel.input_line ic with
+        | None -> List.rev acc
+        | Some "" -> go (lineno + 1) acc
+        | Some line -> (
+          match Json.parse line with
+          | j -> go (lineno + 1) (ev_of_json j :: acc)
+          | exception Json.Parse msg ->
+            failwith (Printf.sprintf "%s:%d: %s" path lineno msg))
+      in
+      go 1 [])
+
+let find_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then None
+    else if String.sub hay i nn = needle then Some i
+    else go (i + 1)
+  in
+  if nn = 0 then None else go 0
+
+(* [wall_us] is always the final field of a line, so cutting from its
+   comma to the closing brace removes every nondeterministic byte. *)
+let strip_wall text =
+  String.split_on_char '\n' text
+  |> List.map (fun line ->
+         match find_sub line ",\"wall_us\":" with
+         | Some i -> String.sub line 0 i ^ "}"
+         | None -> line)
+  |> String.concat "\n"
+
+(* ---------- summary ---------- *)
+
+type rollup = { spans : int; rounds : int; msgs : int; bits : int }
+
+type summary_data = {
+  events : int;
+  tracks : int;
+  runs : int;
+  total_rounds : int;
+  total_msgs : int;
+  total_bits : int;
+  adversary_msgs : int;
+  phases : (string * rollup) list;
+}
+
+let attr_int name attrs =
+  match List.assoc_opt name attrs with
+  | Some (Tel.Int i) -> Some i
+  | Some (Tel.Float f) -> Some (int_of_float f)
+  | _ -> None
+
+let by_track evs =
+  let sorted =
+    List.stable_sort
+      (fun a b ->
+        let c = String.compare a.Tel.track b.Tel.track in
+        if c <> 0 then c else Int.compare a.Tel.seq b.Tel.seq)
+      evs
+  in
+  let rec split cur cur_name acc = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | e :: rest ->
+      if String.equal e.Tel.track cur_name || cur = [] then
+        split (e :: cur) e.Tel.track acc rest
+      else split [ e ] e.Tel.track (List.rev cur :: acc) rest
+  in
+  split [] "" [] sorted
+
+type interval = { iname : string; lo : int; hi : int; depth : int; order : int }
+
+let zero = { spans = 0; rounds = 0; msgs = 0; bits = 0 }
+
+let add_rollup a b =
+  {
+    spans = a.spans + b.spans;
+    rounds = a.rounds + b.rounds;
+    msgs = a.msgs + b.msgs;
+    bits = a.bits + b.bits;
+  }
+
+let group_rollups l =
+  let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) l in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (k, v) :: rest -> (
+      match acc with
+      | (k', v') :: tl when String.equal k' k -> go ((k', add_rollup v' v) :: tl) rest
+      | _ -> go ((k, v) :: acc) rest)
+  in
+  go [] sorted
+
+let summarize evs =
+  let runs = ref 0 in
+  let total_rounds = ref 0 in
+  let total_msgs = ref 0 in
+  let total_bits = ref 0 in
+  let adversary_msgs = ref 0 in
+  let contribs = ref [] in
+  let tracks = by_track evs in
+  List.iter
+    (fun track_evs ->
+      (* Per-run accumulators, reset at each sim.run boundary. *)
+      let round_rows = ref [] in
+      let intervals = ref [] in
+      let stack = ref [] in
+      let cur_round = ref 0 in
+      let order = ref 0 in
+      let close_interval (iname, lo0, depth, ord) hi =
+        intervals := { iname; lo = lo0 + 1; hi; depth; order = ord } :: !intervals
+      in
+      let finish_run () =
+        incr runs;
+        (* Spans that never closed (crashed cell) extend to the last
+           observed round. *)
+        List.iter (fun sp -> close_interval sp !cur_round) !stack;
+        stack := [];
+        let best r =
+          List.fold_left
+            (fun best iv ->
+              if iv.lo <= r && r <= iv.hi then
+                match best with
+                | None -> Some iv
+                | Some b ->
+                  let w iv = iv.hi - iv.lo in
+                  if
+                    w iv < w b
+                    || (w iv = w b
+                       && (iv.depth > b.depth
+                          || (iv.depth = b.depth && iv.order > b.order)))
+                  then Some iv
+                  else Some b
+              else best)
+            None !intervals
+        in
+        List.iter
+          (fun (r, m, b) ->
+            let name = match best r with Some iv -> iv.iname | None -> "other" in
+            contribs :=
+              (name, { zero with rounds = 1; msgs = m; bits = b }) :: !contribs)
+          !round_rows;
+        List.iter
+          (fun iv -> contribs := (iv.iname, { zero with spans = 1 }) :: !contribs)
+          !intervals;
+        round_rows := [];
+        intervals := [];
+        cur_round := 0
+      in
+      List.iter
+        (fun e ->
+          match (e.Tel.cat, e.Tel.name, e.Tel.ph) with
+          | "sim", "sim.run", Tel.Begin ->
+            round_rows := [];
+            intervals := [];
+            stack := [];
+            cur_round := 0
+          | "sim", "sim.run", Tel.End ->
+            let a k = Option.value ~default:0 (attr_int k e.Tel.attrs) in
+            total_rounds := !total_rounds + a "rounds";
+            total_msgs := !total_msgs + a "msgs";
+            total_bits := !total_bits + a "bits";
+            adversary_msgs := !adversary_msgs + a "adversary_msgs";
+            finish_run ()
+          | "sim", "round", Tel.Begin ->
+            Option.iter (fun r -> cur_round := r) (attr_int "round" e.Tel.attrs)
+          | "sim", "round", Tel.End ->
+            let a k = Option.value ~default:0 (attr_int k e.Tel.attrs) in
+            round_rows := (!cur_round, a "msgs", a "bits") :: !round_rows
+          | "core", name, Tel.Begin ->
+            let r0 =
+              Option.value ~default:!cur_round (attr_int "round" e.Tel.attrs)
+            in
+            stack := (name, r0, List.length !stack, !order) :: !stack;
+            incr order
+          | "core", name, Tel.End -> (
+            let hi =
+              Option.value ~default:!cur_round (attr_int "round" e.Tel.attrs)
+            in
+            match !stack with
+            | (n, _, _, _) :: _ when not (String.equal n name) ->
+              (* Mismatched close (should not happen): drop silently. *)
+              ()
+            | sp :: rest ->
+              stack := rest;
+              close_interval sp hi
+            | [] -> ())
+          | _ -> ())
+        track_evs)
+    tracks;
+  {
+    events = List.length evs;
+    tracks = List.length tracks;
+    runs = !runs;
+    total_rounds = !total_rounds;
+    total_msgs = !total_msgs;
+    total_bits = !total_bits;
+    adversary_msgs = !adversary_msgs;
+    phases = group_rollups !contribs;
+  }
+
+let summary evs =
+  let s = summarize evs in
+  let head =
+    Printf.sprintf
+      "trace summary: %d events, %d tracks, %d runs\nrounds %d   messages %d   bits %d   adversary-messages %d\n"
+      s.events s.tracks s.runs s.total_rounds s.total_msgs s.total_bits
+      s.adversary_msgs
+  in
+  if s.phases = [] then head ^ "(no phase spans in trace)\n"
+  else
+    head ^ "\n"
+    ^ Bap_stats.Table.render
+        ~headers:[ "phase"; "spans"; "rounds"; "msgs"; "bits" ]
+        (List.map
+           (fun (name, r) ->
+             [
+               name;
+               string_of_int r.spans;
+               string_of_int r.rounds;
+               string_of_int r.msgs;
+               string_of_int r.bits;
+             ])
+           s.phases)
+    ^ "\n"
+
+(* ---------- diff ---------- *)
+
+let diff evs_a evs_b =
+  let a = summarize evs_a and b = summarize evs_b in
+  let row name va vb =
+    [ name; string_of_int va; string_of_int vb; Printf.sprintf "%+d" (vb - va) ]
+  in
+  let phase_names =
+    List.sort_uniq String.compare
+      (List.map fst a.phases @ List.map fst b.phases)
+  in
+  let phase_get phases name =
+    Option.value ~default:zero (List.assoc_opt name phases)
+  in
+  let rows =
+    [
+      row "events" a.events b.events;
+      row "runs" a.runs b.runs;
+      row "rounds" a.total_rounds b.total_rounds;
+      row "msgs" a.total_msgs b.total_msgs;
+      row "bits" a.total_bits b.total_bits;
+      row "adversary-msgs" a.adversary_msgs b.adversary_msgs;
+    ]
+    @ List.concat_map
+        (fun name ->
+          let ra = phase_get a.phases name and rb = phase_get b.phases name in
+          [
+            row (name ^ ".rounds") ra.rounds rb.rounds;
+            row (name ^ ".msgs") ra.msgs rb.msgs;
+          ])
+        phase_names
+  in
+  Bap_stats.Table.render ~headers:[ "metric"; "a"; "b"; "delta" ] rows ^ "\n"
+
+(* ---------- critical path ---------- *)
+
+type cell_timing = { cid : string; dur_us : float; outcome : string }
+
+let cell_timings evs =
+  List.concat_map
+    (fun track_evs ->
+      let open_b = ref None in
+      List.filter_map
+        (fun e ->
+          match (e.Tel.name, e.Tel.ph) with
+          | "cell", Tel.Begin ->
+            open_b := Some e;
+            None
+          | "cell", Tel.End -> (
+            match !open_b with
+            | Some b -> (
+              open_b := None;
+              match (b.Tel.wall_us, e.Tel.wall_us) with
+              | Some w0, Some w1 ->
+                let outcome =
+                  match List.assoc_opt "outcome" e.Tel.attrs with
+                  | Some (Tel.Str s) -> s
+                  | _ -> "?"
+                in
+                Some { cid = e.Tel.track; dur_us = w1 -. w0; outcome }
+              | _ -> None)
+            | None -> None)
+          | _ -> None)
+        track_evs)
+    (by_track evs)
+
+let critpath ?(top = 15) evs =
+  let cells =
+    List.sort
+      (fun a b -> Float.compare b.dur_us a.dur_us)
+      (cell_timings evs)
+  in
+  match cells with
+  | [] ->
+    "critpath: no timed cell spans in trace (record with wall-clock enabled, \
+     e.g. bap_tables --trace-out)\n"
+  | slowest :: _ ->
+    let total = List.fold_left (fun acc c -> acc +. c.dur_us) 0. cells in
+    let shown = List.filteri (fun i _ -> i < top) cells in
+    let bar c =
+      let w = int_of_float (c.dur_us /. slowest.dur_us *. 40.) in
+      String.make (max 1 w) '#'
+    in
+    Printf.sprintf
+      "critical path: %d timed cells, %.1f ms total cell time; slowest %d:\n\n"
+      (List.length cells) (total /. 1e3) (List.length shown)
+    ^ Bap_stats.Table.render
+        ~headers:[ "cell"; "ms"; "outcome"; "" ]
+        (List.map
+           (fun c ->
+             [
+               c.cid;
+               Printf.sprintf "%.1f" (c.dur_us /. 1e3);
+               c.outcome;
+               bar c;
+             ])
+           shown)
+    ^ "\n"

@@ -1,0 +1,43 @@
+(** Offline analysis of JSONL traces (the engine behind [bap_trace]).
+
+    All three reports are deterministic functions of the logical event
+    stream: [summary] and [diff] ignore wall-clock fields entirely, and
+    [critpath] is the only reader of [wall_us]. *)
+
+type rollup = { spans : int; rounds : int; msgs : int; bits : int }
+
+type summary_data = {
+  events : int;
+  tracks : int;
+  runs : int;  (** completed [sim.run] spans *)
+  total_rounds : int;
+  total_msgs : int;
+  total_bits : int;
+  adversary_msgs : int;
+  phases : (string * rollup) list;
+      (** per sub-protocol phase, sorted by name; each simulated round's
+          messages/bits are attributed to the innermost core span whose
+          round extent contains it, or to ["other"]. *)
+}
+
+val load : string -> Telemetry.event list
+(** Parse a JSONL trace file. Raises [Failure] with [file:line: reason]
+    on a malformed line. *)
+
+val strip_wall : string -> string
+(** Remove every [wall_us] field from JSONL text — the canonical
+    preparation before comparing two traces for logical equality. *)
+
+val summarize : Telemetry.event list -> summary_data
+
+val summary : Telemetry.event list -> string
+(** Human-readable rollup: headline rounds/messages/bits plus a
+    per-phase table. *)
+
+val diff : Telemetry.event list -> Telemetry.event list -> string
+(** Regression-style delta table between two traces (headline metrics
+    and per-phase rounds/msgs). *)
+
+val critpath : ?top:int -> Telemetry.event list -> string
+(** The [top] (default 15) slowest cells by wall time, with ASCII
+    timing bars. Requires a trace recorded with wall-clock enabled. *)

@@ -44,7 +44,11 @@ let test_d002 () =
   check_ids "lib/exec is the timing shim" []
     (lint ~path:"lib/exec/engine.ml" "let f () = Unix.gettimeofday ()");
   check_ids "bin reports wall-clock" []
-    (lint ~path:"bin/bap_gate.ml" "let f () = Unix.gettimeofday ()")
+    (lint ~path:"bin/bap_gate.ml" "let f () = Unix.gettimeofday ()");
+  check_ids "lib/telemetry stamps wall_us" []
+    (lint ~path:"lib/telemetry/telemetry.ml" "let f () = Unix.gettimeofday ()");
+  check_ids "telemetry waiver does not leak to lib/sim" [ "D002" ]
+    (lint ~path:"lib/sim/runtime.ml" "let f () = Unix.gettimeofday ()")
 
 (* ---------- D003: Hashtbl iteration order ---------- *)
 

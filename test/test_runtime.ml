@@ -264,6 +264,19 @@ let test_trace_records () =
   Alcotest.(check int) "four deliveries (incl self)" 4 delivers;
   Alcotest.(check int) "two decisions" 2 decides
 
+let test_trace_round_ends_balanced () =
+  let trace = Trace.create () in
+  ignore
+    (run ~n:3 ~faulty:[||] ~trace (fun ctx ->
+         ignore (R.broadcast ctx "a");
+         ignore (R.broadcast ctx "b")));
+  let events = Trace.events trace in
+  let count p = List.length (List.filter p events) in
+  let begins = count (function Trace.Round_begin _ -> true | _ -> false) in
+  let ends = count (function Trace.Round_end _ -> true | _ -> false) in
+  Alcotest.(check int) "two rounds" 2 begins;
+  Alcotest.(check int) "every round closed" begins ends
+
 let test_honest_decisions_excludes_faulty () =
   let outcome = run ~n:4 ~faulty:[| 1; 3 |] (fun ctx -> R.id ctx) in
   Alcotest.(check (list (pair int int))) "only honest" [ (0, 0); (2, 2) ]
@@ -299,6 +312,8 @@ let suite =
     Alcotest.test_case "per-round message counts" `Quick test_per_round_counts;
     Alcotest.test_case "sparse send_to" `Quick test_send_to_sparse;
     Alcotest.test_case "trace records events" `Quick test_trace_records;
+    Alcotest.test_case "trace round begins/ends balanced" `Quick
+      test_trace_round_ends_balanced;
     Alcotest.test_case "honest_decisions excludes faulty" `Quick
       test_honest_decisions_excludes_faulty;
     Alcotest.test_case "faulty ids validated" `Quick test_faulty_id_out_of_range;

@@ -43,10 +43,31 @@ let test_pp_reports_drops () =
   let rendered = Fmt.str "%a" (Trace.pp Fmt.string) t in
   Alcotest.(check bool) "drop note" true (contains rendered "1 events dropped")
 
+(* A trace that dropped *everything* must still render the drop note —
+   this used to come out as an empty string because the note rode on the
+   last kept event. *)
+let test_pp_drops_only () =
+  let t = Trace.create ~limit:0 () in
+  Trace.record t (ev 1);
+  Trace.record t (ev 2);
+  let rendered = Fmt.str "%a" (Trace.pp Fmt.string) t in
+  Alcotest.(check bool) "drop note without events" true
+    (contains rendered "2 events dropped")
+
+let test_pp_round_end () =
+  let t = Trace.create () in
+  Trace.record t (Trace.Round_begin 3);
+  Trace.record t (ev 1);
+  Trace.record t (Trace.Round_end 3);
+  let rendered = Fmt.str "%a" (Trace.pp Fmt.string) t in
+  Alcotest.(check bool) "round end marker" true (contains rendered "round 3 ends")
+
 let suite =
   [
     Alcotest.test_case "records in order" `Quick test_records_in_order;
     Alcotest.test_case "limit drops and counts" `Quick test_limit_drops_and_counts;
     Alcotest.test_case "pretty printer" `Quick test_pp_renders;
     Alcotest.test_case "pretty printer reports drops" `Quick test_pp_reports_drops;
+    Alcotest.test_case "pretty printer drops-only trace" `Quick test_pp_drops_only;
+    Alcotest.test_case "pretty printer round end" `Quick test_pp_round_end;
   ]
