@@ -120,6 +120,94 @@ let write_file path contents =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc contents)
 
+(* Serve load generator: drive generated instances at the service loop
+   (in-process over pipes, or an external daemon's socket with
+   --serve-socket) and run the byte-identity oracle — every ok response
+   must carry exactly the bytes a serial batch recomputation produces.
+   --harness-chaos SEED turns the same run hostile: corrupted payload
+   bytes and mid-frame disconnects on the wire, crash/hang injection in
+   the server's supervisor. Exit 1 on any oracle failure. *)
+let serve_bench args ~jobs =
+  let module Load = Bap_servelib.Load in
+  let module Server = Bap_servelib.Server in
+  let module Instance = Bap_servelib.Instance in
+  let module Harness = Bap_chaos.Harness in
+  let instances = int_flag args "--instances" ~default:2000 in
+  let n = int_flag args "--n" ~default:4 in
+  let socket = string_flag args "--serve-socket" in
+  let families =
+    match string_flag args "--families" with
+    | None -> [ Instance.Unauth; Instance.Es; Instance.Pk ]
+    | Some s ->
+      String.split_on_char ',' s
+      |> List.filter_map (fun f ->
+             match String.trim f with
+             | "unauth" -> Some Instance.Unauth
+             | "auth" -> Some Instance.Auth
+             | "es" -> Some Instance.Es
+             | "pk" -> Some Instance.Pk
+             | "" -> None
+             | other ->
+               Printf.eprintf "unknown family %S ignored\n" other;
+               None)
+  in
+  let chaos =
+    match string_flag args "--harness-chaos" with
+    | None -> None
+    | Some s ->
+      let seed = Option.value ~default:0 (int_of_string_opt s) in
+      (* Disconnects only make sense where reconnecting does (sockets);
+         in pipe mode a hangup would just truncate the whole plan.
+         Crash/hang rates are milder than the sweep harness defaults:
+         every hang costs a full watchdog timeout of wall-clock, and a
+         load test runs thousands of instances, not dozens of cells. *)
+      let disconnect_pct = if socket = None then 0 else 3 in
+      Some
+        (Harness.create ~seed ~crash_pct:6 ~hang_pct:1 ~doomed_pct:2
+           ~frame_corrupt_pct:5 ~disconnect_pct ())
+  in
+  let outcome =
+    match socket with
+    | Some path ->
+      Load.run_socket ?chaos ~path ~instances ~families ~n ()
+    | None ->
+      let inject =
+        Option.map
+          (fun h ~key ~attempt ->
+            match Harness.decide h ~key ~attempt with
+            | Some Harness.Crash -> Some Bap_exec.Supervisor.Inject_crash
+            | Some Harness.Hang -> Some Bap_exec.Supervisor.Inject_hang
+            | None -> None)
+          chaos
+      in
+      let config =
+        {
+          Server.default_config with
+          Server.jobs;
+          queue_capacity = max instances 1;
+          batch = 256;
+          inject;
+          (* Short deadline: chaos hangs spin until the watchdog fires,
+             so the timeout is pure added wall-clock per injected hang. *)
+          timeout_s = Some 0.25;
+        }
+      in
+      Load.run_inproc ?chaos ~config ~instances ~families ~n ()
+  in
+  Printf.printf "serve: %s\n" (Format.asprintf "%a" Load.pp outcome);
+  Printf.printf "serve_throughput: %.0f instances/sec (jobs %d, n %d)\n"
+    outcome.Load.per_sec jobs n;
+  (match outcome.Load.server with
+  | Some s -> print_endline (Server.report s)
+  | None -> ());
+  match Load.failures ~chaos:(chaos <> None) outcome with
+  | [] ->
+    print_endline "serve oracle: PASS";
+    0
+  | fs ->
+    List.iter (fun f -> Printf.printf "serve oracle FAILED: %s\n" f) fs;
+    1
+
 (* CI gate: the telemetry spine must cost < 5% wall-clock when recording
    a full JSONL trace of the quick sweep. min-of-3 on each side filters
    scheduler noise; both sides are fresh uncached sweeps so cache state
@@ -164,6 +252,7 @@ let () =
     trace_overhead ~jobs;
     exit 0
   end;
+  if List.mem "--serve" args then exit (serve_bench args ~jobs);
   (match trace_out with
   | Some path -> Tel.install ~wall:true (Tel.Jsonl path)
   | None -> if metrics_json <> None then Tel.install Tel.Counters_only);

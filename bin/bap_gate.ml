@@ -135,14 +135,47 @@ let run_sweep ~jobs =
 
 (* ---------- JSON (hand-rolled: no json dependency in the image) ---------- *)
 
-let json_of ~metrics ~wall_ms =
+(* The serve probe: a quick in-process run of the service loop with
+   the byte-identity oracle on. Throughput is environment-dependent and
+   therefore warn-only, like the wall-clock reference; an oracle
+   failure is correctness and fails the gate like any drifted cell. *)
+type serve_ref = { s_per_sec : float; s_jobs : int; s_instances : int }
+
+let measure_serve { s_jobs; s_instances; _ } =
+  let module Server = Bap_servelib.Server in
+  let module Load = Bap_servelib.Load in
+  let config =
+    {
+      Server.default_config with
+      Server.jobs = s_jobs;
+      queue_capacity = max 1 s_instances;
+      batch = 256;
+    }
+  in
+  let o =
+    Load.run_inproc ~config ~instances:s_instances
+      ~families:[ Bap_servelib.Instance.Pk ] ~n:4 ()
+  in
+  (o.Bap_servelib.Load.per_sec, Load.failures o)
+
+let json_of ~metrics ~wall_ms ~serve =
   let cell m =
     Printf.sprintf
       "    {\"id\": %S, \"decided\": %d, \"rounds\": %d, \"msgs\": %d, \"ok\": %b}"
       m.id m.decided m.rounds m.msgs m.ok
   in
+  let serve_field =
+    match serve with
+    | None -> ""
+    | Some s ->
+      Printf.sprintf
+        ",\n  \"serve\": {\"instances_per_sec\": %.0f, \"jobs\": %d, \
+         \"instances\": %d, \"families\": \"pk\", \"n\": 4}"
+        s.s_per_sec s.s_jobs s.s_instances
+  in
   Printf.sprintf
-    "{\n  \"version\": 1,\n  \"wall_ms\": %.1f,\n  \"cells\": [\n%s\n  ]\n}\n" wall_ms
+    "{\n  \"version\": 1,\n  \"wall_ms\": %.1f%s,\n  \"cells\": [\n%s\n  ]\n}\n"
+    wall_ms serve_field
     (String.concat ",\n" (List.map cell metrics))
 
 (* JSON parsing lives in lib/telemetry (shared with the trace sinks and
@@ -171,7 +204,20 @@ let parse_baseline text =
           | _ -> invalid_arg "baseline: malformed cell")
         cs
   in
-  (cells, wall_ms)
+  let serve =
+    match member "serve" j with
+    | None -> None
+    | Some s ->
+      (match
+         ( to_float (member "instances_per_sec" s),
+           to_int (member "jobs" s),
+           to_int (member "instances" s) )
+       with
+      | Some s_per_sec, Some s_jobs, Some s_instances ->
+        Some { s_per_sec; s_jobs; s_instances }
+      | _ -> invalid_arg "baseline: malformed serve reference")
+  in
+  (cells, wall_ms, serve)
 
 (* ---------- the gate ---------- *)
 
@@ -191,7 +237,7 @@ let check ~baseline_file ~jobs =
       ~finally:(fun () -> close_in_noerr ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  let expected, base_wall = parse_baseline text in
+  let expected, base_wall, serve_ref = parse_baseline text in
   let actual, failed, wall_ms = run_sweep ~jobs in
   if failed <> [] then begin
     List.iter (fun msg -> Printf.printf "QUARANTINED %s\n" msg) failed;
@@ -226,6 +272,21 @@ let check ~baseline_file ~jobs =
       ((wall_ms /. base -. 1.) *. 100.)
       base
   | _ -> ());
+  (match serve_ref with
+  | None -> ()
+  | Some r ->
+    let per_sec, oracle_failures = measure_serve r in
+    Printf.printf
+      "bap_gate: serve %.0f instances/sec (--jobs %d, baseline %.0f)\n" per_sec
+      r.s_jobs r.s_per_sec;
+    List.iter
+      (fun f -> drift := Printf.sprintf "serve oracle: %s" f :: !drift)
+      oracle_failures;
+    if per_sec < 0.8 *. r.s_per_sec then
+      warn "serve throughput %.0f/s is %.0f%% under the baseline's %.0f/s"
+        per_sec
+        ((1. -. (per_sec /. r.s_per_sec)) *. 100.)
+        r.s_per_sec);
   match (List.rev !drift, failed) with
   | [], [] ->
     Printf.printf "ok: all %d correctness metrics match the baseline\n"
@@ -245,12 +306,23 @@ let write ~baseline_file ~jobs =
     Printf.printf "refusing to write a baseline from a degraded sweep\n";
     exit 1
   end;
+  let serve =
+    let r = { s_per_sec = 0.; s_jobs = 1; s_instances = 3000 } in
+    let per_sec, oracle_failures = measure_serve r in
+    if oracle_failures <> [] then begin
+      List.iter (fun f -> Printf.printf "serve oracle: %s\n" f) oracle_failures;
+      Printf.printf "refusing to write a baseline from a failing serve loop\n";
+      exit 1
+    end;
+    Some { r with s_per_sec = per_sec }
+  in
   let oc = open_out_bin baseline_file in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (json_of ~metrics ~wall_ms));
-  Printf.printf "bap_gate: wrote %d cells to %s (%.0f ms)\n" (List.length metrics)
-    baseline_file wall_ms;
+    (fun () -> output_string oc (json_of ~metrics ~wall_ms ~serve));
+  Printf.printf "bap_gate: wrote %d cells to %s (%.0f ms, serve %.0f/s)\n"
+    (List.length metrics) baseline_file wall_ms
+    (match serve with Some s -> s.s_per_sec | None -> 0.);
   0
 
 (* ---------- the stats gate ---------- *)

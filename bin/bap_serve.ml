@@ -1,0 +1,162 @@
+(* CLI: the always-on agreement service.
+
+   Reads length-prefixed JSON frames — one agreement instance each —
+   from stdin (default) or a Unix-domain socket, multiplexes them over
+   the lib/exec domain pool under supervision, and writes one response
+   frame per request in arrival order. Overload is shed with typed
+   rejections, poisoned instances degrade instead of aborting, and
+   SIGTERM/SIGINT drain gracefully (finish the accepted backlog, flush
+   telemetry, exit 143/130).
+
+   Examples:
+     dune exec bin/bap_serve.exe < frames.bin > responses.bin
+     dune exec bin/bap_serve.exe -- --socket /tmp/bap.sock --jobs 4
+     dune exec bench/main.exe -- --serve --jobs 4      # load generator
+
+   Request payload:  {"id":1,"family":"unauth","n":16,"f":2,"m":0,"seed":7}
+   Response payload: {"id":1,"status":"ok","decided":78,...}            *)
+
+open Cmdliner
+module Server = Bap_servelib.Server
+module Harness = Bap_chaos.Harness
+module Supervisor = Bap_exec.Supervisor
+module Tel = Bap_telemetry.Telemetry
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let run socket jobs queue batch retries timeout max_frame chaos_seed trace_out
+    metrics_json quiet =
+  (match trace_out with
+  | Some path -> Tel.install ~wall:true (Tel.Jsonl path)
+  | None -> if metrics_json <> None then Tel.install Tel.Counters_only);
+  let chaos = Option.map (fun seed -> Harness.create ~seed ()) chaos_seed in
+  let inject =
+    Option.map
+      (fun h ~key ~attempt ->
+        match Harness.decide h ~key ~attempt with
+        | Some Harness.Crash -> Some Supervisor.Inject_crash
+        | Some Harness.Hang -> Some Supervisor.Inject_hang
+        | None -> None)
+      chaos
+  in
+  let cfg =
+    {
+      Server.jobs = max 1 jobs;
+      queue_capacity = max 1 queue;
+      batch = max 1 batch;
+      retries = max 0 retries;
+      timeout_s = timeout;
+      max_frame;
+      seed = Option.value ~default:0 chaos_seed;
+      inject;
+    }
+  in
+  Server.install_signal_handlers ();
+  let stats =
+    match socket with
+    | Some path ->
+      if not quiet then Fmt.epr "[serve] listening on %s (--jobs %d)@." path cfg.Server.jobs;
+      Server.serve_socket cfg ~path
+    | None -> Server.serve_fds cfg ~in_fd:Unix.stdin ~out_fd:Unix.stdout
+  in
+  (match metrics_json with
+  | Some path -> write_file path (Tel.Metrics.to_json (Tel.Metrics.snapshot ()))
+  | None -> ());
+  (* Telemetry flushes before the exit code is decided: an interrupted
+     service's trace is exactly the one worth reading. *)
+  Tel.shutdown ();
+  if not quiet then Fmt.epr "%s@." (Server.report stats);
+  exit stats.Server.exit_code
+
+let cmd =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Serve a Unix-domain socket (clients sequentially) instead of \
+             stdin/stdout.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Worker domains for instance execution.")
+  in
+  let queue =
+    Arg.(
+      value & opt int 1024
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Admission queue capacity. Requests past it are shed with a typed \
+             overload rejection, never buffered.")
+  in
+  let batch =
+    Arg.(
+      value & opt int 64
+      & info [ "batch" ] ~docv:"N" ~doc:"Max instances per pool dispatch.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 2
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Supervised retry budget before an instance degrades.")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) (Some 10.)
+      & info [ "timeout" ] ~docv:"SECS"
+          ~doc:"Per-attempt watchdog deadline for one instance.")
+  in
+  let max_frame =
+    Arg.(
+      value
+      & opt int Bap_servelib.Frame.default_max_len
+      & info [ "max-frame" ] ~docv:"BYTES"
+          ~doc:
+            "Frame payload cap. An oversized length prefix poisons its \
+             connection (typed rejection, then close) — the stream cannot \
+             be resynchronised past it.")
+  in
+  let chaos_seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "harness-chaos" ] ~docv:"SEED"
+          ~doc:
+            "Inject seeded crashes and hangs into instance attempts; the \
+             default schedule faults only early attempts, so supervised \
+             retry recovers every instance.")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Write a JSONL telemetry trace of the service run.")
+  in
+  let metrics_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-json" ] ~docv:"FILE"
+          ~doc:"Write the merged metrics registry as JSON on exit.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress the stderr report.")
+  in
+  Cmd.v
+    (Cmd.info "bap_serve"
+       ~doc:
+         "Always-on agreement service: streamed instances over the domain \
+          pool; degrades, sheds, and drains — never aborts")
+    Term.(
+      const run $ socket $ jobs $ queue $ batch $ retries $ timeout $ max_frame
+      $ chaos_seed $ trace_out $ metrics_json $ quiet)
+
+let () = exit (Cmd.eval' cmd)

@@ -12,6 +12,7 @@
    quarantine / DEGRADED path. *)
 
 type fault = Crash | Hang
+type frame_fault = Corrupt_payload | Disconnect_mid_frame
 
 type t = {
   seed : int;
@@ -20,10 +21,13 @@ type t = {
   doomed_pct : int;
   cache_pct : int;
   faulty_attempts : int;
+  frame_corrupt_pct : int;
+  disconnect_pct : int;
 }
 
 let create ?(crash_pct = 25) ?(hang_pct = 10) ?(doomed_pct = 0)
-    ?(cache_pct = 25) ?(faulty_attempts = 2) ~seed () =
+    ?(cache_pct = 25) ?(faulty_attempts = 2) ?(frame_corrupt_pct = 0)
+    ?(disconnect_pct = 0) ~seed () =
   let pct name v =
     if v < 0 || v > 100 then
       invalid_arg (Printf.sprintf "Harness.create: %s = %d not in 0..100" name v)
@@ -32,10 +36,23 @@ let create ?(crash_pct = 25) ?(hang_pct = 10) ?(doomed_pct = 0)
   pct "hang_pct" hang_pct;
   pct "doomed_pct" doomed_pct;
   pct "cache_pct" cache_pct;
+  pct "frame_corrupt_pct" frame_corrupt_pct;
+  pct "disconnect_pct" disconnect_pct;
   if crash_pct + hang_pct > 100 then
     invalid_arg "Harness.create: crash_pct + hang_pct > 100";
+  if frame_corrupt_pct + disconnect_pct > 100 then
+    invalid_arg "Harness.create: frame_corrupt_pct + disconnect_pct > 100";
   if faulty_attempts < 0 then invalid_arg "Harness.create: faulty_attempts < 0";
-  { seed; crash_pct; hang_pct; doomed_pct; cache_pct; faulty_attempts }
+  {
+    seed;
+    crash_pct;
+    hang_pct;
+    doomed_pct;
+    cache_pct;
+    faulty_attempts;
+    frame_corrupt_pct;
+    disconnect_pct;
+  }
 
 let djb2 s =
   String.fold_left (fun h c -> ((h * 33) + Char.code c) land max_int) 5381 s
@@ -52,6 +69,27 @@ let decide t ~key ~attempt =
     if r < t.crash_pct then Some Crash
     else if r < t.crash_pct + t.hang_pct then Some Hang
     else None
+
+(* Frame-level chaos for the serve load generator. The decision is
+   keyed on the frame (not the attempt): a corrupted frame stays
+   corrupted, a doomed write stays doomed, at any --jobs level. The
+   client applies the damage — the server under test only ever sees
+   its consequences. *)
+
+let frame_fault t ~key =
+  let r = roll t ~salt:"frame" ~key in
+  if r < t.frame_corrupt_pct then Some Corrupt_payload
+  else if r < t.frame_corrupt_pct + t.disconnect_pct then
+    Some Disconnect_mid_frame
+  else None
+
+let corrupt_byte t ~key ~len =
+  if len <= 0 then invalid_arg "Harness.corrupt_byte: len <= 0";
+  let off = djb2 (Printf.sprintf "%d|frameoff|%s" t.seed key) mod len in
+  (* Mask is never 0, so the byte always changes and the corruption is
+     guaranteed visible to the codec or the JSON parser. *)
+  let mask = 1 + (djb2 (Printf.sprintf "%d|framemask|%s" t.seed key) mod 255) in
+  (off, mask)
 
 let corrupt_cache t ~dir =
   if not (Sys.file_exists dir && Sys.is_directory dir) then 0

@@ -12,6 +12,11 @@
 
 type fault = Crash | Hang
 
+type frame_fault =
+  | Corrupt_payload  (** flip one payload byte before it hits the wire *)
+  | Disconnect_mid_frame
+      (** close the connection after a strict prefix of the frame *)
+
 type t
 
 val create :
@@ -20,16 +25,21 @@ val create :
   ?doomed_pct:int ->
   ?cache_pct:int ->
   ?faulty_attempts:int ->
+  ?frame_corrupt_pct:int ->
+  ?disconnect_pct:int ->
   seed:int ->
   unit ->
   t
 (** Defaults: 25% crash, 10% hang, 0% doomed, 25% cache corruption,
-    [faulty_attempts = 2]. A non-doomed cell only faults on its first
-    [faulty_attempts] attempts, so any retry budget >= that recovers it
-    — the default schedule degrades nothing. [doomed_pct] marks cells
-    that fault on {e every} attempt, forcing quarantine. Raises
-    [Invalid_argument] on percentages outside 0..100 or
-    [crash_pct + hang_pct > 100]. *)
+    [faulty_attempts = 2], 0% frame corruption, 0% disconnects. A
+    non-doomed cell only faults on its first [faulty_attempts]
+    attempts, so any retry budget >= that recovers it — the default
+    schedule degrades nothing. [doomed_pct] marks cells that fault on
+    {e every} attempt, forcing quarantine. The frame percentages drive
+    client-side wire chaos for the serve load generator. Raises
+    [Invalid_argument] on percentages outside 0..100,
+    [crash_pct + hang_pct > 100], or
+    [frame_corrupt_pct + disconnect_pct > 100]. *)
 
 val decide : t -> key:string -> attempt:int -> fault option
 (** The fault (if any) to inject into this attempt of this cell. Pure:
@@ -37,6 +47,19 @@ val decide : t -> key:string -> attempt:int -> fault option
 
 val doomed : t -> key:string -> bool
 (** Whether this cell faults on every attempt under this schedule. *)
+
+val frame_fault : t -> key:string -> frame_fault option
+(** The wire-level fault (if any) a chaos client should apply to the
+    frame identified by [key]. Pure, keyed on the frame rather than an
+    attempt: a corrupted frame is corrupted in every run of the seed,
+    which lets the load generator exempt exactly those frames from its
+    byte-identity oracle. *)
+
+val corrupt_byte : t -> key:string -> len:int -> int * int
+(** [(offset, mask)] for a [Corrupt_payload] fault on a frame of
+    [len] bytes: flip the byte at [offset] with [xor mask]. The mask is
+    never 0, so the damage is always visible. Raises
+    [Invalid_argument] if [len <= 0]. *)
 
 val corrupt_cache : t -> dir:string -> int
 (** Flip one byte in a deterministic subset ([cache_pct]) of the

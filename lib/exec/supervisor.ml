@@ -256,6 +256,10 @@ let install_exit_handlers ?(on_signal = fun ~signal_name:_ -> ()) () =
     Sys.Signal_handle
       (fun _ ->
         on_signal ~signal_name:name;
+        (* A JSONL trace of an interrupted run is the one most worth
+           having; flush it with the signal-safe path before dying.
+           Runs that exit normally flush via [shutdown] instead. *)
+        Bap_telemetry.Telemetry.signal_shutdown ();
         exit code)
   in
   (* 128 + signal number, the shell convention for signal deaths. *)

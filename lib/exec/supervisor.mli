@@ -72,6 +72,8 @@ val pp_ledger : Format.formatter -> attempt_record list -> unit
 val install_exit_handlers :
   ?on_signal:(signal_name:string -> unit) -> unit -> unit
 (** Install SIGINT/SIGTERM handlers that run [on_signal] (flush the
-    journal, print the resume command, ...) and exit 130/143 — the
-    128+signo shell convention — instead of dying mid-write with a
-    stack trace or a bogus zero. *)
+    journal, print the resume command, ...), flush any installed
+    telemetry sink via the signal-safe [Telemetry.signal_shutdown],
+    and exit 130/143 — the 128+signo shell convention — instead of
+    dying mid-write with a stack trace, a bogus zero, or an empty
+    trace file. *)

@@ -28,21 +28,23 @@ let supervisor_home = "lib/exec/supervisor.ml"
 
 (* Wall-clock reads are the business of the execution engine (worker
    pools, cache timing), the telemetry spine (optional wall_us stamps on
-   trace events — everything logical stays seq-numbered), and the
+   trace events — everything logical stays seq-numbered), the serve
+   layer (admission stamps, watchdog deadlines, latency quantiles — a
+   service's observable behaviour is wall-clock by nature), and the
    CLIs/benches that report them. *)
 let clock_allowed path =
-  in_dir "lib/exec" path || in_dir "lib/telemetry" path || in_dir "bin" path
-  || in_dir "bench" path
+  in_dir "lib/exec" path || in_dir "lib/telemetry" path
+  || in_dir "lib/serve" path || in_dir "bin" path || in_dir "bench" path
 let layer_restricted path = in_dir "lib/sim" path || in_dir "lib/core" path
 let in_experiments path = in_dir "lib/experiments" path
 let in_lib path = in_dir "lib" path
 
 (* Libraries whose modules must all carry an .mli. lib/core is the
-   protocol surface; lib/chaos, lib/lint and lib/telemetry are
-   post-hygiene code. *)
+   protocol surface; lib/chaos, lib/lint, lib/serve and lib/telemetry
+   are post-hygiene code. *)
 let interface_complete path =
   in_dir "lib/core" path || in_dir "lib/chaos" path || in_dir "lib/lint" path
-  || in_dir "lib/telemetry" path
+  || in_dir "lib/serve" path || in_dir "lib/telemetry" path
 
 (* ---------- identifier helpers ---------- *)
 

@@ -1,0 +1,50 @@
+(* Bounded admission queue. The capacity check is the service's
+   overload story in one line: work either fits in the fixed backlog or
+   is rejected with a typed reason the client can act on. Nothing here
+   ever grows with offered load. *)
+
+module Tel = Bap_telemetry.Telemetry
+
+type entry = { spec : Instance.spec; arrival_us : float }
+
+type t = {
+  capacity : int;
+  q : entry Queue.t;
+  mutable draining : bool;
+  mutable accepted : int;
+}
+
+type decision = Enqueued | Shed of Instance.reject_reason
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Admission.create: capacity must be >= 1";
+  { capacity; q = Queue.create (); draining = false; accepted = 0 }
+
+let offer t ~now_us spec =
+  if t.draining then begin
+    Tel.Metrics.counter "serve.rejected.draining" 1;
+    Shed Instance.Draining
+  end
+  else if Queue.length t.q >= t.capacity then begin
+    Tel.Metrics.counter "serve.rejected.overload" 1;
+    Shed Instance.Overload
+  end
+  else begin
+    Queue.push { spec; arrival_us = now_us } t.q;
+    t.accepted <- t.accepted + 1;
+    Tel.Metrics.counter "serve.accepted" 1;
+    Tel.Metrics.gauge_max "serve.queue_depth" (Queue.length t.q);
+    Enqueued
+  end
+
+let start_drain t = t.draining <- true
+let draining t = t.draining
+let depth t = Queue.length t.q
+let accepted_total t = t.accepted
+
+let take_batch t ~max =
+  let rec go acc k =
+    if k = 0 || Queue.is_empty t.q then List.rev acc
+    else go (Queue.pop t.q :: acc) (k - 1)
+  in
+  go [] (Stdlib.max 0 max)

@@ -1,0 +1,41 @@
+(** Typed admission control: a bounded queue that sheds, never buffers.
+
+    Every request the server reads is {e offered} here before any work
+    happens. The queue has a hard capacity; an offer past capacity
+    comes back as a typed [Overload] rejection immediately, so a
+    client flooding the service costs one response frame per excess
+    request and zero memory growth. Draining flips the gate: every
+    subsequent offer is rejected with [Draining] while the already
+    accepted backlog is finished (or explicitly rejected back) by the
+    server loop.
+
+    Owned by the single server loop domain; not thread-safe. *)
+
+type entry = {
+  spec : Instance.spec;
+  arrival_us : float;  (** wall stamp for latency accounting only *)
+}
+
+type t
+
+val create : capacity:int -> t
+(** [capacity >= 1]; raises [Invalid_argument] otherwise. *)
+
+type decision = Enqueued | Shed of Instance.reject_reason
+
+val offer : t -> now_us:float -> Instance.spec -> decision
+(** Admit or shed one parsed, validated request. *)
+
+val start_drain : t -> unit
+(** Stop admitting; idempotent. Already queued entries stay queued. *)
+
+val draining : t -> bool
+
+val depth : t -> int
+(** Entries admitted and not yet taken. *)
+
+val accepted_total : t -> int
+(** Entries ever admitted (monotonic). *)
+
+val take_batch : t -> max:int -> entry list
+(** Dequeue up to [max] entries, FIFO. *)

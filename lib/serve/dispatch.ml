@@ -1,0 +1,46 @@
+(* Batch dispatcher: admitted entries -> supervised pool tasks ->
+   responses in submission order.
+
+   The order guarantee leans on Pool.run_all's contract that result
+   slot i belongs to task i whatever domain ran it — pinned by the
+   on_result regression test in test_exec.ml — so the response stream
+   never leaks the work-stealing schedule. *)
+
+module Pool = Bap_exec.Pool
+module Supervisor = Bap_exec.Supervisor
+module Tel = Bap_telemetry.Telemetry
+
+type t = { pool : Pool.t; supervisor : Supervisor.t }
+
+let create ~pool ~supervisor = { pool; supervisor }
+
+let run t entries =
+  let arr = Array.of_list entries in
+  let tasks =
+    Array.map
+      (fun (e : Admission.entry) () ->
+        Supervisor.supervise t.supervisor ~key:(Instance.key e.spec) (fun () ->
+            Instance.execute e.spec))
+      arr
+  in
+  let results = Pool.run_all t.pool tasks in
+  List.mapi
+    (fun i (e : Admission.entry) ->
+      let id = e.spec.Instance.id in
+      let response =
+        match results.(i) with
+        | Ok (Supervisor.Completed { value; _ }) ->
+          Tel.Metrics.counter "serve.completed" 1;
+          Instance.Done { id; metrics = value }
+        | Ok (Supervisor.Quarantined { ledger }) ->
+          Tel.Metrics.counter "serve.degraded" 1;
+          Instance.Degraded { id; attempts = List.length ledger }
+        | Error e ->
+          (* Unreachable while supervise never raises; folded into the
+             same typed degradation rather than killing the server. *)
+          Tel.Metrics.counter "serve.degraded" 1;
+          ignore e;
+          Instance.Degraded { id; attempts = 0 }
+      in
+      (e, response))
+    (Array.to_list arr)

@@ -1,0 +1,20 @@
+(** Supervised fan-out of admitted instances over the domain pool.
+
+    A batch of admitted entries becomes one {!Bap_exec.Pool.run_all}
+    batch of supervised thunks: each instance runs under the
+    supervisor's watchdog deadline with deterministic seeded retry, and
+    an instance that exhausts its budget comes back as a [Degraded]
+    response — the service-level analogue of the sweep engine's
+    quarantine. Responses are returned in submission order, so the
+    reply stream is independent of the work-stealing schedule. *)
+
+type t
+
+val create : pool:Bap_exec.Pool.t -> supervisor:Bap_exec.Supervisor.t -> t
+(** The pool and supervisor are owned by the caller (the server),
+    which shuts them down on drain. *)
+
+val run : t -> Admission.entry list -> (Admission.entry * Instance.response) list
+(** Execute a batch; one response per entry, in entry order. Never
+    raises from instance code: crashes and timeouts retry, then
+    degrade. *)

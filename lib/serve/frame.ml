@@ -1,0 +1,91 @@
+(* Length-prefixed frames: 4-byte big-endian payload length + payload.
+
+   The decoder is deliberately dumb about payload contents — framing
+   and parsing fail independently. A garbage payload costs one typed
+   rejection; only a length prefix above the cap poisons the stream,
+   because past that point no byte can be trusted to be a boundary.
+
+   Buffer discipline: fed bytes accumulate in one Buffer with a read
+   offset; the consumed prefix is compacted away once it crosses a
+   threshold, so a long-lived connection never grows its buffer beyond
+   (largest frame + one chunk). *)
+
+let default_max_len = 1 lsl 20
+let header_len = 4
+
+let encode payload =
+  let n = String.length payload in
+  if n >= 0x40000000 then invalid_arg "Frame.encode: payload too large";
+  let b = Bytes.create (header_len + n) in
+  Bytes.set_uint8 b 0 ((n lsr 24) land 0xff);
+  Bytes.set_uint8 b 1 ((n lsr 16) land 0xff);
+  Bytes.set_uint8 b 2 ((n lsr 8) land 0xff);
+  Bytes.set_uint8 b 3 (n land 0xff);
+  Bytes.blit_string payload 0 b header_len n;
+  Bytes.unsafe_to_string b
+
+type decoder = {
+  max_len : int;
+  buf : Buffer.t;
+  mutable off : int; (* consumed prefix of [buf] *)
+  mutable dead : bool; (* oversized prefix seen; no resync possible *)
+}
+
+type next = Frame of string | Await | Oversized of int
+
+let decoder ?(max_len = default_max_len) () =
+  { max_len; buf = Buffer.create 4096; off = 0; dead = false }
+
+let feed d b ~pos ~len = if not d.dead then Buffer.add_subbytes d.buf b pos len
+let feed_string d s = if not d.dead then Buffer.add_string d.buf s
+
+let buffered d = Buffer.length d.buf - d.off
+let poisoned d = d.dead
+
+(* Drop the consumed prefix once it dominates the buffer: O(1) amortised. *)
+let compact d =
+  if d.off > 65536 && d.off * 2 > Buffer.length d.buf then begin
+    let rest = Buffer.sub d.buf d.off (Buffer.length d.buf - d.off) in
+    Buffer.clear d.buf;
+    Buffer.add_string d.buf rest;
+    d.off <- 0
+  end
+
+let peek_len d =
+  let at i = Char.code (Buffer.nth d.buf (d.off + i)) in
+  (at 0 lsl 24) lor (at 1 lsl 16) lor (at 2 lsl 8) lor at 3
+
+let next d =
+  if d.dead then Oversized d.max_len
+  else if buffered d < header_len then Await
+  else begin
+    let len = peek_len d in
+    if len > d.max_len then begin
+      d.dead <- true;
+      Buffer.clear d.buf;
+      d.off <- 0;
+      Oversized len
+    end
+    else if buffered d < header_len + len then Await
+    else begin
+      let payload = Buffer.sub d.buf (d.off + header_len) len in
+      d.off <- d.off + header_len + len;
+      compact d;
+      Frame payload
+    end
+  end
+
+type tail = Clean | Torn of int | Oversized_tail of int
+
+let decode_all ?max_len s =
+  let d = decoder ?max_len () in
+  feed_string d s;
+  let rec go acc =
+    match next d with
+    | Frame p -> go (p :: acc)
+    | Await ->
+      let tail = if buffered d = 0 then Clean else Torn (buffered d) in
+      (List.rev acc, tail)
+    | Oversized n -> (List.rev acc, Oversized_tail n)
+  in
+  go []

@@ -1,0 +1,73 @@
+(* Log-bucket latency histogram: bucket i holds observations with
+   ceil(log2(us)) = i, so 64 int refs cover every representable
+   latency and a quantile costs one scan. The price is resolution —
+   a quantile is its bucket's upper bound, i.e. within 2x of exact —
+   which is the right trade for a hot path that must not allocate. *)
+
+module Tel = Bap_telemetry.Telemetry
+
+let buckets = 64
+
+type t = { counts : int array; mutable total : int; mutable max_us : int }
+
+let create () = { counts = Array.make buckets 0; total = 0; max_us = 0 }
+
+let bucket_of_us us =
+  if us <= 1 then 0
+  else
+    (* ceil(log2 us), capped into the last bucket. *)
+    let rec go b v = if v <= 1 || b = buckets - 1 then b else go (b + 1) (v lsr 1) in
+    go 0 (us - 1) + 1 |> min (buckets - 1)
+
+let record_latency t ~us =
+  let us = int_of_float (Float.max 0. us) in
+  t.counts.(bucket_of_us us) <- t.counts.(bucket_of_us us) + 1;
+  t.total <- t.total + 1;
+  if us > t.max_us then t.max_us <- us;
+  Tel.Metrics.observe "serve.latency_us" us
+
+let count t = t.total
+
+let quantile t q =
+  if t.total = 0 then 0
+  else begin
+    let q = Float.max 0. (Float.min 1. q) in
+    let rank = int_of_float (Float.round (q *. float_of_int t.total)) in
+    let rank = max 1 (min t.total rank) in
+    let rec go b seen =
+      if b >= buckets then t.max_us
+      else
+        let seen = seen + t.counts.(b) in
+        if seen >= rank then (if b = 0 then 1 else 1 lsl b) else go (b + 1) seen
+    in
+    min (go 0 0) t.max_us
+  end
+
+type summary = {
+  completed : int;
+  p50_us : int;
+  p99_us : int;
+  max_us : int;
+  per_sec : float;
+}
+
+let summarize t ~wall_s =
+  let s =
+    {
+      completed = t.total;
+      p50_us = quantile t 0.5;
+      p99_us = quantile t 0.99;
+      max_us = t.max_us;
+      per_sec =
+        (if wall_s <= 0. then 0. else float_of_int t.total /. wall_s);
+    }
+  in
+  Tel.Metrics.gauge_max "serve.latency_p50_us" s.p50_us;
+  Tel.Metrics.gauge_max "serve.latency_p99_us" s.p99_us;
+  Tel.Metrics.gauge_max "serve.instances_per_sec" (int_of_float s.per_sec);
+  s
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "%d instance(s), %.0f/s, latency p50 %dus p99 %dus max %dus" s.completed
+    s.per_sec s.p50_us s.p99_us s.max_us

@@ -1,0 +1,37 @@
+(** Service health accounting: latency quantiles and throughput.
+
+    Latencies are recorded into power-of-two log buckets (64 of them,
+    microsecond-indexed), which makes p50/p99 an O(64) scan with
+    bounded relative error (a quantile is reported as its bucket's
+    upper bound) and zero allocation on the hot path. Everything also
+    feeds the telemetry metrics registry, so [--metrics-json] captures
+    the same numbers machine-readably.
+
+    Owned by the server loop domain; not thread-safe. *)
+
+type t
+
+val create : unit -> t
+
+val record_latency : t -> us:float -> unit
+(** One accepted instance's admission-to-response latency. *)
+
+val count : t -> int
+
+val quantile : t -> float -> int
+(** [quantile t 0.99] in microseconds (bucket upper bound); 0 when
+    empty. [q] outside [0,1] is clamped. *)
+
+type summary = {
+  completed : int;
+  p50_us : int;
+  p99_us : int;
+  max_us : int;
+  per_sec : float;
+}
+
+val summarize : t -> wall_s:float -> summary
+(** Also publishes [serve.latency_p50_us] / [serve.latency_p99_us]
+    gauges and the [serve.instances_per_sec] gauge to the registry. *)
+
+val pp_summary : Format.formatter -> summary -> unit

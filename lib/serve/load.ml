@@ -1,0 +1,339 @@
+(* The load generator is also the oracle. It generates the workload
+   deterministically, keeps its own record of exactly which bytes went
+   onto the wire (including the chaos damage it inflicted), and then
+   recomputes every spec serially to compare against what the service
+   answered. The service under test never knows which of its clients
+   is the auditor. *)
+
+module Harness = Bap_chaos.Harness
+module Json = Bap_telemetry.Json
+
+type outcome = {
+  sent : int;
+  corrupted : int;
+  disconnects : int;
+  responses : int;
+  ok : int;
+  degraded : int;
+  rejected : int;
+  unanswered : int;
+  mismatches : int;
+  per_sec : float;
+  server : Server.stats option;
+}
+
+(* ---------- workload plan ---------- *)
+
+let plan_specs ~instances ~families ~n =
+  let families = if families = [] then [ Instance.Pk ] else families in
+  let k = List.length families in
+  List.init instances (fun i ->
+      let family = List.nth families (i mod k) in
+      let t = Instance.t_of family ~n in
+      {
+        Instance.id = i;
+        family;
+        n;
+        f = i mod (t + 1);
+        m = i mod 2;
+        seed = (7 * i) + 1;
+      })
+
+type item = {
+  spec : Instance.spec;
+  wire : string;  (* frame bytes as they will hit the wire *)
+  corrupt : bool;
+  disconnect : bool;  (* close after a strict prefix of [wire] *)
+}
+
+let plan_items ?chaos ~instances ~families ~n () =
+  plan_specs ~instances ~families ~n
+  |> List.map (fun spec ->
+         let payload = Instance.request_json spec in
+         let key = string_of_int spec.Instance.id in
+         match Option.map (fun h -> (h, Harness.frame_fault h ~key)) chaos with
+         | None | Some (_, None) ->
+           { spec; wire = Frame.encode payload; corrupt = false; disconnect = false }
+         | Some (h, Some Harness.Corrupt_payload) ->
+           let off, mask =
+             Harness.corrupt_byte h ~key ~len:(String.length payload)
+           in
+           let b = Bytes.of_string payload in
+           Bytes.set b off
+             (Char.chr (Char.code (Bytes.get b off) lxor mask land 0xff));
+           {
+             spec;
+             wire = Frame.encode (Bytes.to_string b);
+             corrupt = true;
+             disconnect = false;
+           }
+         | Some (_, Some Harness.Disconnect_mid_frame) ->
+           { spec; wire = Frame.encode payload; corrupt = false; disconnect = true })
+
+(* ---------- client-side IO ---------- *)
+
+exception Server_gone
+
+let rec write_all fd s pos len =
+  if len > 0 then begin
+    let k =
+      try Unix.write_substring fd s pos len with
+      | Unix.Unix_error (Unix.EINTR, _, _) -> 0
+      | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+        raise Server_gone
+    in
+    write_all fd s (pos + k) (len - k)
+  end
+
+(* Read response frames until EOF. A client reader never trusts the
+   server: garbage is absorbed by the codec and surfaces as counts. *)
+let read_responses fd =
+  let dec = Frame.decoder () in
+  let buf = Bytes.create 65536 in
+  let out = ref [] in
+  let rec drain () =
+    match Frame.next dec with
+    | Frame.Frame p ->
+      out := p :: !out;
+      drain ()
+    | Frame.Await | Frame.Oversized _ -> ()
+  in
+  let rec loop () =
+    match Unix.read fd buf 0 (Bytes.length buf) with
+    | 0 -> ()
+    | k ->
+      Frame.feed dec buf ~pos:0 ~len:k;
+      drain ();
+      loop ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EBADF), _, _) -> ()
+  in
+  loop ();
+  List.rev !out
+
+let ignore_sigpipe () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ | Sys_error _ -> ()
+
+(* ---------- the oracle ---------- *)
+
+let response_parts payload =
+  match Json.parse payload with
+  | j ->
+    (Json.to_int (Json.member "id" j), Json.to_string (Json.member "status" j))
+  | exception Json.Parse _ -> (None, None)
+
+(* The reference result: what a serial batch run of this spec produces,
+   rendered exactly as the service renders it. *)
+let expected_ok spec =
+  Instance.response_to_json
+    (Instance.Done { id = spec.Instance.id; metrics = Instance.execute spec })
+
+type audit = {
+  a_ok : int;
+  a_degraded : int;
+  a_rejected : int;
+  a_unanswered : int;
+  a_mismatches : int;
+  a_responses : int;
+}
+
+let audit_responses ~sent_items ~payloads =
+  let by_id = Hashtbl.create 997 in
+  List.iter
+    (fun p ->
+      match response_parts p with
+      | Some id, Some st -> Hashtbl.add by_id id (st, p)
+      | _ -> Hashtbl.add by_id min_int ("unparseable", p))
+    payloads;
+  List.fold_left
+    (fun a (it : item) ->
+      if it.corrupt then a
+      else
+        match Hashtbl.find_all by_id it.spec.Instance.id with
+        | [] -> { a with a_unanswered = a.a_unanswered + 1 }
+        | entries ->
+          let expect = lazy (expected_ok it.spec) in
+          (* With chaos corruption on, a flipped id digit can alias a
+             clean id: judge by the best entry, not every entry. *)
+          let score (st, p) =
+            match st with
+            | "ok" when p = Lazy.force expect -> 3
+            | "degraded" -> 2
+            | "rejected" -> 1
+            | _ -> 0
+          in
+          let best =
+            List.fold_left
+              (fun acc e -> if score e > score acc then e else acc)
+              (List.hd entries) (List.tl entries)
+          in
+          (match score best with
+          | 3 -> { a with a_ok = a.a_ok + 1 }
+          | 2 -> { a with a_degraded = a.a_degraded + 1 }
+          | 1 -> { a with a_rejected = a.a_rejected + 1 }
+          | _ -> { a with a_mismatches = a.a_mismatches + 1 }))
+    {
+      a_ok = 0;
+      a_degraded = 0;
+      a_rejected = 0;
+      a_unanswered = 0;
+      a_mismatches = 0;
+      a_responses = List.length payloads;
+    }
+    sent_items
+
+let outcome_of ~sent_items ~payloads ~disconnects ~per_sec ~server =
+  let a = audit_responses ~sent_items ~payloads in
+  {
+    sent = List.length sent_items;
+    corrupted = List.length (List.filter (fun i -> i.corrupt) sent_items);
+    disconnects;
+    responses = a.a_responses;
+    ok = a.a_ok;
+    degraded = a.a_degraded;
+    rejected = a.a_rejected;
+    unanswered = a.a_unanswered;
+    mismatches = a.a_mismatches;
+    per_sec;
+    server;
+  }
+
+let failures ?(chaos = false) o =
+  let fail = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> fail := s :: !fail) fmt in
+  if o.mismatches > 0 then
+    add "%d ok response(s) differ from the serial batch bytes" o.mismatches;
+  if not chaos then begin
+    (* Completeness is only ours to assert in-process, where the server
+       outlives the plan by construction. An external daemon may be
+       drained mid-load (the CI smoke SIGTERMs it on purpose): frames
+       still in flight at that moment were never accepted, and the
+       server-side [dropped=0] line is the authority on the ones that
+       were. *)
+    if o.unanswered > 0 && o.server <> None then
+      add "%d sent instance(s) never answered" o.unanswered;
+    if o.degraded > 0 then
+      add "%d instance(s) degraded without chaos injection" o.degraded;
+    match o.server with
+    | Some s ->
+      if s.Server.dropped_disconnect > 0 then
+        add "server dropped %d accepted instance(s)" s.Server.dropped_disconnect;
+      if s.Server.accepted <> s.Server.responded then
+        add "server accepted %d but responded %d" s.Server.accepted
+          s.Server.responded
+    | None -> ()
+  end;
+  List.rev !fail
+
+let pp ppf o =
+  Format.fprintf ppf
+    "sent %d (corrupt %d, disconnects %d) -> responses %d: ok %d degraded %d \
+     rejected %d unanswered %d mismatches %d at %.0f/s"
+    o.sent o.corrupted o.disconnects o.responses o.ok o.degraded o.rejected
+    o.unanswered o.mismatches o.per_sec
+
+(* ---------- in-process mode ---------- *)
+
+let run_inproc ?chaos ~config ~instances ~families ~n () =
+  ignore_sigpipe ();
+  let items = plan_items ?chaos ~instances ~families ~n () in
+  let c2s_r, c2s_w = Unix.pipe ()
+  and s2c_r, s2c_w = Unix.pipe () in
+  (* Client halves run on their own domains; the server loop keeps the
+     calling domain, exactly as in production. A chaos disconnect in
+     pipe mode is a torn tail: the writer stops mid-frame and hangs
+     up, which is all a pipe can express. *)
+  let writer =
+    Domain.spawn (fun () ->
+        let sent = ref [] in
+        let disconnects = ref 0 in
+        (try
+           List.iter
+             (fun it ->
+               if it.disconnect then begin
+                 incr disconnects;
+                 write_all c2s_w it.wire 0
+                   (max 1 (String.length it.wire / 2));
+                 raise Exit
+               end
+               else begin
+                 write_all c2s_w it.wire 0 (String.length it.wire);
+                 sent := it :: !sent
+               end)
+             items
+         with Exit | Server_gone -> ());
+        (try Unix.close c2s_w with Unix.Unix_error _ -> ());
+        (List.rev !sent, !disconnects))
+  in
+  let reader = Domain.spawn (fun () -> read_responses s2c_r) in
+  let stats = Server.serve_fds config ~in_fd:c2s_r ~out_fd:s2c_w in
+  (try Unix.close c2s_r with Unix.Unix_error _ -> ());
+  (try Unix.close s2c_w with Unix.Unix_error _ -> ());
+  let sent_items, disconnects = Domain.join writer in
+  let payloads = Domain.join reader in
+  (try Unix.close s2c_r with Unix.Unix_error _ -> ());
+  outcome_of ~sent_items ~payloads ~disconnects
+    ~per_sec:stats.Server.health.Health.per_sec ~server:(Some stats)
+
+(* ---------- socket client mode ---------- *)
+
+let run_socket ?chaos ~path ~instances ~families ~n () =
+  ignore_sigpipe ();
+  let items = plan_items ?chaos ~instances ~families ~n () in
+  let started = Unix.gettimeofday () in
+  let collected = ref [] in
+  let reader = ref None in
+  let connect () =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    reader := Some (Domain.spawn (fun () -> read_responses fd));
+    fd
+  in
+  (* The reader must be joined before its fd is closed: close would
+     recycle the fd number under a domain still blocked in [read].
+     Shutdown first — that is what wakes the blocked read. *)
+  let join_reader () =
+    match !reader with
+    | None -> ()
+    | Some d ->
+      collected := Domain.join d @ !collected;
+      reader := None
+  in
+  let sent = ref [] in
+  let disconnects = ref 0 in
+  let fd = ref (connect ()) in
+  (try
+     List.iter
+       (fun it ->
+         if it.disconnect then begin
+           (* A real mid-frame hangup: strict prefix, then a new
+              connection for the rest of the plan. The frames the
+              server had accepted but not answered become its
+              dropped_disconnect count, not ours. *)
+           incr disconnects;
+           (try write_all !fd it.wire 0 (max 1 (String.length it.wire / 2))
+            with Server_gone -> ());
+           (try Unix.shutdown !fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+           join_reader ();
+           (try Unix.close !fd with Unix.Unix_error _ -> ());
+           fd := connect ()
+         end
+         else begin
+           write_all !fd it.wire 0 (String.length it.wire);
+           sent := it :: !sent
+         end)
+       items
+   with Server_gone -> ());
+  (* Half-close: the server sees EOF, flushes its backlog, and the
+     reader domain still gets every response before its own EOF. *)
+  (try Unix.shutdown !fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+  join_reader ();
+  (try Unix.close !fd with Unix.Unix_error _ -> ());
+  let wall = Unix.gettimeofday () -. started in
+  let payloads = !collected in
+  let per_sec =
+    if wall <= 0. then 0. else float_of_int (List.length payloads) /. wall
+  in
+  outcome_of ~sent_items:(List.rev !sent) ~payloads ~disconnects:!disconnects
+    ~per_sec ~server:None

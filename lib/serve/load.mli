@@ -1,0 +1,72 @@
+(** Load generator and byte-identity oracle for the serve loop.
+
+    Drives a stream of generated instances at a server — in-process
+    over pipes (the server runs on the calling domain, the client on
+    two spawned ones), or as a client of an external daemon's socket —
+    and checks the one property chaos must not be able to break:
+    {b every [ok] response the service emits carries exactly the bytes
+    a serial batch recomputation of that spec produces}.
+
+    Chaos, when given a {!Bap_chaos.Harness.t}, attacks both sides:
+    the client corrupts payload bytes and disconnects mid-frame on the
+    wire (socket mode), while the server's supervisor gets the same
+    schedule's crash/hang injections. Corrupted frames are tracked by
+    the client and exempted from the oracle — a flipped byte may still
+    parse as a {e different valid spec}, so nothing useful can be
+    asserted about its response beyond the server surviving it. *)
+
+type outcome = {
+  sent : int;  (** frames fully written to the wire *)
+  corrupted : int;  (** frames sent with a chaos-flipped payload byte *)
+  disconnects : int;  (** chaos mid-frame connection closes *)
+  responses : int;  (** response frames read back *)
+  ok : int;
+  degraded : int;
+  rejected : int;
+  unanswered : int;  (** fully-sent clean frames with no response *)
+  mismatches : int;  (** ok responses differing from the batch bytes *)
+  per_sec : float;  (** server-side rate in-process, client-side over a socket *)
+  server : Server.stats option;  (** in-process mode only *)
+}
+
+val plan_specs :
+  instances:int -> families:Instance.family list -> n:int -> Instance.spec list
+(** The deterministic workload: instance [i] cycles through [families],
+    sweeps [f] over [0..t] and advice quality [m] over [0..1], seeded
+    by its index. Same arguments, same specs — the anchor of every
+    cross-jobs and cross-run comparison. *)
+
+val run_inproc :
+  ?chaos:Bap_chaos.Harness.t ->
+  config:Server.config ->
+  instances:int ->
+  families:Instance.family list ->
+  n:int ->
+  unit ->
+  outcome
+(** Serve the plan over a pipe pair. Strict oracle when [chaos] is
+    absent: every sent frame gets exactly one response, every response
+    is [ok] and byte-identical, and the server reports zero drops.
+    Under chaos only byte-identity (on clean frames) and server
+    survival are asserted; sheds, degrades, and drops are counted and
+    reported. *)
+
+val run_socket :
+  ?chaos:Bap_chaos.Harness.t ->
+  path:string ->
+  instances:int ->
+  families:Instance.family list ->
+  n:int ->
+  unit ->
+  outcome
+(** Drive an external daemon. The daemon's lifetime is not ours (the
+    CI smoke SIGTERMs it mid-load), so completeness is reported rather
+    than asserted — but byte-identity of every [ok] response remains a
+    hard check. Chaos disconnects really close the socket mid-frame
+    and reconnect. *)
+
+val failures : ?chaos:bool -> outcome -> string list
+(** The oracle verdict: human-readable failure lines, empty on pass.
+    [chaos] relaxes completeness exactly as documented above. *)
+
+val pp : Format.formatter -> outcome -> unit

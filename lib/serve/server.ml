@@ -1,0 +1,391 @@
+(* The service loop. Single reader/writer domain; the pool supplies the
+   parallelism. The loop's invariants:
+
+   - every frame read produces exactly one response frame, unless the
+     client is gone (counted as dropped) or the stream died before the
+     frame completed (counted as torn);
+   - in-process buffering is bounded by (queue_capacity + one decoder
+     chunk + one max_frame): overload is shed at admission, not
+     absorbed;
+   - a drain request is observed at every loop head and at every
+     batch boundary, so SIGTERM latency is one batch, not one
+     connection.
+
+   Batching policy: frames are admitted greedily while bytes are
+   already buffered, and a dispatch fires as soon as the input goes
+   momentarily quiet or the batch cap is reached. Light load therefore
+   gets per-request latency close to one instance's cost; sustained
+   load gets full batches and the pool's throughput. *)
+
+module Pool = Bap_exec.Pool
+module Supervisor = Bap_exec.Supervisor
+module Tel = Bap_telemetry.Telemetry
+
+type config = {
+  jobs : int;
+  queue_capacity : int;
+  batch : int;
+  retries : int;
+  timeout_s : float option;
+  max_frame : int;
+  seed : int;
+  inject :
+    (key:string -> attempt:int -> Bap_exec.Supervisor.injected option) option;
+}
+
+let default_config =
+  {
+    jobs = 1;
+    queue_capacity = 1024;
+    batch = 64;
+    retries = 2;
+    timeout_s = Some 10.;
+    max_frame = Frame.default_max_len;
+    seed = 0;
+    inject = None;
+  }
+
+type stats = {
+  connections : int;
+  accepted : int;
+  responded : int;
+  completed : int;
+  degraded : int;
+  rejected_overload : int;
+  rejected_malformed : int;
+  rejected_invalid : int;
+  rejected_draining : int;
+  dropped_disconnect : int;
+  torn_streams : int;
+  poisoned_streams : int;
+  wall_s : float;
+  health : Health.summary;
+  exit_code : int;
+}
+
+(* ---------- drain flag ---------- *)
+
+(* 0 = running; otherwise the exit code the drain was requested with.
+   One flag per process: a signal handler has no server handle, and one
+   server per process is the deployment shape. First request wins so a
+   SIGTERM followed by an impatient SIGINT keeps the original code. *)
+let drain_flag : int Atomic.t = Atomic.make 0
+
+let request_drain ~code =
+  ignore (Atomic.compare_and_set drain_flag 0 (if code = 0 then -1 else code))
+
+let drain_code () = match Atomic.get drain_flag with -1 -> 0 | c -> c
+let draining () = Atomic.get drain_flag <> 0
+
+let install_signal_handlers () =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let on name code =
+    Sys.Signal_handle
+      (fun _ ->
+        (* Handlers only flip the flag; the loop owns every exit path,
+           so telemetry and the accepted backlog are never abandoned
+           mid-write. *)
+        Tel.instant ~cat:"serve" ~name ();
+        request_drain ~code)
+  in
+  (try Sys.set_signal Sys.sigint (on "sigint" 130)
+   with Invalid_argument _ | Sys_error _ -> ());
+  try Sys.set_signal Sys.sigterm (on "sigterm" 143)
+  with Invalid_argument _ | Sys_error _ -> ()
+
+(* ---------- server state ---------- *)
+
+type server = {
+  cfg : config;
+  adm : Admission.t;
+  disp : Dispatch.t;
+  health : Health.t;
+  started : float;
+  mutable connections : int;
+  mutable responded : int;
+  mutable completed : int;
+  mutable degraded : int;
+  mutable rej_overload : int;
+  mutable rej_malformed : int;
+  mutable rej_invalid : int;
+  mutable rej_draining : int;
+  mutable torn : int;
+  mutable poisoned : int;
+}
+
+exception Client_gone
+
+let now_us () = Unix.gettimeofday () *. 1e6
+
+(* ---------- robust fd IO ---------- *)
+
+let rec write_all fd b pos len =
+  if len > 0 then begin
+    let k =
+      try Unix.write fd b pos len with
+      | Unix.Unix_error (Unix.EINTR, _, _) -> 0
+      | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _) ->
+        raise Client_gone
+    in
+    write_all fd b (pos + k) (len - k)
+  end
+
+let readable fd ~timeout =
+  match Unix.select [ fd ] [] [] timeout with
+  | [], _, _ -> false
+  | _ -> true
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+
+let read_chunk fd chunk =
+  try Unix.read fd chunk 0 (Bytes.length chunk) with
+  | Unix.Unix_error (Unix.EINTR, _, _) -> -1 (* retry at next loop head *)
+  | Unix.Unix_error ((Unix.ECONNRESET | Unix.EBADF), _, _) -> 0
+
+(* ---------- responses ---------- *)
+
+let send_response srv out_fd (resp : Instance.response) =
+  (match resp with
+  | Instance.Done _ ->
+    srv.completed <- srv.completed + 1;
+    srv.responded <- srv.responded + 1
+  | Instance.Degraded _ ->
+    srv.degraded <- srv.degraded + 1;
+    srv.responded <- srv.responded + 1
+  | Instance.Rejected { reason; _ } -> (
+    match reason with
+    | Instance.Overload -> srv.rej_overload <- srv.rej_overload + 1
+    | Instance.Malformed _ ->
+      srv.rej_malformed <- srv.rej_malformed + 1;
+      Tel.Metrics.counter "serve.rejected.malformed" 1
+    | Instance.Invalid _ ->
+      srv.rej_invalid <- srv.rej_invalid + 1;
+      Tel.Metrics.counter "serve.rejected.invalid" 1
+    | Instance.Draining -> srv.rej_draining <- srv.rej_draining + 1));
+  let wire = Frame.encode (Instance.response_to_json resp) in
+  write_all out_fd (Bytes.unsafe_of_string wire) 0 (String.length wire)
+
+let process_payload srv out_fd payload =
+  match Instance.parse payload with
+  | Error (`Malformed msg) ->
+    send_response srv out_fd
+      (Instance.Rejected { id = -1; reason = Instance.Malformed msg })
+  | Error (`Invalid (id, msg)) ->
+    send_response srv out_fd
+      (Instance.Rejected { id; reason = Instance.Invalid msg })
+  | Ok spec -> (
+    match Admission.offer srv.adm ~now_us:(now_us ()) spec with
+    | Admission.Enqueued -> ()
+    | Admission.Shed reason ->
+      send_response srv out_fd
+        (Instance.Rejected { id = spec.Instance.id; reason }))
+
+let dispatch_queued srv out_fd =
+  let batch = Admission.take_batch srv.adm ~max:srv.cfg.batch in
+  if batch <> [] then begin
+    let responses =
+      Tel.span ~cat:"serve" ~name:"dispatch"
+        ~attrs:(fun () -> [ ("batch", Tel.Int (List.length batch)) ])
+        (fun () -> Dispatch.run srv.disp batch)
+    in
+    List.iter
+      (fun ((e : Admission.entry), resp) ->
+        send_response srv out_fd resp;
+        Health.record_latency srv.health ~us:(now_us () -. e.Admission.arrival_us))
+      responses
+  end
+
+(* Finish every accepted entry. Called on EOF, drain, and poisoned
+   streams: accepted work is answered, never silently dropped. *)
+let flush_backlog srv out_fd =
+  while Admission.depth srv.adm > 0 do
+    dispatch_queued srv out_fd
+  done
+
+(* ---------- one connection ---------- *)
+
+let serve_connection srv ~in_fd ~out_fd =
+  srv.connections <- srv.connections + 1;
+  let dec = Frame.decoder ~max_len:srv.cfg.max_frame () in
+  let chunk = Bytes.create 65536 in
+  (* Pull every decodable frame into admission. [`Poisoned] means an
+     oversized prefix: one rejection, then the connection dies. *)
+  let rec drain_decoder () =
+    match Frame.next dec with
+    | Frame.Frame payload ->
+      process_payload srv out_fd payload;
+      drain_decoder ()
+    | Frame.Await -> `More
+    | Frame.Oversized n ->
+      srv.poisoned <- srv.poisoned + 1;
+      Tel.Metrics.counter "serve.poisoned_streams" 1;
+      send_response srv out_fd
+        (Instance.Rejected
+           {
+             id = -1;
+             reason =
+               Instance.Malformed
+                 (Printf.sprintf
+                    "oversized frame (%d bytes > %d); closing connection" n
+                    srv.cfg.max_frame);
+           });
+      `Poisoned
+  in
+  let finish ~torn =
+    flush_backlog srv out_fd;
+    if torn then begin
+      srv.torn <- srv.torn + 1;
+      Tel.Metrics.counter "serve.torn_streams" 1
+    end
+  in
+  let rec loop () =
+    if draining () then finish ~torn:(Frame.buffered dec > 0)
+    else
+      match drain_decoder () with
+      | `Poisoned -> finish ~torn:false
+      | `More ->
+        if Admission.depth srv.adm >= srv.cfg.batch then begin
+          dispatch_queued srv out_fd;
+          loop ()
+        end
+        else begin
+          let timeout = if Admission.depth srv.adm > 0 then 0. else 0.05 in
+          if readable in_fd ~timeout then begin
+            match read_chunk in_fd chunk with
+            | 0 -> finish ~torn:(Frame.buffered dec > 0)
+            | k ->
+              if k > 0 then Frame.feed dec chunk ~pos:0 ~len:k;
+              loop ()
+          end
+          else if Admission.depth srv.adm > 0 then begin
+            (* Input went quiet with work queued: dispatch now, favouring
+               latency over batch fill. *)
+            dispatch_queued srv out_fd;
+            loop ()
+          end
+          else loop ()
+        end
+  in
+  try loop () with
+  | Client_gone ->
+    (* Nobody is listening: answering the backlog would block forever,
+       so it is dropped — visibly (the exact count is derived at
+       finalize as accepted - responded, covering the batch that was
+       mid-dispatch too). *)
+    let lost = Admission.depth srv.adm in
+    ignore (Admission.take_batch srv.adm ~max:lost);
+    Tel.Metrics.counter "serve.dropped_disconnect" lost;
+    srv.torn <- srv.torn + 1;
+    Tel.Metrics.counter "serve.torn_streams" 1
+
+(* ---------- serve entry points ---------- *)
+
+let make_server cfg disp =
+  {
+    cfg;
+    adm = Admission.create ~capacity:cfg.queue_capacity;
+    disp;
+    health = Health.create ();
+    started = Unix.gettimeofday ();
+    connections = 0;
+    responded = 0;
+    completed = 0;
+    degraded = 0;
+    rej_overload = 0;
+    rej_malformed = 0;
+    rej_invalid = 0;
+    rej_draining = 0;
+    torn = 0;
+    poisoned = 0;
+  }
+
+let finalize srv =
+  let wall_s = Unix.gettimeofday () -. srv.started in
+  let accepted = Admission.accepted_total srv.adm in
+  {
+    connections = srv.connections;
+    accepted;
+    responded = srv.responded;
+    completed = srv.completed;
+    degraded = srv.degraded;
+    rejected_overload = srv.rej_overload;
+    rejected_malformed = srv.rej_malformed;
+    rejected_invalid = srv.rej_invalid;
+    rejected_draining = srv.rej_draining;
+    dropped_disconnect = accepted - srv.responded;
+    torn_streams = srv.torn;
+    poisoned_streams = srv.poisoned;
+    wall_s;
+    health = Health.summarize srv.health ~wall_s;
+    exit_code = (if draining () then drain_code () else 0);
+  }
+
+let with_server cfg f =
+  (* A fresh serve call un-drains the process flag: the previous
+     server's drain must not poison a bench re-run in the same
+     process. *)
+  Atomic.set drain_flag 0;
+  let scfg =
+    {
+      Supervisor.retries = cfg.retries;
+      timeout_s = cfg.timeout_s;
+      seed = cfg.seed;
+      inject = cfg.inject;
+    }
+  in
+  Supervisor.with_supervisor scfg (fun sup ->
+      Pool.with_pool ~jobs:cfg.jobs (fun pool ->
+          let srv = make_server cfg (Dispatch.create ~pool ~supervisor:sup) in
+          f srv;
+          finalize srv))
+
+let serve_fds cfg ~in_fd ~out_fd =
+  with_server cfg (fun srv ->
+      Tel.span ~cat:"serve" ~name:"connection" (fun () ->
+          serve_connection srv ~in_fd ~out_fd))
+
+let serve_socket cfg ~path =
+  with_server cfg (fun srv ->
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      let lfd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.close lfd with Unix.Unix_error _ -> ());
+          try Unix.unlink path with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.bind lfd (Unix.ADDR_UNIX path);
+          Unix.listen lfd 8;
+          let rec accept_loop () =
+            if not (draining ()) then
+              if readable lfd ~timeout:0.25 then begin
+                match Unix.accept lfd with
+                | fd, _ ->
+                  Fun.protect
+                    ~finally:(fun () ->
+                      try Unix.close fd with Unix.Unix_error _ -> ())
+                    (fun () ->
+                      Tel.span ~cat:"serve" ~name:"connection" (fun () ->
+                          serve_connection srv ~in_fd:fd ~out_fd:fd));
+                  accept_loop ()
+                | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+              end
+              else accept_loop ()
+          in
+          accept_loop ()))
+
+let report (s : stats) =
+  String.concat "\n"
+    [
+      Printf.sprintf "[serve] %d connection(s) in %.2fs, exit %d" s.connections
+        s.wall_s s.exit_code;
+      Printf.sprintf "[serve] accepted=%d responded=%d dropped=%d" s.accepted
+        s.responded s.dropped_disconnect;
+      Printf.sprintf "[serve] completed=%d degraded=%d" s.completed s.degraded;
+      Printf.sprintf
+        "[serve] rejected: overload=%d malformed=%d invalid=%d draining=%d"
+        s.rejected_overload s.rejected_malformed s.rejected_invalid
+        s.rejected_draining;
+      Printf.sprintf "[serve] streams: torn=%d poisoned=%d" s.torn_streams
+        s.poisoned_streams;
+      Format.asprintf "[serve] %a" Health.pp_summary s.health;
+    ]

@@ -1,0 +1,84 @@
+(** The always-on agreement service loop.
+
+    One process, one server: frames arrive on stdin (or a Unix-domain
+    socket, one client at a time), pass through typed admission, fan
+    out over the domain pool under supervision, and leave as response
+    frames in arrival order. The failure envelope, end to end:
+
+    - {b overload}: admission sheds past the bounded queue with typed
+      [Overload] rejections — memory use is constant under any offered
+      load;
+    - {b hostile frames}: a malformed or invalid payload costs one
+      typed rejection; an oversized length prefix poisons only that
+      connection (the stream cannot be resynchronised), which is
+      finished and closed, never the process;
+    - {b torn streams}: a client vanishing mid-frame is counted and
+      absorbed like the journal's torn tail;
+    - {b poisoned instances}: crashes and watchdog timeouts retry
+      deterministically, then degrade to a [Degraded] response;
+    - {b drain}: SIGTERM/SIGINT stop admission, finish the accepted
+      backlog, flush telemetry, and exit 143/130 — never mid-write.
+
+    The loop runs on the calling domain; instance execution is the
+    only parallel part. *)
+
+type config = {
+  jobs : int;  (** pool domains for instance execution *)
+  queue_capacity : int;  (** admission bound; excess is shed *)
+  batch : int;  (** max instances per pool dispatch *)
+  retries : int;  (** supervised retry budget per instance *)
+  timeout_s : float option;  (** per-attempt watchdog deadline *)
+  max_frame : int;  (** frame payload cap in bytes *)
+  seed : int;  (** supervisor backoff seed *)
+  inject :
+    (key:string -> attempt:int -> Bap_exec.Supervisor.injected option) option;
+      (** chaos hook into instance attempts *)
+}
+
+val default_config : config
+(** jobs 1, queue 1024, batch 64, retries 2, timeout 10s, 1 MiB
+    frames, seed 0, no injection. *)
+
+type stats = {
+  connections : int;
+  accepted : int;  (** admitted past the queue gate *)
+  responded : int;  (** accepted instances answered (ok or degraded) *)
+  completed : int;
+  degraded : int;
+  rejected_overload : int;
+  rejected_malformed : int;
+  rejected_invalid : int;
+  rejected_draining : int;
+  dropped_disconnect : int;
+      (** accepted instances whose client vanished before the response
+          could be written — nonzero only under client disconnects *)
+  torn_streams : int;
+  poisoned_streams : int;  (** connections killed by an oversized prefix *)
+  wall_s : float;
+  health : Health.summary;
+  exit_code : int;  (** 0 on EOF, 130/143 after a drain signal *)
+}
+
+val serve_fds : config -> in_fd:Unix.file_descr -> out_fd:Unix.file_descr -> stats
+(** Serve one frame stream (the stdin/stdout mode). Returns after EOF
+    or drain. *)
+
+val serve_socket : config -> path:string -> stats
+(** Bind a Unix-domain socket and serve clients sequentially until
+    drain. The socket file is unlinked on exit. *)
+
+val request_drain : code:int -> unit
+(** Flip the process-wide drain flag (first caller wins): stop
+    admitting, finish the backlog, make the serve call return with
+    [exit_code = code]. Safe from signal handlers and other domains. *)
+
+val draining : unit -> bool
+
+val install_signal_handlers : unit -> unit
+(** SIGTERM -> drain with 143, SIGINT -> drain with 130, SIGPIPE
+    ignored (a vanished client must surface as [EPIPE], not death). *)
+
+val report : stats -> string
+(** Human summary, one line per concern; includes the
+    ["accepted=N responded=N dropped=N"] line the serve-smoke CI job
+    greps. *)

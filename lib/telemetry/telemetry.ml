@@ -291,6 +291,61 @@ let shutdown () =
     Atomic.set state None;
     (match st.mode with Jsonl path -> flush_jsonl st path | _ -> ())
 
+(* The signal-path twin of [shutdown], on the journal's [signal_close]
+   pattern: a handler may have interrupted the very domain that holds
+   one of our mutexes mid-[emit], so every lock here is a [try_lock]
+   and a contended track is simply skipped — losing at most the events
+   of tracks actively being written at the instant of the signal,
+   rather than deadlocking the exit path. The [state] swap is the same
+   atomic handoff as [shutdown], so the two can race safely: exactly
+   one of them flushes. *)
+let signal_shutdown () =
+  let cur = Atomic.get state in
+  match cur with
+  | None -> ()
+  | Some st ->
+    (* CAS on the very option value read above (physical equality):
+       rebuilding [Some st] would always miss. *)
+    if Atomic.compare_and_set state cur None then begin
+      match st.mode with
+      | Jsonl path ->
+        let tracks =
+          if Mutex.try_lock st.mu then begin
+            let t = st.tracks in
+            Mutex.unlock st.mu;
+            t
+          end
+          else
+            (* Registration lock contended: read the list racily. The
+               field only ever grows by consing immutable track values,
+               so a stale read misses the newest track at worst. *)
+            st.tracks
+        in
+        let main, rest = List.partition (fun t -> t.tname = "main") tracks in
+        let tracks =
+          main @ List.sort (fun a b -> String.compare a.tname b.tname) rest
+        in
+        (try
+           let oc = open_out_bin path in
+           Fun.protect
+             ~finally:(fun () -> close_out oc)
+             (fun () ->
+               List.iteri
+                 (fun tid tr ->
+                   if Mutex.try_lock tr.tmu then begin
+                     let evs = List.of_seq (Queue.to_seq tr.buf) in
+                     Mutex.unlock tr.tmu;
+                     List.iter
+                       (fun e ->
+                         output_string oc (to_json_line ~tid e);
+                         output_char oc '\n')
+                       evs
+                   end)
+                 tracks)
+         with Sys_error _ -> ())
+      | Counters_only | Memory -> ()
+    end
+
 module Metrics = struct
   type hist = H.hist = { count : int; total : int; min_v : int; max_v : int }
 

@@ -47,6 +47,14 @@ val shutdown : unit -> unit
     order: "main" first, the rest sorted by name). No-op when nothing
     is installed. *)
 
+val signal_shutdown : unit -> unit
+(** The signal-safe twin of {!shutdown}, for SIGINT/SIGTERM exit paths
+    (the journal's [signal_close] idiom): every lock is a [try_lock],
+    so a handler that interrupted a domain mid-emit skips that track
+    instead of self-deadlocking. A [Jsonl] sink still gets a valid
+    file containing every uncontended track. Races safely with
+    {!shutdown} — exactly one of them flushes. *)
+
 val span :
   ?cat:string ->
   ?attrs:(unit -> (string * value) list) ->

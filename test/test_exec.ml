@@ -57,6 +57,45 @@ let test_pool_shutdown_is_clean_and_final () =
     (Invalid_argument "Pool.run_all: pool is shut down") (fun () ->
       ignore (Pool.run_all pool [| (fun () -> 0) |]))
 
+(* Regression pin for the ?on_result callback contract the serve
+   dispatcher leans on: the hook fires exactly once per slot, with the
+   slot's own task index and final value, at every --jobs level. The
+   *arrival order* of callbacks is schedule-dependent and deliberately
+   unasserted; the (index -> value) mapping must not be. *)
+let test_pool_on_result_deterministic () =
+  let observe ~jobs =
+    let mu = Mutex.create () in
+    let seen = ref [] in
+    let fired = Array.make 60 0 in
+    Pool.with_pool ~jobs (fun pool ->
+        let tasks =
+          Array.init 60 (fun i () ->
+              if i mod 7 = 3 then raise (Boom i) else i * 11)
+        in
+        let results =
+          Pool.run_all pool tasks ~on_result:(fun i ->
+              Mutex.lock mu;
+              fired.(i) <- fired.(i) + 1;
+              seen := i :: !seen;
+              Mutex.unlock mu)
+        in
+        Array.iter
+          (fun c -> Alcotest.(check int) "fired exactly once" 1 c)
+          fired;
+        (* The callback ran after the slot write: pairing each index
+           with its final slot value must agree across jobs levels. *)
+        List.map
+          (fun i ->
+            ( i,
+              match results.(i) with
+              | Ok v -> string_of_int v
+              | Error e -> Printexc.to_string e ))
+          (List.sort compare !seen))
+  in
+  Alcotest.(check bool)
+    "same fingerprint->result mapping at --jobs 1 and --jobs 8" true
+    (observe ~jobs:1 = observe ~jobs:8)
+
 (* ---------- parallel determinism on real simulation work ---------- *)
 
 (* A miniature experiment: each cell derives its own Rng from its key
@@ -201,6 +240,8 @@ let suite =
       test_pool_survives_worker_exception;
     Alcotest.test_case "pool: shutdown clean, idempotent, final" `Quick
       test_pool_shutdown_is_clean_and_final;
+    Alcotest.test_case "pool: on_result once per slot, jobs 1 = jobs 8" `Quick
+      test_pool_on_result_deterministic;
     Alcotest.test_case "engine: --jobs 1 = --jobs 8 on real cells" `Quick
       test_parallel_determinism;
     Alcotest.test_case "cache: hit on same code, invalidate on new code" `Quick

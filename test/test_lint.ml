@@ -47,6 +47,10 @@ let test_d002 () =
     (lint ~path:"bin/bap_gate.ml" "let f () = Unix.gettimeofday ()");
   check_ids "lib/telemetry stamps wall_us" []
     (lint ~path:"lib/telemetry/telemetry.ml" "let f () = Unix.gettimeofday ()");
+  check_ids "lib/serve measures service latency" []
+    (lint ~path:"lib/serve/server.ml" "let now_us () = Unix.gettimeofday () *. 1e6");
+  check_ids "serve waiver does not leak to its neighbours" [ "D002" ]
+    (lint ~path:"lib/baselines/baseline_runs.ml" "let f () = Unix.gettimeofday ()");
   check_ids "telemetry waiver does not leak to lib/sim" [ "D002" ]
     (lint ~path:"lib/sim/runtime.ml" "let f () = Unix.gettimeofday ()")
 
@@ -169,6 +173,8 @@ let test_l002 () =
     (Rules.check_interfaces ~mls:[ "lib/core/foo.ml" ] ~mlis:[ "lib/core/foo.mli" ]);
   check_ids "chaos is interface-complete" [ "L002" ]
     (Rules.check_interfaces ~mls:[ "lib/chaos/foo.ml" ] ~mlis:[]);
+  check_ids "serve is interface-complete" [ "L002" ]
+    (Rules.check_interfaces ~mls:[ "lib/serve/foo.ml" ] ~mlis:[]);
   check_ids "monitor is not (yet) interface-complete" []
     (Rules.check_interfaces ~mls:[ "lib/monitor/foo.ml" ] ~mlis:[])
 

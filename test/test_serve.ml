@@ -1,0 +1,362 @@
+(* The agreement service (lib/serve): frame codec round-trips and
+   hostile-input tolerance, typed admission, dispatch determinism
+   across --jobs, the end-to-end loop with its byte-identity oracle,
+   and graceful drain. *)
+
+module Frame = Bap_servelib.Frame
+module Instance = Bap_servelib.Instance
+module Admission = Bap_servelib.Admission
+module Dispatch = Bap_servelib.Dispatch
+module Server = Bap_servelib.Server
+module Load = Bap_servelib.Load
+module Pool = Bap_exec.Pool
+module Supervisor = Bap_exec.Supervisor
+module Harness = Bap_chaos.Harness
+
+(* ---------- codec: property tests ---------- *)
+
+let payload_gen = QCheck.string_of_size (QCheck.Gen.int_range 0 2048)
+
+let qcheck_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"frame: encode/decode_all round-trip"
+    (QCheck.list_of_size (QCheck.Gen.int_range 0 20) payload_gen)
+    (fun payloads ->
+      let wire = String.concat "" (List.map Frame.encode payloads) in
+      let decoded, tail = Frame.decode_all wire in
+      decoded = payloads && tail = Frame.Clean)
+
+(* Cutting the stream anywhere must yield a clean prefix of frames plus
+   a typed torn tail — and feeding the remainder to the same decoder
+   must recover every remaining frame. The exact shape a mid-write
+   disconnect leaves behind. *)
+let qcheck_torn_resume =
+  QCheck.Test.make ~count:200 ~name:"frame: torn at any split, resumes"
+    QCheck.(
+      pair
+        (list_of_size (Gen.int_range 1 10) (string_of_size (Gen.int_range 0 256)))
+        (float_bound_inclusive 1.))
+    (fun (payloads, frac) ->
+      let wire = String.concat "" (List.map Frame.encode payloads) in
+      let cut = int_of_float (frac *. float_of_int (String.length wire)) in
+      let cut = max 0 (min (String.length wire) cut) in
+      let dec = Frame.decoder () in
+      let collect () =
+        let rec go acc =
+          match Frame.next dec with
+          | Frame.Frame p -> go (p :: acc)
+          | Frame.Await | Frame.Oversized _ -> List.rev acc
+        in
+        go []
+      in
+      Frame.feed_string dec (String.sub wire 0 cut);
+      let before = collect () in
+      let buffered_at_cut = Frame.buffered dec in
+      Frame.feed_string dec (String.sub wire cut (String.length wire - cut));
+      let after = collect () in
+      (* Decoded frames form a prefix at the cut and the remainder
+         recovers everything; the one-shot decoder agrees on the torn
+         prefix, typing the ragged tail instead of raising. *)
+      let oneshot, tail = Frame.decode_all (String.sub wire 0 cut) in
+      before @ after = payloads
+      && oneshot = before
+      && (match tail with
+         | Frame.Clean -> buffered_at_cut = 0
+         | Frame.Torn n -> n = buffered_at_cut && n > 0
+         | Frame.Oversized_tail _ -> false))
+
+let test_oversized_poisons () =
+  let dec = Frame.decoder ~max_len:64 () in
+  Frame.feed_string dec (Frame.encode (String.make 65 'x'));
+  (match Frame.next dec with
+  | Frame.Oversized n -> Alcotest.(check int) "reported length" 65 n
+  | _ -> Alcotest.fail "oversized prefix not detected");
+  Alcotest.(check bool) "decoder poisoned" true (Frame.poisoned dec);
+  (* Bytes after the poison are discarded, not misparsed: the length
+     prefix can no longer be trusted to mark a boundary. *)
+  Frame.feed_string dec (Frame.encode "ok");
+  (match Frame.next dec with
+  | Frame.Oversized _ -> ()
+  | Frame.Frame _ -> Alcotest.fail "poisoned decoder resynchronised"
+  | Frame.Await -> Alcotest.fail "poisoned decoder went quiet");
+  match Frame.decode_all ~max_len:64 (Frame.encode (String.make 65 'x')) with
+  | [], Frame.Oversized_tail 65 -> ()
+  | _ -> Alcotest.fail "decode_all disagrees on oversized tail"
+
+let test_garbage_payload_is_one_rejection () =
+  (* The codec is payload-agnostic: garbage bytes in a well-formed
+     frame arrive intact, and parsing turns them into exactly one
+     malformed rejection with the placeholder id. *)
+  let garbage = "\x00\xff{not json\x01" in
+  let frames, tail = Frame.decode_all (Frame.encode garbage) in
+  Alcotest.(check int) "delivered" 1 (List.length frames);
+  Alcotest.(check bool) "clean tail" true (tail = Frame.Clean);
+  match Instance.parse (List.hd frames) with
+  | Error (`Malformed _) -> ()
+  | Error (`Invalid _) -> Alcotest.fail "garbage misread as a valid shape"
+  | Ok _ -> Alcotest.fail "garbage parsed as a spec"
+
+let test_header_garbage_is_oversized () =
+  (* High random bytes where a length prefix belongs decode as an
+     enormous length: the typed Oversized path, not an allocation. *)
+  match Frame.decode_all ("\xde\xad\xbe\xef" ^ String.make 40 'z') with
+  | [], Frame.Oversized_tail _ -> ()
+  | _ -> Alcotest.fail "garbage header should poison the stream"
+
+(* ---------- request parsing ---------- *)
+
+let test_request_roundtrip () =
+  List.iter
+    (fun family ->
+      let spec =
+        { Instance.id = 9; family; n = 10; f = 2; m = 1; seed = 123 }
+      in
+      match Instance.parse (Instance.request_json spec) with
+      | Ok s -> Alcotest.(check bool) "spec round-trips" true (s = spec)
+      | Error _ -> Alcotest.fail "canonical request failed to parse")
+    [ Instance.Unauth; Instance.Auth; Instance.Es; Instance.Pk ]
+
+let test_invalid_envelope () =
+  let base = { Instance.id = 1; family = Instance.Pk; n = 10; f = 2; m = 0; seed = 0 } in
+  let invalids =
+    [
+      { base with Instance.n = 3 } (* below minimum *);
+      { base with Instance.n = Instance.max_n + 1 };
+      { base with Instance.f = 99 } (* above threshold *);
+      { base with Instance.id = -2 };
+      { base with Instance.m = 11 } (* more misclassified than processes *);
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Instance.parse (Instance.request_json s) with
+      | Error (`Invalid (id, _)) ->
+        Alcotest.(check int) "rejection carries client id" s.Instance.id id
+      | Ok _ -> Alcotest.fail "out-of-envelope spec accepted"
+      | Error (`Malformed _) -> Alcotest.fail "invalid misreported as malformed")
+    invalids
+
+(* ---------- admission ---------- *)
+
+let spec_i i = { Instance.id = i; family = Instance.Pk; n = 4; f = 0; m = 0; seed = i }
+
+let test_admission_sheds_overload () =
+  let a = Admission.create ~capacity:3 in
+  let offers = List.init 5 (fun i -> Admission.offer a ~now_us:0. (spec_i i)) in
+  let enq = List.filter (fun d -> d = Admission.Enqueued) offers in
+  let shed =
+    List.filter (function Admission.Shed Instance.Overload -> true | _ -> false) offers
+  in
+  Alcotest.(check int) "capacity admitted" 3 (List.length enq);
+  Alcotest.(check int) "excess shed as Overload" 2 (List.length shed);
+  Alcotest.(check int) "depth bounded" 3 (Admission.depth a);
+  (* FIFO: the batch comes back in arrival order. *)
+  let batch = Admission.take_batch a ~max:10 in
+  Alcotest.(check (list int)) "FIFO order" [ 0; 1; 2 ]
+    (List.map (fun (e : Admission.entry) -> e.Admission.spec.Instance.id) batch);
+  (* Shedding freed nothing permanently: capacity is available again. *)
+  Alcotest.(check bool) "post-batch offer admitted" true
+    (Admission.offer a ~now_us:0. (spec_i 9) = Admission.Enqueued)
+
+let test_admission_draining_gate () =
+  let a = Admission.create ~capacity:8 in
+  ignore (Admission.offer a ~now_us:0. (spec_i 0));
+  Admission.start_drain a;
+  (match Admission.offer a ~now_us:0. (spec_i 1) with
+  | Admission.Shed Instance.Draining -> ()
+  | _ -> Alcotest.fail "offer after drain not shed as Draining");
+  (* The accepted backlog survives the gate flip. *)
+  Alcotest.(check int) "backlog intact" 1 (Admission.depth a);
+  Alcotest.(check int) "accepted_total counts only admissions" 1
+    (Admission.accepted_total a)
+
+(* ---------- dispatch determinism ---------- *)
+
+let dispatch_specs =
+  List.init 12 (fun i ->
+      let fam = [ Instance.Pk; Instance.Es; Instance.Unauth ] in
+      {
+        Instance.id = i;
+        family = List.nth fam (i mod 3);
+        n = 4;
+        f = i mod 2;
+        m = 0;
+        seed = 100 + i;
+      })
+
+let run_dispatch ~jobs ~inject =
+  let scfg = { Supervisor.retries = 2; timeout_s = Some 5.; seed = 0; inject } in
+  Supervisor.with_supervisor scfg (fun sup ->
+      Pool.with_pool ~jobs (fun pool ->
+          let d = Dispatch.create ~pool ~supervisor:sup in
+          let entries =
+            List.map (fun s -> { Admission.spec = s; arrival_us = 0. }) dispatch_specs
+          in
+          List.map
+            (fun (_, r) -> Instance.response_to_json r)
+            (Dispatch.run d entries)))
+
+let test_dispatch_jobs_invariant () =
+  let a = run_dispatch ~jobs:1 ~inject:None in
+  let b = run_dispatch ~jobs:4 ~inject:None in
+  Alcotest.(check (list string)) "responses byte-identical across jobs" a b
+
+let test_dispatch_degrades_doomed () =
+  (* An instance that faults on every attempt must come back Degraded
+     in its own slot — and leave every other response untouched. *)
+  let doomed_key = Instance.key (List.nth dispatch_specs 5) in
+  let inject ~key ~attempt:_ =
+    if key = doomed_key then Some Supervisor.Inject_crash else None
+  in
+  let clean = run_dispatch ~jobs:2 ~inject:None in
+  let faulted = run_dispatch ~jobs:2 ~inject:(Some inject) in
+  let module Json = Bap_telemetry.Json in
+  List.iteri
+    (fun i (c, f) ->
+      if i = 5 then begin
+        let j = Json.parse f in
+        Alcotest.(check (option string))
+          "doomed instance degraded" (Some "degraded")
+          (Json.to_string (Json.member "status" j));
+        Alcotest.(check (option int))
+          "degraded response keeps the client id" (Some 5)
+          (Json.to_int (Json.member "id" j))
+      end
+      else Alcotest.(check string) "other slots untouched" c f)
+    (List.combine clean faulted)
+
+(* ---------- end-to-end over pipes ---------- *)
+
+let quiet_config ~jobs =
+  {
+    Server.default_config with
+    Server.jobs;
+    queue_capacity = 512;
+    batch = 32;
+    timeout_s = Some 5.;
+  }
+
+let test_end_to_end_clean () =
+  let o =
+    Load.run_inproc ~config:(quiet_config ~jobs:2) ~instances:120
+      ~families:[ Instance.Pk; Instance.Es ] ~n:4 ()
+  in
+  (match Load.failures o with
+  | [] -> ()
+  | fs -> Alcotest.fail (String.concat "; " fs));
+  Alcotest.(check int) "all answered ok" 120 o.Load.ok
+
+let test_end_to_end_chaos () =
+  (* Corrupt frames on the wire plus crash/hang injection server-side:
+     the loop must survive, answer everything it accepted, and keep
+     clean responses byte-identical to the serial batch. *)
+  let chaos =
+    Harness.create ~seed:5 ~crash_pct:10 ~hang_pct:2 ~doomed_pct:4
+      ~frame_corrupt_pct:10 ()
+  in
+  let inject ~key ~attempt =
+    match Harness.decide chaos ~key ~attempt with
+    | Some Harness.Crash -> Some Supervisor.Inject_crash
+    | Some Harness.Hang -> Some Supervisor.Inject_hang
+    | None -> None
+  in
+  let config =
+    {
+      (quiet_config ~jobs:2) with
+      Server.inject = Some inject;
+      timeout_s = Some 0.25;
+    }
+  in
+  let o =
+    Load.run_inproc ~chaos ~config ~instances:150
+      ~families:[ Instance.Pk; Instance.Es ] ~n:4 ()
+  in
+  (match Load.failures ~chaos:true o with
+  | [] -> ()
+  | fs -> Alcotest.fail (String.concat "; " fs));
+  Alcotest.(check bool) "some frames were corrupted" true (o.Load.corrupted > 0);
+  Alcotest.(check bool) "server survived to report" true
+    (Option.is_some o.Load.server);
+  match o.Load.server with
+  | Some s ->
+    Alcotest.(check int) "every accepted instance answered"
+      s.Server.accepted s.Server.responded
+  | None -> ()
+
+let test_drain_answers_backlog () =
+  (* A drain request mid-stream: the server stops admitting, finishes
+     what it accepted, and returns the requested exit code — while the
+     client half of the pipe is still open. *)
+  let c2s_r, c2s_w = Unix.pipe () in
+  let s2c_r, s2c_w = Unix.pipe () in
+  let server =
+    Domain.spawn (fun () ->
+        Server.serve_fds (quiet_config ~jobs:1) ~in_fd:c2s_r ~out_fd:s2c_w)
+  in
+  let specs = List.init 5 spec_i in
+  List.iter
+    (fun s ->
+      let wire = Frame.encode (Instance.request_json s) in
+      let b = Bytes.of_string wire in
+      ignore (Unix.write c2s_w b 0 (Bytes.length b)))
+    specs;
+  (* Read all five responses back: proof the backlog was answered. *)
+  let dec = Frame.decoder () in
+  let buf = Bytes.create 4096 in
+  let got = ref [] in
+  while List.length !got < 5 do
+    (match Unix.read s2c_r buf 0 (Bytes.length buf) with
+    | 0 -> Alcotest.fail "server closed before answering backlog"
+    | k -> Frame.feed dec buf ~pos:0 ~len:k);
+    let rec drain () =
+      match Frame.next dec with
+      | Frame.Frame p ->
+        got := p :: !got;
+        drain ()
+      | Frame.Await | Frame.Oversized _ -> ()
+    in
+    drain ()
+  done;
+  Server.request_drain ~code:143;
+  let stats = Domain.join server in
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    [ c2s_r; c2s_w; s2c_r; s2c_w ];
+  Alcotest.(check int) "exit code from drain request" 143 stats.Server.exit_code;
+  Alcotest.(check int) "nothing dropped" 0 stats.Server.dropped_disconnect;
+  Alcotest.(check int) "all answered" 5 stats.Server.responded;
+  (* Responses are correct, not merely present. *)
+  List.iter
+    (fun p ->
+      match Instance.response_id p with
+      | Some id when id >= 0 && id < 5 -> ()
+      | _ -> Alcotest.fail "response for unknown id")
+    !got
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_torn_resume;
+    Alcotest.test_case "frame: oversized prefix poisons the stream" `Quick
+      test_oversized_poisons;
+    Alcotest.test_case "frame: garbage payload = one rejection" `Quick
+      test_garbage_payload_is_one_rejection;
+    Alcotest.test_case "frame: garbage header = typed oversized" `Quick
+      test_header_garbage_is_oversized;
+    Alcotest.test_case "instance: request round-trip, all families" `Quick
+      test_request_roundtrip;
+    Alcotest.test_case "instance: envelope rejections carry the id" `Quick
+      test_invalid_envelope;
+    Alcotest.test_case "admission: sheds overload, stays FIFO" `Quick
+      test_admission_sheds_overload;
+    Alcotest.test_case "admission: draining gate" `Quick
+      test_admission_draining_gate;
+    Alcotest.test_case "dispatch: jobs 1 = jobs 4, byte-identical" `Quick
+      test_dispatch_jobs_invariant;
+    Alcotest.test_case "dispatch: doomed instance degrades alone" `Quick
+      test_dispatch_degrades_doomed;
+    Alcotest.test_case "serve: end-to-end clean oracle" `Quick
+      test_end_to_end_clean;
+    Alcotest.test_case "serve: end-to-end chaos oracle" `Quick
+      test_end_to_end_chaos;
+    Alcotest.test_case "serve: drain answers the backlog" `Quick
+      test_drain_answers_backlog;
+  ]

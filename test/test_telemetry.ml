@@ -237,9 +237,35 @@ let test_stats_json_parses () =
   | Some qs -> Alcotest.failf "unexpected quarantined cells: %d" (List.length qs)
   | None -> Alcotest.fail "quarantined field missing"
 
+(* The signal exit path: a handler cannot take blocking locks, so the
+   supervisor's SIGINT/SIGTERM route flushes through signal_shutdown.
+   It must produce the same valid JSONL a normal shutdown writes when
+   uncontended, and leave nothing installed behind it. *)
+let test_signal_shutdown_flushes () =
+  let path = temp_file ".jsonl" in
+  Tel.install (Tel.Jsonl path);
+  Tel.span ~cat:"t" ~name:"work" (fun () -> Tel.instant ~cat:"t" ~name:"mark" ());
+  Tel.signal_shutdown ();
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Alcotest.(check int) "span begin/end + instant" 3 (List.length !lines);
+  List.iter (fun l -> ignore (Json.parse l)) !lines;
+  (* The state handoff happened: the regular shutdown is now a no-op
+     and does not rewrite the file. *)
+  Sys.remove path;
+  Tel.shutdown ();
+  Alcotest.(check bool) "no double flush" false (Sys.file_exists path)
+
 let suite =
   [
     Alcotest.test_case "off by default, results identical" `Quick test_off_by_default;
+    Alcotest.test_case "signal_shutdown: lock-free flush, single handoff" `Quick
+      test_signal_shutdown_flushes;
     Alcotest.test_case "logical trace reproducible" `Quick test_trace_reproducible;
     Alcotest.test_case "trace independent of --jobs" `Quick test_trace_jobs_independent;
     Alcotest.test_case "JSONL round-trip matches simulator accounting" `Quick
