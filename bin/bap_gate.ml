@@ -14,9 +14,15 @@
      baseline's reference time only WARNS (as a GitHub Actions
      ::warning:: annotation when running in CI).
 
+   The gate also maintains the bench trajectory (BENCH_HISTORY.jsonl):
+   one dated JSON line per run with the sweep wall clock, the serve
+   throughput, and the n=1000 scale-probe time. Drift against the
+   previous trajectory point is warn-only.
+
    Usage:
-     dune exec bin/bap_gate.exe -- --write             # (re)generate baseline
-     dune exec bin/bap_gate.exe -- --check --jobs 2    # CI gate *)
+     dune exec bin/bap_gate.exe -- --write             # baseline + trajectory
+     dune exec bin/bap_gate.exe -- --check --jobs 2    # CI gate
+     dune exec bin/bap_gate.exe -- --check --history BENCH_HISTORY.jsonl *)
 
 open Cmdliner
 module Pool = Bap_exec.Pool
@@ -230,7 +236,116 @@ let warn fmt =
       else Printf.printf "WARNING: %s\n" msg)
     fmt
 
-let check ~baseline_file ~jobs =
+(* ---------- the bench trajectory (BENCH_HISTORY.jsonl) ---------- *)
+
+(* One dated line per gate run: the probe-sweep wall clock, the serve
+   throughput, and the n=1000 scale-probe time. All three are
+   machine-dependent, so the trajectory is warn-only — the point is a
+   recorded curve over commits, not a pass/fail bar. *)
+type history_entry = {
+  h_date : string;
+  h_wall_ms : float;
+  h_serve_per_sec : float;
+  h_scale_n1000_ms : float;
+}
+
+let today () =
+  let tm = Unix.gmtime (Unix.time ()) in
+  Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+    tm.Unix.tm_mday
+
+let measure_scale () =
+  let r = Scale_probe.run ~n:1000 ~f:0 () in
+  if not (r.Scale_probe.agreement && r.Scale_probe.decided) then begin
+    Printf.printf "FAILED: scale probe n=1000 (agreement=%b decided=%b)\n"
+      r.Scale_probe.agreement r.Scale_probe.decided;
+    exit 1
+  end;
+  r.Scale_probe.wall_ms
+
+let last_history_entry path =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in_bin path in
+    let last =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let last = ref None in
+          (try
+             while true do
+               let line = input_line ic in
+               if String.trim line <> "" then last := Some line
+             done
+           with End_of_file -> ());
+          !last)
+    in
+    match last with
+    | None -> None
+    | Some line -> (
+      let open Json in
+      match parse line with
+      | exception Parse _ -> None
+      | j -> (
+        match
+          ( to_string (member "date" j),
+            to_float (member "wall_ms" j),
+            to_float (member "serve_per_sec" j),
+            to_float (member "scale_n1000_ms" j) )
+        with
+        | Some h_date, Some h_wall_ms, Some h_serve_per_sec, Some h_scale_n1000_ms
+          ->
+          Some { h_date; h_wall_ms; h_serve_per_sec; h_scale_n1000_ms }
+        | _ -> None))
+  end
+
+let append_history ~path e =
+  let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc
+        (Printf.sprintf
+           "{\"date\": %S, \"wall_ms\": %.1f, \"serve_per_sec\": %.0f, \
+            \"scale_n1000_ms\": %.1f}\n"
+           e.h_date e.h_wall_ms e.h_serve_per_sec e.h_scale_n1000_ms))
+
+(* Measure the scale probe, warn against the previous trajectory point,
+   and append the new one. *)
+let record_history ~path ~wall_ms ~serve_per_sec =
+  let scale_ms = measure_scale () in
+  (match last_history_entry path with
+  | None -> ()
+  | Some prev ->
+    if wall_ms > 1.2 *. prev.h_wall_ms then
+      warn "gate sweep %.0f ms is %.0f%% over the last trajectory point (%s: %.0f ms)"
+        wall_ms
+        ((wall_ms /. prev.h_wall_ms -. 1.) *. 100.)
+        prev.h_date prev.h_wall_ms;
+    if prev.h_serve_per_sec > 0. && serve_per_sec < 0.8 *. prev.h_serve_per_sec
+    then
+      warn "serve %.0f/s is %.0f%% under the last trajectory point (%s: %.0f/s)"
+        serve_per_sec
+        ((1. -. (serve_per_sec /. prev.h_serve_per_sec)) *. 100.)
+        prev.h_date prev.h_serve_per_sec;
+    if scale_ms > 1.2 *. prev.h_scale_n1000_ms then
+      warn
+        "scale probe (n=1000) %.0f ms is %.0f%% over the last trajectory point \
+         (%s: %.0f ms)"
+        scale_ms
+        ((scale_ms /. prev.h_scale_n1000_ms -. 1.) *. 100.)
+        prev.h_date prev.h_scale_n1000_ms);
+  append_history ~path
+    {
+      h_date = today ();
+      h_wall_ms = wall_ms;
+      h_serve_per_sec = serve_per_sec;
+      h_scale_n1000_ms = scale_ms;
+    };
+  Printf.printf "bap_gate: appended trajectory point to %s (scale n=1000: %.0f ms)\n"
+    path scale_ms
+
+let check ~baseline_file ~history ~jobs =
   let text =
     let ic = open_in_bin baseline_file in
     Fun.protect
@@ -272,10 +387,12 @@ let check ~baseline_file ~jobs =
       ((wall_ms /. base -. 1.) *. 100.)
       base
   | _ -> ());
+  let serve_measured = ref None in
   (match serve_ref with
   | None -> ()
   | Some r ->
     let per_sec, oracle_failures = measure_serve r in
+    serve_measured := Some per_sec;
     Printf.printf
       "bap_gate: serve %.0f instances/sec (--jobs %d, baseline %.0f)\n" per_sec
       r.s_jobs r.s_per_sec;
@@ -287,6 +404,15 @@ let check ~baseline_file ~jobs =
         per_sec
         ((1. -. (per_sec /. r.s_per_sec)) *. 100.)
         r.s_per_sec);
+  (match history with
+  | None -> ()
+  | Some path ->
+    let per_sec =
+      match !serve_measured with
+      | Some p -> p
+      | None -> fst (measure_serve { s_per_sec = 0.; s_jobs = 1; s_instances = 3000 })
+    in
+    record_history ~path ~wall_ms ~serve_per_sec:per_sec);
   match (List.rev !drift, failed) with
   | [], [] ->
     Printf.printf "ok: all %d correctness metrics match the baseline\n"
@@ -299,7 +425,7 @@ let check ~baseline_file ~jobs =
         baseline_file;
     1
 
-let write ~baseline_file ~jobs =
+let write ~baseline_file ~history ~jobs =
   let metrics, failed, wall_ms = run_sweep ~jobs in
   if failed <> [] then begin
     List.iter (fun msg -> Printf.printf "QUARANTINED %s\n" msg) failed;
@@ -323,6 +449,11 @@ let write ~baseline_file ~jobs =
   Printf.printf "bap_gate: wrote %d cells to %s (%.0f ms, serve %.0f/s)\n"
     (List.length metrics) baseline_file wall_ms
     (match serve with Some s -> s.s_per_sec | None -> 0.);
+  (* --write always extends the trajectory: a fresh baseline is exactly
+     the moment a new point belongs on the curve. *)
+  let path = Option.value history ~default:"BENCH_HISTORY.jsonl" in
+  record_history ~path ~wall_ms
+    ~serve_per_sec:(match serve with Some s -> s.s_per_sec | None -> 0.);
   0
 
 (* ---------- the stats gate ---------- *)
@@ -366,13 +497,13 @@ let check_stats ~stats_file =
       4
     end
 
-let run mode baseline_file jobs stats_file =
+let run mode baseline_file history jobs stats_file =
   Supervisor.install_exit_handlers ();
   let jobs = max 1 jobs in
   match (stats_file, mode) with
   | Some stats_file, _ -> check_stats ~stats_file
-  | None, `Write -> write ~baseline_file ~jobs
-  | None, `Check -> check ~baseline_file ~jobs
+  | None, `Write -> write ~baseline_file ~history ~jobs
+  | None, `Check -> check ~baseline_file ~history ~jobs
 
 let cmd =
   let mode =
@@ -389,6 +520,17 @@ let cmd =
       value
       & opt string "BENCH_BASELINE.json"
       & info [ "baseline" ] ~docv:"FILE" ~doc:"Baseline file.")
+  in
+  let history =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "history" ] ~docv:"FILE"
+          ~doc:
+            "Bench-trajectory file (JSONL, one dated entry per run). --write \
+             always appends to it (default BENCH_HISTORY.jsonl); --check \
+             appends only when this flag names a file. Drift against the \
+             previous entry warns, never fails.")
   in
   let jobs =
     Arg.(
@@ -408,6 +550,6 @@ let cmd =
   Cmd.v
     (Cmd.info "bap_gate"
        ~doc:"Bench-regression gate: deterministic smoke sweep vs committed baseline")
-    Term.(const run $ mode $ baseline $ jobs $ stats_file)
+    Term.(const run $ mode $ baseline $ history $ jobs $ stats_file)
 
 let () = exit (Cmd.eval' cmd)

@@ -56,8 +56,7 @@ end = struct
       List.iter
         (fun st ->
           let chains = ref [] in
-          Array.iter
-            (fun msgs ->
+          Bap_sim.Inbox.iter inbox ~f:(fun msgs ->
               List.iter
                 (function
                   | W.Ds_chain (tg, s, chain)
@@ -65,8 +64,7 @@ end = struct
                          && W.valid_ds_chain pki ~sender:st.sender ~length chain ->
                     chains := chain :: !chains
                   | _ -> ())
-                msgs)
-            inbox;
+                msgs);
           st.fresh <- List.rev !chains)
         states
     in
@@ -81,7 +79,7 @@ end = struct
           else None)
         states
     in
-    let inbox = R.exchange ctx (fun _ -> root_msgs) in
+    let inbox = R.broadcast_list ctx root_msgs in
     collect inbox ~length:1;
     for j = 2 to t + 1 do
       let extensions = ref [] in
@@ -103,7 +101,7 @@ end = struct
             st.fresh)
         states;
       let out = List.rev !extensions in
-      let inbox = R.exchange ctx (fun _ -> out) in
+      let inbox = R.broadcast_list ctx out in
       collect inbox ~length:j
     done;
     List.iter
@@ -132,7 +130,7 @@ end = struct
 
   let agree ctx ~pki ~key ~t ~tag x =
     let delivered = interactive_consistency ctx ~pki ~key ~t ~tag x in
-    match Bap_sim.Inbox.plurality delivered ~compare:V.compare with
+    match Bap_sim.Inbox.plurality (Bap_sim.Inbox.votes delivered) ~compare:V.compare with
     | Some (w, _) -> w
     | None -> x
 end

@@ -39,7 +39,7 @@ end = struct
       let king_value =
         List.find_map
           (function W.King (tg, w) when tg = tag + 1 -> Some w | _ -> None)
-          inbox.(king)
+          (Bap_sim.Inbox.get inbox king)
       in
       if g = 0 then v := Option.value king_value ~default:!v
     done;

@@ -77,17 +77,12 @@ end = struct
       in
       let inbox = R.send_to ctx votes in
       let signatures =
-        Array.mapi
-          (fun sender msgs ->
-            List.find_map
-              (function
-                | W.Committee_vote (tg, s)
-                  when tg = vote_tag
-                       && Pki.verify pki ~signer:sender ~payload:(W.committee_payload me) s ->
-                  Some s
-                | _ -> None)
-              msgs)
-          inbox
+        Inbox.firsti inbox ~f:(fun sender -> function
+          | W.Committee_vote (tg, s)
+            when tg = vote_tag
+                 && Pki.verify pki ~signer:sender ~payload:(W.committee_payload me) s ->
+            Some s
+          | _ -> None)
       in
       let supporter_ids = Inbox.senders signatures in
       let cc =
@@ -96,7 +91,7 @@ end = struct
           Some
             {
               W.cc_member = me;
-              cc_sigs = List.map (fun j -> (j, Option.get signatures.(j))) chosen;
+              cc_sigs = List.map (fun j -> (j, Option.get (Inbox.votes_get signatures j))) chosen;
             }
         else None
       in
@@ -104,7 +99,7 @@ end = struct
       let bb = Bb.run_parallel ctx ~pki ~key ~t ~k ~tag:bb_tag ~cc x in
       (* Round k+3: certified members announce the plurality. *)
       let my_plurality =
-        match Inbox.plurality bb ~compare:V.compare with
+        match Inbox.plurality (Inbox.votes bb) ~compare:V.compare with
         | Some (w, _) -> w
         | None -> x
       in
@@ -113,7 +108,7 @@ end = struct
         | Some cert -> [ W.Final_value (final_tag, my_plurality, cert) ]
         | None -> []
       in
-      let inbox = R.exchange ctx (fun _ -> final_out) in
+      let inbox = R.broadcast_list ctx final_out in
       let announcements =
         Inbox.first inbox ~f:(function
           | W.Final_value (tg, w, cert)
@@ -123,12 +118,10 @@ end = struct
       in
       (* Only count an announcement if the certificate names its sender. *)
       let certified =
-        Array.mapi
-          (fun sender entry ->
+        Inbox.votes_mapi announcements ~f:(fun sender entry ->
             match entry with
             | Some (member, w) when member = sender -> Some w
             | Some _ | None -> None)
-          announcements
       in
       match Inbox.plurality certified ~compare:V.compare with
       | Some (w, _) -> w

@@ -84,8 +84,7 @@ end = struct
       List.iter
         (fun st ->
           let chains = ref [] in
-          Array.iter
-            (fun msgs ->
+          Bap_sim.Inbox.iter inbox ~f:(fun msgs ->
               List.iter
                 (function
                   | W.Bb_chain (tg, s, chain)
@@ -93,8 +92,7 @@ end = struct
                          && W.valid_chain pki ~quorum ~sender:st.sender ~length chain ->
                     chains := chain :: !chains
                   | _ -> ())
-                msgs)
-            inbox;
+                msgs);
           st.fresh <- List.rev !chains)
         states
     in
@@ -111,7 +109,7 @@ end = struct
           else None)
         states
     in
-    let inbox = R.exchange ctx (fun _ -> root_msgs) in
+    let inbox = R.broadcast_list ctx root_msgs in
     collect inbox ~length:1;
     (* Rounds 2 .. k+1: accept new values and relay extended chains. *)
     for j = 2 to k + 1 do
@@ -138,7 +136,7 @@ end = struct
             st.fresh)
         states;
       let out = List.rev !extensions in
-      let inbox = R.exchange ctx (fun _ -> out) in
+      let inbox = R.broadcast_list ctx out in
       collect inbox ~length:j
     done;
     (* Final acceptance pass over the chains of round k+1 (no relay). *)

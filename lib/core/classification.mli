@@ -8,16 +8,17 @@
     rule in the actual one-round broadcast. *)
 
 module Advice = Bap_prediction.Advice
+module Inbox = Bap_sim.Inbox
 
 val majority_threshold : int -> int
 (** [ceil ((n+1)/2)], the vote count needed to classify a process as
     honest. *)
 
-val vote : n:int -> Advice.t option array -> Advice.t
-(** The voting rule: slot [i] of the array holds the advice vector
-    received from process [i] (or [None]). Process [j] is classified
-    honest iff at least [majority_threshold n] received vectors predict
-    it honest. *)
+val vote : n:int -> Advice.t Inbox.votes -> Advice.t
+(** The voting rule: the votes hold the advice vector accepted from each
+    process (at most one per sender). Process [j] is classified honest
+    iff at least [majority_threshold n] received vectors predict it
+    honest; vectors of the wrong length are ignored. *)
 
 val pi : Advice.t -> int array
 (** The ordering [pi(c)]: identifiers classified honest in increasing

@@ -41,9 +41,13 @@ end = struct
     in
     (* T_i: identifiers we heard from. E_i: (y, z) with y in z's declared
        set. A source y qualifies if y listed itself (y in L_y). *)
-    let in_t i = Option.is_some received.(i) in
-    let declared_l z = match received.(z) with Some (_, l) -> l | None -> [] in
-    let value_of y = match received.(y) with Some (w, _) -> Some w | None -> None in
+    let in_t i = Option.is_some (Inbox.votes_get received i) in
+    let declared_l z =
+      match Inbox.votes_get received z with Some (_, l) -> l | None -> []
+    in
+    let value_of y =
+      match Inbox.votes_get received y with Some (w, _) -> Some w | None -> None
+    in
     let qualifies y = in_t y && List.mem y (declared_l y) in
     (* Reverse reachability: sources that reach z, including z itself. *)
     let sources_reaching z =
@@ -77,7 +81,7 @@ end = struct
     in
     (* Plurality over the multiset {m_i[j] | j in T_i inter L_i}; ties to
        the smallest value; input kept if the multiset is empty. *)
-    let counted = Array.of_list (List.map Option.some minima) in
+    let counted = Inbox.votes (Array.of_list (List.map Option.some minima)) in
     match Inbox.plurality counted ~compare:V.compare with
     | Some (w, _) -> w
     | None -> v

@@ -74,7 +74,7 @@ end = struct
          let king_value =
            List.find_map
              (function W.King (tg, w) when tg = tag + 1 -> Some w | _ -> None)
-             inbox.(king)
+             (Bap_sim.Inbox.get inbox king)
          in
          if g1 = 0 then v := Option.value king_value ~default:!v;
          let v2, g2 = gc ctx ~tag:(tag + 2) !v in

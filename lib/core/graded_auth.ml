@@ -139,8 +139,7 @@ end = struct
       }
     in
     let inbox1 = R.broadcast ctx (W.Gcast_init (tag, my_sv)) in
-    Array.iteri
-      (fun sender msgs ->
+    Inbox.iteri inbox1 ~f:(fun sender msgs ->
         List.iter
           (function
             | W.Gcast_init (tg, sv)
@@ -148,8 +147,7 @@ end = struct
               note_proposal sender sv;
               if Option.is_none states.(sender).direct then states.(sender).direct <- Some sv
             | _ -> ())
-          msgs)
-      inbox1;
+          msgs);
     (* Round 2: echo the directly received proposals. *)
     let my_echoes =
       List.filter_map
@@ -161,8 +159,7 @@ end = struct
         (Array.to_list states)
     in
     let inbox2 = R.broadcast ctx (W.Gcast_echo (tag, my_echoes)) in
-    Array.iteri
-      (fun sender msgs ->
+    Inbox.iteri inbox2 ~f:(fun sender msgs ->
         List.iter
           (function
             | W.Gcast_echo (tg, echoes) when tg = tag ->
@@ -171,8 +168,7 @@ end = struct
                   note_echo ge_signed.W.sv_dealer sender ge_signed ge_sig)
                 echoes
             | _ -> ())
-          msgs)
-      inbox2;
+          msgs);
     (* Assemble own certificates from round-2 echoes. *)
     let own_cert_round2 = Array.make n None in
     Array.iteri
@@ -208,8 +204,7 @@ end = struct
         (List.init n (fun d -> d))
     in
     let inbox3 = R.broadcast ctx (W.Gcast_report (tag, my_reports)) in
-    Array.iter
-      (fun msgs ->
+    Inbox.iter inbox3 ~f:(fun msgs ->
         List.iter
           (function
             | W.Gcast_report (tg, reports) when tg = tag ->
@@ -228,8 +223,7 @@ end = struct
                   end)
                 reports
             | _ -> ())
-          msgs)
-      inbox3;
+          msgs);
     (* Deliver per dealer. *)
     Array.mapi
       (fun d st ->

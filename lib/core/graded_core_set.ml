@@ -24,21 +24,21 @@ module Make
 end = struct
   let rounds = 2
 
-  let restrict l_set votes =
-    Array.mapi (fun sender v -> if List.mem sender l_set then v else None) votes
-
   module Ps = Phase_span.Make (R)
 
   let run ctx ~k ~l_set ~tag v =
     Ps.run ctx "gcs" @@ fun () ->
     let me = R.id ctx in
+    let n = R.n ctx in
+    let keep = Bap_sim.Bitset.of_list n l_set in
+    let restrict votes = Inbox.restrict votes ~keep in
     let in_l = List.mem me l_set in
     (* Round 1: members of their own L broadcast their input. *)
     let inbox =
       if in_l then R.broadcast ctx (W.Gc_init (tag, v)) else R.silent_round ctx
     in
     let votes =
-      restrict l_set
+      restrict
         (Inbox.first inbox ~f:(function
           | W.Gc_init (tg, w) when tg = tag -> Some w
           | _ -> None))
@@ -52,9 +52,9 @@ end = struct
     let second =
       match b with Some w when in_l -> [ W.Gc_echo (tag, w) ] | Some _ | None -> []
     in
-    let inbox' = R.exchange ctx (fun _ -> second) in
+    let inbox' = R.broadcast_list ctx second in
     let echoes =
-      restrict l_set
+      restrict
         (Inbox.first inbox' ~f:(function
           | W.Gc_echo (tg, w) when tg = tag -> Some w
           | _ -> None))

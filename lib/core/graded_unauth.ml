@@ -49,7 +49,7 @@ end = struct
       | Some _ | None -> None
     in
     let second = match b with Some w -> [ W.Gc_echo (tag, w) ] | None -> [] in
-    let inbox' = R.exchange ctx (fun _ -> second) in
+    let inbox' = R.broadcast_list ctx second in
     let echoes =
       Inbox.first inbox' ~f:(function
         | W.Gc_echo (tg, w) when tg = tag -> Some w

@@ -54,7 +54,7 @@ module Demo = struct
     let inbox =
       if me = sender then R.broadcast ctx input else R.silent_round ctx
     in
-    match inbox.(sender) with v :: _ -> v | [] -> 0
+    match Bap_sim.Inbox.get inbox sender with v :: _ -> v | [] -> 0
 
   let run ~n =
     if n < 3 then invalid_arg "Message_lb.Demo.run: n >= 3 required";

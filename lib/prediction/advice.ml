@@ -1,46 +1,51 @@
-(* Immutable bit vector; advice strings are small (n bits) and copied
-   rarely, so a plain bool array behind a functional interface keeps the
-   code simple and safe from aliasing bugs. *)
-type t = bool array
+(* Immutable bit vector backed by the simulator's flat bitset: 1 bit per
+   process instead of a boxed bool array, so an n = 10^4 advice vector is
+   ~1.25 KB and equality/Hamming distance run word-at-a-time. The
+   functional interface (set/flip copy) keeps aliasing bugs out; advice
+   strings are copied rarely. *)
+module Bitset = Bap_sim.Bitset
 
-let length = Array.length
-let make n bit = Array.make n bit
-let init = Array.init
-let get a j = a.(j)
+type t = Bitset.t
+
+let length = Bitset.length
+let make n bit = Bitset.init n (fun _ -> bit)
+let init = Bitset.init
+let get = Bitset.get
 
 let set a j bit =
-  let a' = Array.copy a in
-  a'.(j) <- bit;
+  let a' = Bitset.copy a in
+  Bitset.assign a' j bit;
   a'
 
-let flip a j = set a j (not a.(j))
+let flip a j = set a j (not (Bitset.get a j))
 
 let ground_truth ~n ~faulty =
-  let a = Array.make n true in
-  Array.iter (fun j -> a.(j) <- false) faulty;
+  let a = Bitset.init n (fun _ -> true) in
+  Array.iter (fun j -> Bitset.clear a j) faulty;
   a
 
 let errors_against ~truth a =
-  if Array.length truth <> Array.length a then invalid_arg "Advice.errors_against";
+  if Bitset.length truth <> Bitset.length a then invalid_arg "Advice.errors_against";
   let c = ref 0 in
-  Array.iteri (fun j bit -> if bit <> truth.(j) then incr c) a;
+  for j = 0 to Bitset.length a - 1 do
+    if Bitset.get a j <> Bitset.get truth j then incr c
+  done;
   !c
 
 let error_positions ~truth a =
-  if Array.length truth <> Array.length a then invalid_arg "Advice.error_positions";
+  if Bitset.length truth <> Bitset.length a then invalid_arg "Advice.error_positions";
   let acc = ref [] in
-  for j = Array.length a - 1 downto 0 do
-    if a.(j) <> truth.(j) then acc := j :: !acc
+  for j = Bitset.length a - 1 downto 0 do
+    if Bitset.get a j <> Bitset.get truth j then acc := j :: !acc
   done;
   !acc
 
-let to_bits a =
-  String.init (Array.length a) (fun j -> if a.(j) then '1' else '0')
+let to_bits a = String.init (Bitset.length a) (fun j -> if Bitset.get a j then '1' else '0')
 
 let of_bits s =
   let ok = ref true in
   let a =
-    Array.init (String.length s) (fun j ->
+    Bitset.init (String.length s) (fun j ->
         match s.[j] with
         | '1' -> true
         | '0' -> false
@@ -50,7 +55,7 @@ let of_bits s =
   in
   if !ok then Some a else None
 
-let of_bool_array a = Array.copy a
-let to_bool_array a = Array.copy a
-let equal a b = a = b
-let pp ppf a = Array.iter (fun bit -> Fmt.pf ppf "%c" (if bit then '1' else '0')) a
+let of_bool_array a = Bitset.init (Array.length a) (fun j -> a.(j))
+let to_bool_array a = Array.init (Bitset.length a) (fun j -> Bitset.get a j)
+let equal = Bitset.equal
+let pp ppf a = Fmt.pf ppf "%s" (to_bits a)

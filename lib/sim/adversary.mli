@@ -39,13 +39,26 @@ type 'msg handlers = {
           inboxes are never filtered. *)
 }
 
+val identity_filter : 'msg view -> src:int -> (int -> 'msg list) -> int -> 'msg list
+(** Keeps the puppet outbox unchanged. *)
+
+val mute_filter : 'msg view -> src:int -> (int -> 'msg list) -> int -> 'msg list
+(** Drops everything a puppet says. *)
+
+val no_inject : 'msg view -> 'msg send list
+val identity_in : 'msg view -> dst:int -> src:int -> 'msg list -> 'msg list
+
 val handlers :
   ?filter:('msg view -> src:int -> (int -> 'msg list) -> int -> 'msg list) ->
   ?inject:('msg view -> 'msg send list) ->
   ?filter_in:('msg view -> dst:int -> src:int -> 'msg list -> 'msg list) ->
   unit ->
   'msg handlers
-(** Handlers with identity/empty defaults. *)
+(** Handlers with identity/empty defaults. Pass the exported combinators
+    above (they are the defaults) rather than re-implementing them: the
+    runtime's counted fast path recognises them {e physically} and skips
+    the per-pair calls they would make — any observably equivalent
+    closure stays correct but runs on the per-pair path. *)
 
 type 'msg t = {
   name : string;

@@ -1,0 +1,105 @@
+(* Flat bitset over the process identifier space [0, n). One int array
+   word per 63 ids keeps membership, popcount and intersection O(n/63)
+   instead of O(n) - the representation behind counted sender sets and
+   the prediction layer's advice vectors. *)
+
+type t = { length : int; words : int array }
+
+let bits_per_word = Sys.int_size (* 63 on 64-bit *)
+
+let words_for length = (length + bits_per_word - 1) / bits_per_word
+
+let create length =
+  if length < 0 then invalid_arg "Bitset.create: negative length";
+  { length; words = Array.make (max 1 (words_for length)) 0 }
+
+let length t = t.length
+
+let check t i op =
+  if i < 0 || i >= t.length then
+    invalid_arg (Printf.sprintf "Bitset.%s: index %d out of [0, %d)" op i t.length)
+
+let set t i =
+  check t i "set";
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl b)
+
+let clear t i =
+  check t i "clear";
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl b)
+
+let assign t i bit = if bit then set t i else clear t i
+
+let get t i =
+  check t i "get";
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) land (1 lsl b) <> 0
+
+let mem t i = i >= 0 && i < t.length && get t i
+
+let reset t = Array.fill t.words 0 (Array.length t.words) 0
+
+let copy t = { length = t.length; words = Array.copy t.words }
+
+let init length f =
+  let t = create length in
+  for i = 0 to length - 1 do
+    if f i then set t i
+  done;
+  t
+
+let of_list length ids =
+  let t = create length in
+  List.iter (fun i -> set t i) ids;
+  t
+
+let popcount_word w =
+  let rec go acc w = if w = 0 then acc else go (acc + 1) (w land (w - 1)) in
+  go 0 w
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount_word w) 0 t.words
+
+let iter t ~f =
+  (* Ascending id order: word-major, bit-minor. *)
+  Array.iteri
+    (fun wi word ->
+      if word <> 0 then begin
+        let base = wi * bits_per_word in
+        let w = ref word in
+        while !w <> 0 do
+          let b = !w land - !w in
+          (* index of the lowest set bit *)
+          let rec log2 acc m = if m = 1 then acc else log2 (acc + 1) (m lsr 1) in
+          f (base + log2 0 b);
+          w := !w land lnot b
+        done
+      end)
+    t.words
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t ~f:(fun i -> acc := f !acc i);
+  !acc
+
+let to_list t = List.rev (fold t ~init:[] ~f:(fun acc i -> i :: acc))
+
+let equal a b =
+  a.length = b.length
+  && begin
+       let ok = ref true in
+       Array.iteri (fun i w -> if w <> b.words.(i) then ok := false) a.words;
+       !ok
+     end
+
+let inter a b =
+  if a.length <> b.length then invalid_arg "Bitset.inter: length mismatch";
+  let t = create a.length in
+  Array.iteri (fun i w -> t.words.(i) <- w land b.words.(i)) a.words;
+  t
+
+let union_into ~into b =
+  if into.length <> b.length then invalid_arg "Bitset.union_into: length mismatch";
+  Array.iteri (fun i w -> into.words.(i) <- into.words.(i) lor w) b.words
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words

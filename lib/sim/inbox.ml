@@ -1,34 +1,225 @@
-let first inbox ~f = Array.map (fun msgs -> List.find_map f msgs) inbox
+(* A round's inbox in one of two representations:
 
-let all inbox ~f = Array.map (fun msgs -> List.filter_map f msgs) inbox
+   - [Concrete]: the classic per-sender array of message lists.
+   - [Counted]: the scalable-core aggregate - identical honest
+     broadcasts collapse into (payload, sender bitset) groups, plus a
+     sparse sorted array of per-sender overrides. A sender appears
+     either in exactly one group or in [direct], never both; a sender in
+     neither delivered nothing.
 
-let count votes ~eq v =
-  Array.fold_left (fun acc -> function Some w when eq v w -> acc + 1 | _ -> acc) 0 votes
+   Every reading operation is defined so that the two representations of
+   the same traffic are observably identical; the runtime's differential
+   tests assert this end to end. *)
 
-let plurality votes ~compare =
-  (* Count multiplicities with an association list keyed by [compare];
-     vote arrays are small (one slot per process). *)
-  let counts = ref [] in
-  Array.iter
-    (function
-      | None -> ()
-      | Some v -> (
-        match List.partition (fun (w, _) -> compare v w = 0) !counts with
-        | [ (_, c) ], rest -> counts := (v, c + 1) :: rest
-        | [], rest -> counts := (v, 1) :: rest
-        | _ :: _ :: _, _ -> assert false))
-    votes;
-  List.fold_left
-    (fun best (v, c) ->
-      match best with
-      | None -> Some (v, c)
-      | Some (bv, bc) ->
-        if c > bc || (c = bc && compare v bv < 0) then Some (v, c) else best)
-    None !counts
+type 'msg t =
+  | Concrete of 'msg list array
+  | Counted of {
+      n : int;
+      groups : ('msg list * Bitset.t) array;
+      direct : (int * 'msg list) array;  (* sorted by sender, ascending *)
+    }
 
-let senders votes =
-  let acc = ref [] in
-  for i = Array.length votes - 1 downto 0 do
-    match votes.(i) with Some _ -> acc := i :: !acc | None -> ()
+type 'a votes =
+  | Varr of 'a option array
+  | Vcnt of {
+      n : int;
+      groups : ('a option * Bitset.t) array;
+      direct : (int * 'a option) array;  (* sorted by sender, ascending *)
+    }
+
+let concrete arr = Concrete arr
+
+let counted ~n ~groups ~direct = Counted { n; groups; direct }
+
+let size = function Concrete arr -> Array.length arr | Counted { n; _ } -> n
+
+(* Binary search over a sparse sorted-by-sender array. *)
+let find_sparse arr sender =
+  let lo = ref 0 and hi = ref (Array.length arr - 1) and found = ref None in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let s, v = arr.(mid) in
+    if s = sender then begin
+      found := Some v;
+      lo := !hi + 1
+    end
+    else if s < sender then lo := mid + 1
+    else hi := mid - 1
   done;
-  !acc
+  !found
+
+let get t sender =
+  match t with
+  | Concrete arr -> arr.(sender)
+  | Counted { n; groups; direct } ->
+    if sender < 0 || sender >= n then invalid_arg "Inbox.get: sender out of range";
+    (match find_sparse direct sender with
+    | Some msgs -> msgs
+    | None ->
+      let rec scan i =
+        if i >= Array.length groups then []
+        else
+          let msgs, senders = groups.(i) in
+          if Bitset.get senders sender then msgs else scan (i + 1)
+      in
+      scan 0)
+
+let to_array = function
+  | Concrete arr -> Array.copy arr
+  | Counted { n; groups; direct } ->
+    let arr = Array.make n [] in
+    Array.iter
+      (fun (msgs, senders) -> Bitset.iter senders ~f:(fun s -> arr.(s) <- msgs))
+      groups;
+    Array.iter (fun (s, msgs) -> arr.(s) <- msgs) direct;
+    arr
+
+let iteri t ~f =
+  match t with
+  | Concrete arr -> Array.iteri f arr
+  | Counted _ -> Array.iteri f (to_array t)
+
+let iter t ~f = iteri t ~f:(fun _ msgs -> f msgs)
+
+let first t ~f =
+  match t with
+  | Concrete arr -> Varr (Array.map (fun msgs -> List.find_map f msgs) arr)
+  | Counted { n; groups; direct } ->
+    (* [f] runs once per distinct payload list, not once per sender: it
+       must be a pure parser (every protocol step's is). *)
+    Vcnt
+      {
+        n;
+        groups = Array.map (fun (msgs, senders) -> (List.find_map f msgs, senders)) groups;
+        direct = Array.map (fun (s, msgs) -> (s, List.find_map f msgs)) direct;
+      }
+
+let firsti t ~f =
+  match t with
+  | Concrete arr -> Varr (Array.mapi (fun sender msgs -> List.find_map (f sender) msgs) arr)
+  | Counted { n; groups; direct } ->
+    let arr = Array.make n None in
+    Array.iter
+      (fun (msgs, senders) ->
+        Bitset.iter senders ~f:(fun s -> arr.(s) <- List.find_map (f s) msgs))
+      groups;
+    Array.iter (fun (s, msgs) -> arr.(s) <- List.find_map (f s) msgs) direct;
+    Varr arr
+
+let all t ~f = Array.map (fun msgs -> List.filter_map f msgs) (to_array t)
+
+(* -- votes -- *)
+
+let votes arr = Varr arr
+
+let votes_length = function Varr arr -> Array.length arr | Vcnt { n; _ } -> n
+
+let votes_get v sender =
+  match v with
+  | Varr arr -> arr.(sender)
+  | Vcnt { n; groups; direct } ->
+    if sender < 0 || sender >= n then invalid_arg "Inbox.votes_get: sender out of range";
+    (match find_sparse direct sender with
+    | Some entry -> entry
+    | None ->
+      let rec scan i =
+        if i >= Array.length groups then None
+        else
+          let entry, senders = groups.(i) in
+          if Bitset.get senders sender then entry else scan (i + 1)
+      in
+      scan 0)
+
+let votes_to_array = function
+  | Varr arr -> Array.copy arr
+  | Vcnt { n; groups; direct } ->
+    let arr = Array.make n None in
+    Array.iter
+      (fun (entry, senders) ->
+        match entry with
+        | None -> ()
+        | Some _ -> Bitset.iter senders ~f:(fun s -> arr.(s) <- entry))
+      groups;
+    Array.iter (fun (s, entry) -> arr.(s) <- entry) direct;
+    arr
+
+let votes_mapi v ~f =
+  match v with
+  | Varr arr -> Varr (Array.mapi f arr)
+  | Vcnt _ -> Varr (Array.mapi f (votes_to_array v))
+
+(* Fold over (value, multiplicity) pairs. The counted representation
+   visits each distinct accepted value once with its sender-set
+   cardinality, the concrete one visits senders ascending with
+   multiplicity 1 - so [f] must be insensitive to grouping and order
+   (counting and min/max tallies are). *)
+let fold_weighted v ~init ~f =
+  match v with
+  | Varr arr ->
+    Array.fold_left
+      (fun acc -> function Some x -> f acc x 1 | None -> acc)
+      init arr
+  | Vcnt { groups; direct; _ } ->
+    let acc = ref init in
+    Array.iter
+      (fun (entry, senders) ->
+        match entry with
+        | None -> ()
+        | Some x ->
+          let c = Bitset.cardinal senders in
+          if c > 0 then acc := f !acc x c)
+      groups;
+    Array.iter
+      (fun (_, entry) -> match entry with Some x -> acc := f !acc x 1 | None -> ())
+      direct;
+    !acc
+
+let count v ~eq x =
+  fold_weighted v ~init:0 ~f:(fun acc w mult -> if eq x w then acc + mult else acc)
+
+let plurality v ~compare =
+  (* Tally multiplicities with an association list keyed by [compare];
+     the distinct-value count is small (one entry per candidate). *)
+  let counts =
+    fold_weighted v ~init:[] ~f:(fun counts x mult ->
+        match List.partition (fun (w, _) -> compare x w = 0) counts with
+        | [ (_, c) ], rest -> (x, c + mult) :: rest
+        | [], rest -> (x, mult) :: rest
+        | _ :: _ :: _, _ -> assert false)
+  in
+  List.fold_left
+    (fun best (x, c) ->
+      match best with
+      | None -> Some (x, c)
+      | Some (bv, bc) -> if c > bc || (c = bc && compare x bv < 0) then Some (x, c) else best)
+    None counts
+
+let senders v =
+  match v with
+  | Varr arr ->
+    let acc = ref [] in
+    for i = Array.length arr - 1 downto 0 do
+      match arr.(i) with Some _ -> acc := i :: !acc | None -> ()
+    done;
+    !acc
+  | Vcnt { n; groups; direct } ->
+    let present = Bitset.create n in
+    Array.iter
+      (fun (entry, senders) ->
+        match entry with None -> () | Some _ -> Bitset.union_into ~into:present senders)
+      groups;
+    Array.iter
+      (fun (s, entry) -> match entry with Some _ -> Bitset.set present s | None -> ())
+      direct;
+    Bitset.to_list present
+
+let restrict v ~keep =
+  match v with
+  | Varr arr -> Varr (Array.mapi (fun s entry -> if Bitset.mem keep s then entry else None) arr)
+  | Vcnt { n; groups; direct } ->
+    Vcnt
+      {
+        n;
+        groups = Array.map (fun (entry, senders) -> (entry, Bitset.inter senders keep)) groups;
+        direct = Array.of_list (List.filter (fun (s, _) -> Bitset.mem keep s) (Array.to_list direct));
+      }

@@ -10,7 +10,23 @@
     per round and otherwise is ordinary OCaml. Suspension is implemented
     with OCaml 5 effect handlers, so sub-protocols compose by plain
     function calls — Algorithm 1 of the paper is literally a [for] loop
-    over function calls. *)
+    over function calls.
+
+    Two delivery engines implement the same semantics:
+
+    - the {e concrete} per-pair path routes every message individually
+      through a pair of arena-backed n x n matrices; it is the reference
+      semantics and the only path when a trace or network hook observes
+      individual edges;
+    - the {e counted} path aggregates identical honest broadcasts into
+      (payload, sender-bitset) groups and never materialises the n
+      copies, falling back to per-pair handling only for function-shaped
+      outboxes and for faulty senders whose filter is not one of the
+      canonical {!Adversary} combinators.
+
+    The two paths are byte-identical in every observable: decisions,
+    rounds, all message/bit accounting, adversary call order, and raised
+    exceptions (asserted by differential tests at small n). *)
 
 module type MSG = sig
   type t
@@ -28,21 +44,30 @@ module type S = sig
   val round : ctx -> int
   (** Rounds start at 1; 0 before the first exchange. *)
 
-  val exchange : ctx -> (int -> msg list) -> msg list array
+  val exchange : ctx -> (int -> msg list) -> msg Inbox.t
   (** [exchange ctx outbox] ends the local computation for this round.
       [outbox j] is the list of messages sent to process [j] (the function
       is called exactly once per recipient, including the caller itself,
       and must be effect-free). The result is the round's inbox: slot [j]
       holds the messages received from process [j]. Messages to self are
-      delivered but never counted in the message-complexity metrics. *)
+      delivered but never counted in the message-complexity metrics.
 
-  val broadcast : ctx -> msg -> msg list array
+      A function-shaped outbox forces per-recipient materialisation; use
+      {!broadcast_list} when every recipient gets the same messages so
+      the counted engine can aggregate. *)
+
+  val broadcast_list : ctx -> msg list -> msg Inbox.t
+  (** Send the same message list to everybody (including self). The
+      counted engine's native shape: identical honest broadcasts
+      collapse into one (payload, sender-set) group. *)
+
+  val broadcast : ctx -> msg -> msg Inbox.t
   (** Send one message to everybody (including self). *)
 
-  val send_to : ctx -> (int * msg) list -> msg list array
+  val send_to : ctx -> (int * msg) list -> msg Inbox.t
   (** Sparse unicast: send each [(recipient, msg)] pair. *)
 
-  val silent_round : ctx -> msg list array
+  val silent_round : ctx -> msg Inbox.t
   (** Send nothing, still receive. *)
 
   val skip : ctx -> int -> unit
@@ -80,6 +105,8 @@ module type S = sig
     ?trace:msg Trace.t ->
     ?msg_size:(msg -> int) ->
     ?network:(round:int -> src:int -> dst:int -> msg list -> msg list) ->
+    ?group_key:(msg -> string option) ->
+    ?mode:[ `Auto | `Concrete ] ->
     n:int ->
     faulty:int array ->
     adversary:msg Adversary.t ->
@@ -100,6 +127,18 @@ module type S = sig
       steps outside the paper's reliable-channel model; the chaos layer's
       schedule generator keeps inside it, but the hook itself is
       deliberately unrestricted so tests can probe the envelope.
+
+      [group_key] enables broadcast aggregation on the counted path: it
+      must be an {e injective} encoding of a message ([None] for messages
+      that must not be grouped, e.g. signed ones — they then travel as
+      per-sender entries). Omitting it still avoids the n x n matrices
+      but aggregates nothing. [msg_size] and [group_key] are called once
+      per distinct payload on the counted path and once per delivered
+      message on the concrete one, so both must be pure.
+
+      [mode] selects the engine: [`Auto] (default) uses the counted path
+      whenever no [trace] and no [network] hook is installed, [`Concrete]
+      forces the per-pair reference path (differential testing).
 
       @raise Round_limit_exceeded after [max_rounds] (default 100_000)
       rounds with honest processes still running.

@@ -13,7 +13,7 @@ let observe ?(rounds = 1) ~adversary ~msg ~faulty_id ~observer () =
         let received = ref [] in
         for _ = 1 to rounds do
           let inbox = S.R.broadcast ctx msg in
-          received := !received @ inbox.(faulty_id)
+          received := !received @ Bap_sim.Inbox.get inbox faulty_id
         done;
         !received)
   in
@@ -70,7 +70,10 @@ let test_staggered_crash_schedule () =
         let seen = ref [] in
         for _ = 1 to 5 do
           let inbox = S.R.broadcast ctx (W.Gc_init (0, 1)) in
-          seen := (List.length inbox.(0), List.length inbox.(1)) :: !seen
+          seen :=
+            ( List.length (Bap_sim.Inbox.get inbox 0),
+              List.length (Bap_sim.Inbox.get inbox 1) )
+            :: !seen
         done;
         List.rev !seen)
     |> S.R.honest_decisions
@@ -89,7 +92,8 @@ let test_liar_then_silent () =
     run_protocol ~adversary ~n ~faulty:[| 0 |] (fun ctx ->
         let r1 = S.R.broadcast ctx (W.Advice truth) in
         let r2 = S.R.broadcast ctx (W.Gc_init (0, 1)) in
-        (List.length r1.(0), List.length r2.(0)))
+        ( List.length (Bap_sim.Inbox.get r1 0),
+          List.length (Bap_sim.Inbox.get r2 0) ))
     |> S.R.honest_decisions
   in
   List.iter
@@ -151,7 +155,7 @@ let test_flip_flop () =
         let seen = ref [] in
         for _ = 1 to 4 do
           let inbox = S.R.broadcast ctx (W.Gc_init (0, 1)) in
-          seen := List.length inbox.(0) :: !seen
+          seen := List.length (Bap_sim.Inbox.get inbox 0) :: !seen
         done;
         List.rev !seen)
   in

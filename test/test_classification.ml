@@ -18,10 +18,10 @@ let test_vote_basic () =
   let n = 5 in
   let yes = Advice.make n true and no = Advice.make n false in
   (* 3 of 5 say everyone honest -> all classified honest. *)
-  let c = C.vote ~n [| Some yes; Some yes; Some yes; Some no; Some no |] in
+  let c = C.vote ~n (Bap_sim.Inbox.votes [| Some yes; Some yes; Some yes; Some no; Some no |]) in
   Alcotest.(check string) "all honest" "11111" (Fmt.str "%a" Advice.pp c);
   (* 2 of 5 only -> all classified faulty. *)
-  let c = C.vote ~n [| Some yes; Some yes; Some no; Some no; Some no |] in
+  let c = C.vote ~n (Bap_sim.Inbox.votes [| Some yes; Some yes; Some no; Some no; Some no |]) in
   Alcotest.(check string) "all faulty" "00000" (Fmt.str "%a" Advice.pp c)
 
 let test_vote_ignores_missing_and_malformed () =
@@ -29,7 +29,7 @@ let test_vote_ignores_missing_and_malformed () =
   let yes = Advice.make n true in
   let short = Advice.make 2 true in
   (* Only 2 valid yes-votes out of n = 4: threshold is 3, so faulty. *)
-  let c = C.vote ~n [| Some yes; Some yes; None; Some short |] in
+  let c = C.vote ~n (Bap_sim.Inbox.votes [| Some yes; Some yes; None; Some short |]) in
   Alcotest.(check string) "missing votes are not yes" "0000" (Fmt.str "%a" Advice.pp c)
 
 let test_pi_ordering () =

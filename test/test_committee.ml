@@ -42,7 +42,7 @@ let run_election ~n ~t ~k ~f ~m ~seed =
                     Pki.verify pki ~signer:sender ~payload:(S.W.committee_payload i) s
                   | _ -> false)
                 msgs)
-            inbox
+            (Bap_sim.Inbox.to_array inbox)
         in
         Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 supporters >= t + 1)
   in

@@ -1,50 +1,146 @@
 module Inbox = Bap_sim.Inbox
+module Bitset = Bap_sim.Bitset
 
 let parse = function `A x -> Some x | `B -> None
 
+(* The same six-sender inbox in both representations: senders 0 and 2
+   broadcast [`A 1], sender 4 sent [`B; `A 3], sender 1 is a per-sender
+   direct entry, senders 3 and 5 sent nothing. Every reading operation
+   must agree between the two. *)
+let slots = [| [ `A 1 ]; [ `A 7; `A 8 ]; [ `A 1 ]; []; [ `B; `A 3 ]; [] |]
+let concrete () = Inbox.concrete (Array.copy slots)
+
+let counted () =
+  Inbox.counted ~n:6
+    ~groups:
+      [|
+        ([ `A 1 ], Bitset.of_list 6 [ 0; 2 ]); ([ `B; `A 3 ], Bitset.of_list 6 [ 4 ]);
+      |]
+    ~direct:[| (1, [ `A 7; `A 8 ]) |]
+
+let both name check =
+  check (name ^ " (concrete)") (concrete ());
+  check (name ^ " (counted)") (counted ())
+
+let test_get () =
+  both "get" (fun name inbox ->
+      Array.iteri
+        (fun s expected ->
+          Alcotest.(check (list int))
+            (Printf.sprintf "%s sender %d" name s)
+            (List.filter_map parse expected)
+            (List.filter_map parse (Inbox.get inbox s)))
+        slots)
+
+let test_to_array () =
+  both "to_array" (fun name inbox ->
+      Alcotest.(check (array (list int)))
+        name
+        (Array.map (List.filter_map parse) slots)
+        (Array.map (List.filter_map parse) (Inbox.to_array inbox)))
+
+let test_iteri () =
+  both "iteri" (fun name inbox ->
+      let seen = ref [] in
+      Inbox.iteri inbox ~f:(fun s msgs -> seen := (s, List.length msgs) :: !seen);
+      Alcotest.(check (list (pair int int)))
+        name
+        [ (0, 1); (1, 2); (2, 1); (3, 0); (4, 2); (5, 0) ]
+        (List.rev !seen))
+
 let test_first_takes_one_per_sender () =
-  let inbox = [| [ `A 1; `A 2 ]; [ `B; `A 3 ]; []; [ `B ] |] in
-  let got = Inbox.first inbox ~f:parse in
-  Alcotest.(check (array (option int))) "first match per sender"
-    [| Some 1; Some 3; None; None |] got
+  both "first" (fun name inbox ->
+      let got = Inbox.votes_to_array (Inbox.first inbox ~f:parse) in
+      Alcotest.(check (array (option int)))
+        name
+        [| Some 1; Some 7; Some 1; None; Some 3; None |]
+        got)
+
+let test_firsti () =
+  both "firsti" (fun name inbox ->
+      let got =
+        Inbox.votes_to_array
+          (Inbox.firsti inbox ~f:(fun s m -> if s = 1 then None else parse m))
+      in
+      Alcotest.(check (array (option int)))
+        name
+        [| Some 1; None; Some 1; None; Some 3; None |]
+        got)
 
 let test_all_keeps_everything () =
-  let inbox = [| [ `A 1; `A 2 ]; [ `B; `A 3 ] |] in
-  let got = Inbox.all inbox ~f:parse in
-  Alcotest.(check (array (list int))) "all matches" [| [ 1; 2 ]; [ 3 ] |] got
+  both "all" (fun name inbox ->
+      Alcotest.(check (array (list int)))
+        name
+        [| [ 1 ]; [ 7; 8 ]; [ 1 ]; []; [ 3 ]; [] |]
+        (Inbox.all inbox ~f:parse))
 
-let test_count () =
-  let votes = [| Some 1; Some 2; Some 1; None; Some 1 |] in
-  Alcotest.(check int) "count of 1" 3 (Inbox.count votes ~eq:Int.equal 1);
-  Alcotest.(check int) "count of 2" 1 (Inbox.count votes ~eq:Int.equal 2);
-  Alcotest.(check int) "count of 9" 0 (Inbox.count votes ~eq:Int.equal 9)
+let test_count_and_plurality () =
+  both "count/plurality" (fun name inbox ->
+      let votes = Inbox.first inbox ~f:parse in
+      Alcotest.(check int) (name ^ " count 1") 2 (Inbox.count votes ~eq:Int.equal 1);
+      Alcotest.(check int) (name ^ " count 9") 0 (Inbox.count votes ~eq:Int.equal 9);
+      Alcotest.(check (option (pair int int)))
+        (name ^ " plurality")
+        (Some (1, 2))
+        (Inbox.plurality votes ~compare:Int.compare))
 
-let test_plurality () =
-  let votes = [| Some 5; Some 3; Some 5; Some 3; Some 1 |] in
+let test_senders_and_restrict () =
+  both "senders/restrict" (fun name inbox ->
+      let votes = Inbox.first inbox ~f:parse in
+      Alcotest.(check (list int)) (name ^ " senders") [ 0; 1; 2; 4 ] (Inbox.senders votes);
+      let kept = Inbox.restrict votes ~keep:(Bitset.of_list 6 [ 1; 2; 3 ]) in
+      Alcotest.(check (list int)) (name ^ " restricted") [ 1; 2 ] (Inbox.senders kept);
+      Alcotest.(check (array (option int)))
+        (name ^ " restricted votes")
+        [| None; Some 7; Some 1; None; None; None |]
+        (Inbox.votes_to_array kept))
+
+let test_fold_weighted () =
+  both "fold_weighted" (fun name inbox ->
+      let votes = Inbox.first inbox ~f:parse in
+      let total, weight =
+        Inbox.fold_weighted votes ~init:(0, 0) ~f:(fun (s, w) v mult ->
+            (s + (v * mult), w + mult))
+      in
+      Alcotest.(check (pair int int)) name (12, 4) (total, weight))
+
+let test_votes_mapi () =
+  both "votes_mapi" (fun name inbox ->
+      let votes = Inbox.first inbox ~f:parse in
+      let doubled =
+        Inbox.votes_mapi votes ~f:(fun s v ->
+            match v with Some x when s <> 1 -> Some (2 * x) | _ -> None)
+      in
+      Alcotest.(check (array (option int)))
+        name
+        [| Some 2; None; Some 2; None; Some 6; None |]
+        (Inbox.votes_to_array doubled))
+
+let test_plain_votes () =
+  let votes = Inbox.votes [| Some 5; Some 3; Some 5; Some 3; Some 1 |] in
   (* tie between 5 and 3 broken towards the smaller value *)
-  Alcotest.(check (option (pair int int))) "tie to smallest" (Some (3, 2))
-    (Inbox.plurality votes ~compare:Int.compare)
-
-let test_plurality_clear_winner () =
-  let votes = [| Some 5; Some 5; Some 3; Some 5; None |] in
-  Alcotest.(check (option (pair int int))) "clear winner" (Some (5, 3))
-    (Inbox.plurality votes ~compare:Int.compare)
-
-let test_plurality_empty () =
-  Alcotest.(check (option (pair int int))) "all none" None
-    (Inbox.plurality [| None; None |] ~compare:Int.compare)
-
-let test_senders () =
-  let votes = [| Some 'x'; None; Some 'y'; None; Some 'z' |] in
-  Alcotest.(check (list int)) "sender ids" [ 0; 2; 4 ] (Inbox.senders votes)
+  Alcotest.(check (option (pair int int)))
+    "tie to smallest"
+    (Some (3, 2))
+    (Inbox.plurality votes ~compare:Int.compare);
+  Alcotest.(check (option (pair int int)))
+    "all none" None
+    (Inbox.plurality (Inbox.votes [| None; None |]) ~compare:Int.compare);
+  Alcotest.(check (list int))
+    "sender ids" [ 0; 2; 4 ]
+    (Inbox.senders (Inbox.votes [| Some 'x'; None; Some 'y'; None; Some 'z' |]))
 
 let suite =
   [
+    Alcotest.test_case "get on both representations" `Quick test_get;
+    Alcotest.test_case "to_array" `Quick test_to_array;
+    Alcotest.test_case "iteri visits every slot" `Quick test_iteri;
     Alcotest.test_case "first takes one per sender" `Quick test_first_takes_one_per_sender;
+    Alcotest.test_case "firsti is sender-aware" `Quick test_firsti;
     Alcotest.test_case "all keeps everything" `Quick test_all_keeps_everything;
-    Alcotest.test_case "count" `Quick test_count;
-    Alcotest.test_case "plurality ties to smallest" `Quick test_plurality;
-    Alcotest.test_case "plurality clear winner" `Quick test_plurality_clear_winner;
-    Alcotest.test_case "plurality of empty" `Quick test_plurality_empty;
-    Alcotest.test_case "senders" `Quick test_senders;
+    Alcotest.test_case "count and plurality" `Quick test_count_and_plurality;
+    Alcotest.test_case "senders and restrict" `Quick test_senders_and_restrict;
+    Alcotest.test_case "fold_weighted" `Quick test_fold_weighted;
+    Alcotest.test_case "votes_mapi" `Quick test_votes_mapi;
+    Alcotest.test_case "plain vote arrays" `Quick test_plain_votes;
   ]

@@ -3,6 +3,7 @@ module R = Bap_sim.Runtime.Make (struct
 end)
 
 module Adversary = Bap_sim.Adversary
+module Inbox = Bap_sim.Inbox
 module Trace = Bap_sim.Trace
 
 let run ?(adversary = Adversary.passive) ?max_rounds ?trace ~n ~faulty body =
@@ -12,7 +13,7 @@ let test_broadcast_delivery () =
   let outcome =
     run ~n:4 ~faulty:[||] (fun ctx ->
         let inbox = R.broadcast ctx (Printf.sprintf "from-%d" (R.id ctx)) in
-        Array.to_list (Array.map List.length inbox))
+        Array.to_list (Array.map List.length (Inbox.to_array inbox)))
   in
   Array.iter
     (function
@@ -70,7 +71,7 @@ let test_silent_adversary_mutes () =
   let outcome =
     run ~n:4 ~faulty:[| 0 |] ~adversary:Adversary.silent (fun ctx ->
         let inbox = R.broadcast ctx "hi" in
-        List.length inbox.(0))
+        List.length (Inbox.get inbox 0))
   in
   List.iter
     (fun (_, from_faulty) -> Alcotest.(check int) "nothing from faulty" 0 from_faulty)
@@ -81,7 +82,7 @@ let test_passive_adversary_follows () =
   let outcome =
     run ~n:4 ~faulty:[| 0 |] ~adversary:Adversary.passive (fun ctx ->
         let inbox = R.broadcast ctx "hi" in
-        List.length inbox.(0))
+        List.length (Inbox.get inbox 0))
   in
   List.iter
     (fun (_, from_faulty) -> Alcotest.(check int) "puppet message arrives" 1 from_faulty)
@@ -131,7 +132,7 @@ let test_network_hook () =
   let outcome =
     R.run ~network ~n:3 ~faulty:[||] ~adversary:Adversary.passive (fun ctx ->
         let inbox = R.broadcast ctx "x" in
-        List.length inbox.(0))
+        List.length (Inbox.get inbox 0))
   in
   Alcotest.(check (list (pair int int)))
     "per-process deliveries from p0"
@@ -155,7 +156,7 @@ let test_compose_adversaries () =
       ~adversary:(Adversary.compose [ upcase; drop_to_0 ])
       (fun ctx ->
         let inbox = R.broadcast ctx "hi" in
-        inbox.(1))
+        Inbox.get inbox 1)
   in
   Alcotest.(check (list string)) "dropped for p0" []
     (List.assoc 0 (R.honest_decisions outcome));
@@ -172,7 +173,7 @@ let test_inject_delivery () =
   let outcome =
     run ~n:3 ~faulty:[| 2 |] ~adversary:chatty (fun ctx ->
         let inbox = R.silent_round ctx in
-        inbox.(2))
+        Inbox.get inbox 2)
   in
   Alcotest.(check (list string)) "victim got it"
     [ "boo" ]
@@ -186,7 +187,7 @@ let test_rewrite_adversary () =
   let outcome =
     run ~n:3 ~faulty:[| 1 |] ~adversary:flip (fun ctx ->
         let inbox = R.broadcast ctx "original" in
-        inbox.(1))
+        Inbox.get inbox 1)
   in
   Alcotest.(check (list string)) "rewritten" [ "flipped" ]
     (List.assoc 0 (R.honest_decisions outcome))
@@ -203,7 +204,7 @@ let test_filter_in_only_faulty () =
   let outcome =
     run ~n:3 ~faulty:[| 1 |] ~adversary:deaf (fun ctx ->
         let inbox = R.broadcast ctx "ping" in
-        Array.fold_left (fun acc l -> acc + List.length l) 0 inbox)
+        Array.fold_left (fun acc l -> acc + List.length l) 0 (Inbox.to_array inbox))
   in
   (* Honest processes hear everyone (incl. the puppet, whose outbox is
      untouched); the puppet itself hears nothing. *)
@@ -224,7 +225,7 @@ let test_rushing_adversary_sees_current_round () =
   let outcome =
     run ~n:3 ~faulty:[| 2 |] ~adversary:mirror (fun ctx ->
         let inbox = R.broadcast ctx (Printf.sprintf "r%d-p%d" (R.round ctx + 1) (R.id ctx)) in
-        inbox.(2))
+        Inbox.get inbox 2)
   in
   Alcotest.(check (list string)) "echo of same-round message" [ "saw:r1-p0" ]
     (List.assoc 1 (R.honest_decisions outcome))
@@ -246,7 +247,7 @@ let test_send_to_sparse () =
           if R.id ctx = 0 then R.send_to ctx [ (2, "direct"); (2, "second") ]
           else R.silent_round ctx
         in
-        List.length inbox.(0))
+        List.length (Inbox.get inbox 0))
   in
   Alcotest.(check (option int)) "recipient got both" (Some 2) outcome.R.decisions.(2);
   Alcotest.(check (option int)) "others got none" (Some 0) outcome.R.decisions.(1);
