@@ -1,0 +1,245 @@
+(* CLI: exhaustive bounded model checking of the protocol stack.
+
+   Where bap_fuzz samples the configuration space from a seed, bap_check
+   exhausts it: for small n and bounded fault/advice budgets it walks
+   EVERY (faulty set, input vector, advice-error placement, fault
+   schedule) within the bounds and verifies the agreement / validity /
+   round-bound oracles on each one. Violations serialize as JSON
+   counterexamples that [bap_fuzz --replay] reruns and ddmin-shrinks.
+
+   Examples:
+     dune exec bin/bap_check.exe -- -n 4 -t 1 --budget 1 --stats
+     dune exec bin/bap_check.exe -- --protocols es,pk -n 5 --horizon 3
+     dune exec bin/bap_check.exe -- --self-test --cex-out cex.json
+     dune exec bin/bap_fuzz.exe -- --replay cex.json *)
+
+module Fuzz = Bap_chaos.Fuzz
+module Space = Bap_chaos.Space
+module Universe = Bap_checklib.Universe
+module Explore = Bap_checklib.Explore
+module Counterexample = Bap_checklib.Counterexample
+module Tel = Bap_telemetry.Telemetry
+open Cmdliner
+
+let parse_protocols s =
+  let names = String.split_on_char ',' s |> List.filter (fun x -> x <> "") in
+  let ps = List.filter_map Fuzz.protocol_of_name names in
+  if List.length ps <> List.length names || ps = [] then
+    Error (`Msg (Printf.sprintf "unknown protocol list %S (use unauth,auth,es,pk)" s))
+  else Ok ps
+
+let protocols_conv =
+  Arg.conv
+    ( parse_protocols,
+      fun ppf ps ->
+        Fmt.pf ppf "%s" (String.concat "," (List.map Fuzz.E.protocol_name ps)) )
+
+let order_conv =
+  Arg.conv
+    ( (function
+      | "dfs" -> Ok Explore.Dfs
+      | "bfs" -> Ok Explore.Bfs
+      | s -> Error (`Msg (Printf.sprintf "unknown order %S (use dfs or bfs)" s))),
+      fun ppf -> function
+        | Explore.Dfs -> Fmt.string ppf "dfs"
+        | Explore.Bfs -> Fmt.string ppf "bfs" )
+
+let stats_json_string per_protocol =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "{\"protocols\":{";
+  List.iteri
+    (fun i (name, (s : Explore.stats)) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "\"%s\":{\"leaves\":%d,\"states\":%d,\"symmetry_hits\":%d,\
+            \"frontier_peak\":%d,\"violations\":%d}"
+           name s.Explore.leaves s.Explore.states s.Explore.symmetry_hits
+           s.Explore.frontier_peak s.Explore.violations))
+    per_protocol;
+  Buffer.add_string b "},\"metrics\":";
+  Buffer.add_string b (Tel.Metrics.to_json (Tel.Metrics.snapshot ()));
+  Buffer.add_string b "}\n";
+  Buffer.contents b
+
+let run protocols n t budget horizon max_faults salts corrupt_bits order no_symmetry
+    self_test quiet stats stats_json cex_out =
+  Tel.install Tel.Counters_only;
+  let bounds =
+    { Space.horizon; max_faults; salts; corrupt_bits }
+  in
+  Fmt.pr "bap_check: n=%d t=%d budget=%d horizon=%d max_faults=%d protocols=[%s]%s@." n
+    t budget horizon max_faults
+    (String.concat "," (List.map Fuzz.E.protocol_name protocols))
+    (if self_test then " self-test" else "");
+  let all_cexs = ref [] in
+  let per_protocol =
+    List.map
+      (fun protocol ->
+        let params =
+          { (Universe.default_params ~protocol ~n ~t) with
+            Universe.budget;
+            bounds;
+          }
+        in
+        let progress ~leaves ~states:_ ~violations =
+          if (not quiet) && leaves mod 20_000 = 0 then
+            Fmt.pr "  %s: %d leaves, %d violation(s)@."
+              (Fuzz.E.protocol_name protocol) leaves violations
+        in
+        let result =
+          Explore.run ~order ~symmetry:(not no_symmetry) ~sabotage:self_test
+            ~progress params
+        in
+        let name = Fuzz.E.protocol_name protocol in
+        if stats || not quiet then
+          Fmt.pr "  %s: %a@." name Explore.pp_stats result.Explore.stats;
+        List.iter
+          (fun cex ->
+            if not quiet then begin
+              Fmt.pr "violation (%s):@,%a@,%a@." name Fuzz.E.pp_config
+                cex.Explore.config Fuzz.E.pp_report cex.Explore.report
+            end;
+            all_cexs :=
+              Counterexample.of_explore ~sabotage:self_test cex :: !all_cexs)
+          result.Explore.counterexamples;
+        (name, result.Explore.stats))
+      protocols
+  in
+  let cexs = List.rev !all_cexs in
+  (match cex_out with
+  | Some path ->
+    Counterexample.write ~path cexs;
+    Fmt.pr "wrote %d counterexample(s) to %s@." (List.length cexs) path
+  | None -> ());
+  (match stats_json with
+  | Some path ->
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (stats_json_string per_protocol))
+  | None -> ());
+  Tel.shutdown ();
+  let total_states = List.fold_left (fun a (_, s) -> a + s.Explore.states) 0 per_protocol in
+  let n_cx = List.length cexs in
+  if self_test then
+    if n_cx > 0 then begin
+      Fmt.pr "self-test ok: %d states, %d planted violation(s) caught@." total_states
+        n_cx;
+      0
+    end
+    else begin
+      Fmt.pr "self-test FAILED: %d states, sabotage went undetected@." total_states;
+      2
+    end
+  else if n_cx = 0 then begin
+    Fmt.pr "ok: %d states exhaustively verified, 0 violations@." total_states;
+    0
+  end
+  else begin
+    Fmt.pr "FAILED: %d safety violation(s) in %d states@." n_cx total_states;
+    2
+  end
+
+let cmd =
+  let protocols =
+    Arg.(
+      value
+      & opt protocols_conv Fuzz.all_protocols
+      & info [ "protocols" ]
+          ~doc:"Comma-separated subset of unauth,auth,es,pk to check.")
+  in
+  let n = Arg.(value & opt int 4 & info [ "n" ] ~doc:"System size (keep <= 7).") in
+  let t =
+    Arg.(
+      value & opt int 1
+      & info [ "t" ] ~doc:"Fault tolerance; faulty sets range over size <= t.")
+  in
+  let budget =
+    Arg.(
+      value & opt int 1
+      & info [ "budget" ]
+          ~doc:"Advice error budget B: at most this many wrong bits across honest \
+                processes' advice vectors.")
+  in
+  let horizon =
+    Arg.(
+      value
+      & opt int Space.default_bounds.Space.horizon
+      & info [ "horizon" ] ~doc:"Fault rounds range over 1..horizon.")
+  in
+  let max_faults =
+    Arg.(
+      value
+      & opt int Space.default_bounds.Space.max_faults
+      & info [ "max-faults" ] ~doc:"At most this many schedule faults per run.")
+  in
+  let salts =
+    Arg.(
+      value
+      & opt int Space.default_bounds.Space.salts
+      & info [ "salts" ] ~doc:"Equivocation salts range over 1..salts.")
+  in
+  let corrupt_bits =
+    Arg.(
+      value
+      & opt int Space.default_bounds.Space.corrupt_bits
+      & info [ "corrupt-bits" ] ~doc:"Corruption bit indices range over 0..corrupt-bits-1.")
+  in
+  let order =
+    Arg.(
+      value & opt order_conv Explore.Dfs
+      & info [ "order" ]
+          ~doc:"Exploration order: dfs streams leaves in O(depth) memory; bfs \
+                sweeps fault-count layers (fault-free first) and reports the \
+                materialised frontier peak.")
+  in
+  let no_symmetry =
+    Arg.(
+      value & flag
+      & info [ "no-symmetry" ]
+          ~doc:"Disable the process-permutation symmetry reduction (run every \
+                leaf).")
+  in
+  let self_test =
+    Arg.(
+      value & flag
+      & info [ "self-test" ]
+          ~doc:
+            "Plant the harness sabotage bug (tamper one honest decision whenever \
+             the schedule equivocates) and require the checker to find it. Exit 0 \
+             iff at least one violation was caught.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"Only the summary lines.")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:"Print per-protocol exploration stats (also on by default unless \
+                --quiet).")
+  in
+  let stats_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-json" ] ~docv:"FILE"
+          ~doc:"Write per-protocol stats plus the merged metrics registry as JSON.")
+  in
+  let cex_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cex-out" ] ~docv:"FILE"
+          ~doc:"Write every counterexample as JSON; replay with bap_fuzz --replay.")
+  in
+  Cmd.v
+    (Cmd.info "bap_check"
+       ~doc:"Exhaustively model-check the Byzantine agreement stack within bounds")
+    Term.(
+      const run $ protocols $ n $ t $ budget $ horizon $ max_faults $ salts
+      $ corrupt_bits $ order $ no_symmetry $ self_test $ quiet $ stats $ stats_json
+      $ cex_out)
+
+let () = exit (Cmd.eval' cmd)

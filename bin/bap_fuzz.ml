@@ -62,6 +62,47 @@ let supervised_campaign ~chaos_seed f =
             ledger;
           None)
 
+(* Replay checker counterexamples: load the JSON bap_check wrote, rerun
+   each configuration through the exact engine entry points the fuzzer
+   uses, and ddmin-shrink any reproduced violation. Exit 0 iff every
+   counterexample in the file still violates — the round-trip proof
+   that checker findings are fuzzer findings. *)
+let run_replay path =
+  match Bap_checklib.Counterexample.load ~path with
+  | Error msg ->
+    Fmt.epr "bap_fuzz --replay: %s@." msg;
+    3
+  | Ok cexs ->
+    Fmt.pr "bap_fuzz: replaying %d counterexample(s) from %s@." (List.length cexs)
+      path;
+    let reproduced = ref 0 in
+    List.iteri
+      (fun i (cex : Bap_checklib.Counterexample.t) ->
+        let sabotage = cex.Bap_checklib.Counterexample.sabotage in
+        let config = cex.Bap_checklib.Counterexample.config in
+        let report = Fuzz.run_one ~sabotage config in
+        Fmt.pr "replay %d:%s@,%a@,%a@." (i + 1)
+          (if sabotage then " (sabotage)" else "")
+          Fuzz.E.pp_config config Fuzz.E.pp_report report;
+        if report.Fuzz.E.violations <> [] then begin
+          incr reproduced;
+          let shrunk = Fuzz.shrink ~sabotage config in
+          Fmt.pr "shrunk schedule (%d of %d faults):@,%a@." (Schedule.length shrunk)
+            (Schedule.length config.Fuzz.E.schedule)
+            Schedule.pp shrunk
+        end
+        else Fmt.pr "replay %d: NO violation reproduced@." (i + 1))
+      cexs;
+    let total = List.length cexs in
+    if !reproduced = total && total > 0 then begin
+      Fmt.pr "ok: %d/%d counterexample(s) reproduced@." !reproduced total;
+      0
+    end
+    else begin
+      Fmt.pr "FAILED: %d/%d counterexample(s) reproduced@." !reproduced total;
+      2
+    end
+
 let run_campaign runs seed protocols self_test quiet chaos_seed =
   Supervisor.install_exit_handlers
     ~on_signal:(fun ~signal_name ->
@@ -110,13 +151,18 @@ let run_campaign runs seed protocols self_test quiet chaos_seed =
     2
   end
 
-let run runs seed protocols self_test quiet chaos_seed trace_out metrics_json =
+let run runs seed protocols self_test quiet chaos_seed trace_out metrics_json replay
+    =
   (* Telemetry goes to files only: campaign stdout stays a pure function
      of the seed. *)
   (match trace_out with
   | Some path -> Tel.install ~wall:true (Tel.Jsonl path)
   | None -> if metrics_json <> None then Tel.install Tel.Counters_only);
-  let code = run_campaign runs seed protocols self_test quiet chaos_seed in
+  let code =
+    match replay with
+    | Some path -> run_replay path
+    | None -> run_campaign runs seed protocols self_test quiet chaos_seed
+  in
   (match metrics_json with
   | Some path ->
     let oc = open_out_bin path in
@@ -180,10 +226,20 @@ let cmd =
       & info [ "metrics-json" ] ~docv:"FILE"
           ~doc:"Write the merged metrics registry as JSON after the campaign.")
   in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Replay a counterexample file written by bap_check --cex-out: rerun \
+             every configuration through the fuzzer's engine entry points and \
+             ddmin-shrink each reproduced violation. Exit 0 iff all reproduce.")
+  in
   Cmd.v
     (Cmd.info "bap_fuzz" ~doc:"Chaos-fuzz the Byzantine agreement stack's safety oracles")
     Term.(
       const run $ runs $ seed $ protocols $ self_test $ quiet $ chaos_seed
-      $ trace_out $ metrics_json)
+      $ trace_out $ metrics_json $ replay)
 
 let () = exit (Cmd.eval' cmd)

@@ -46,13 +46,20 @@ module Make (V : Bap_core.Value.S) : sig
   }
 
   val run :
-    ?sabotage_validity:bool -> mutant:(int -> V.t -> V.t) -> config -> report
+    ?sabotage_validity:bool ->
+    ?with_trace:bool ->
+    mutant:(int -> V.t -> V.t) ->
+    config ->
+    report
   (** Compile the schedule into adversary + network hook, execute, and
       check every oracle. [sabotage_validity] deliberately tampers with
       the first honest decision when the schedule equivocates — the
       harness self-test proving the oracles are live, not vacuously
       green. [mutant salt v] must differ from [v] for equivocation to
-      bite. *)
+      bite. [with_trace] (default [true]) records a delivery trace and
+      runs the monitor-soundness oracle; the model checker turns it off
+      so the runtime can take its counted fast path — the decision-level
+      oracles (agreement, validity, termination) still run. *)
 
   val pp_config : Format.formatter -> config -> unit
   val pp_report : Format.formatter -> report -> unit

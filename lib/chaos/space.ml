@@ -1,0 +1,90 @@
+(* The bounded fault-schedule decision space.
+
+   {!Schedule.gen} samples faults from an *unbounded* alphabet (any
+   round, any corruption bit, any salt); a model checker needs the same
+   alphabet made finite and totally ordered, so that "every adversary
+   behaviour" is a well-defined enumeration. [alphabet] lists every
+   candidate fault within the given bounds, in a fixed deterministic
+   order; [schedules] is the decision tree of all subsets of at most
+   [max_faults] of them, kept in alphabet order.
+
+   Keeping generation order = alphabet order matters for soundness of
+   deduplication downstream: the two interpreters in {!Injector} fold
+   over the schedule in list order, so enumerating *sets* (indices
+   strictly increasing) rather than sequences never loses a behaviour
+   that reordering could produce — every fault kind here either
+   commutes with the others on the same edge or acts on disjoint
+   edges/rounds.
+
+   Every fault in the space is within the adversary's envelope (it
+   names a faulty source), so the safety oracles must hold on every
+   leaf; that is exactly the checker's claim. *)
+
+module Decision = Bap_sim.Decision
+
+type bounds = {
+  horizon : int;  (** Fault rounds are drawn from [1..horizon]. *)
+  max_faults : int;  (** At most this many faults per schedule. *)
+  salts : int;  (** Equivocation salts are drawn from [1..salts]. *)
+  corrupt_bits : int;  (** Corruption bit indices from [0..corrupt_bits-1]. *)
+}
+
+let default_bounds = { horizon = 4; max_faults = 1; salts = 1; corrupt_bits = 1 }
+
+(* Every candidate fault, ordered: by faulty process, then by kind
+   (crash, omit, equivocate, advice-flip, drop, corrupt, duplicate,
+   reorder), then by round, destination, salt and bit — all ascending.
+   The order is part of the contract: a schedule enumerated by
+   {!schedules} lists its faults in this order, and the claims table in
+   EXPERIMENTS.md counts leaves of exactly this alphabet. *)
+let alphabet ~n ~faulty bounds =
+  let faulty = Array.to_list faulty |> List.sort_uniq Int.compare in
+  let rounds = List.init bounds.horizon (fun r -> r + 1) in
+  let others p = List.init n Fun.id |> List.filter (fun d -> d <> p) in
+  let per_proc p =
+    List.concat
+      [
+        List.map (fun round -> Schedule.Crash_at { proc = p; round }) rounds;
+        List.concat_map
+          (fun dst ->
+            List.map
+              (fun r -> Schedule.Omit_to { proc = p; dst; first = r; last = r })
+              rounds)
+          (others p);
+        List.concat_map
+          (fun r ->
+            List.map
+              (fun s -> Schedule.Equivocate { proc = p; first = r; last = r; salt = s })
+              (List.init bounds.salts (fun s -> s + 1)))
+          rounds;
+        List.map (fun bit -> Schedule.Advice_flip { proc = p; bit }) (List.init n Fun.id);
+        List.concat_map
+          (fun dst -> List.map (fun round -> Schedule.Drop { src = p; dst; round }) rounds)
+          (others p);
+        List.concat_map
+          (fun dst ->
+            List.concat_map
+              (fun round ->
+                List.map
+                  (fun bit -> Schedule.Corrupt { src = p; dst; round; bit })
+                  (List.init bounds.corrupt_bits Fun.id))
+              rounds)
+          (others p);
+        List.concat_map
+          (fun dst ->
+            List.map (fun round -> Schedule.Duplicate { src = p; dst; round }) rounds)
+          (others p);
+        List.concat_map
+          (fun dst ->
+            List.map (fun round -> Schedule.Reorder { src = p; dst; round }) rounds)
+          (others p);
+      ]
+  in
+  List.concat_map per_proc faulty
+
+(* All subsets of at most [max_faults] alphabet entries, in alphabet
+   order — {!Decision.subsets} is the shared subset semantics, so the
+   checker's fault space and the configuration space enumerate the same
+   way. *)
+let schedules ~n ~faulty bounds =
+  Decision.subsets ~label:"fault" ~limit:bounds.max_faults (alphabet ~n ~faulty bounds)

@@ -1,0 +1,30 @@
+(** The bounded fault-schedule decision space.
+
+    Where {!Schedule.gen} samples faults from an unbounded alphabet,
+    this module makes the alphabet finite and totally ordered so that
+    "every adversary behaviour within the bounds" is a well-defined
+    enumeration — the model checker's ground truth. All faults name a
+    faulty source process, i.e. stay within the adversary envelope of
+    the paper's model, so the safety oracles must hold on every leaf. *)
+
+type bounds = {
+  horizon : int;  (** Fault rounds are drawn from [1..horizon]. *)
+  max_faults : int;  (** At most this many faults per schedule. *)
+  salts : int;  (** Equivocation salts are drawn from [1..salts]. *)
+  corrupt_bits : int;  (** Corruption bit indices from [0..corrupt_bits-1]. *)
+}
+
+val default_bounds : bounds
+(** [{ horizon = 4; max_faults = 1; salts = 1; corrupt_bits = 1 }]. *)
+
+val alphabet : n:int -> faulty:int array -> bounds -> Schedule.fault list
+(** Every candidate fault within the bounds, in a fixed deterministic
+    order (by process, kind, round, destination, salt, bit). Empty when
+    [faulty] is empty: an adversary with no corrupted process has no
+    choices. *)
+
+val schedules : n:int -> faulty:int array -> bounds -> Schedule.t Bap_sim.Decision.t
+(** The decision tree whose leaves are exactly the subsets of at most
+    [bounds.max_faults] alphabet entries, each schedule listing its
+    faults in alphabet order. The empty schedule (fault-free run) is
+    always a leaf. *)

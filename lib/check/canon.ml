@@ -1,0 +1,128 @@
+(* Canonical configuration keys, with process-permutation symmetry
+   reduction over the honest "plain" suffix.
+
+   Two configurations that differ only by a relabelling of
+   interchangeable honest processes reach the same verdicts, so the
+   checker should run one of them and count the other as a symmetry
+   hit. The subtlety is which processes are interchangeable: the
+   protocols in this repository are *not* fully id-symmetric —
+
+   - the phase-king families fix kings by identifier (phase [p]'s king
+     is [p - 1], so ids [0 .. t] carry roles);
+   - the prediction wrapper ranks processes by trust score with ties
+     broken by identifier, so *every* id can influence committee
+     selection.
+
+   [role_bound] encodes exactly that: ids below it may carry a role and
+   are never permuted; for the wrapper families it is [max_int], i.e.
+   the reduction is disabled entirely rather than risked (see the
+   soundness discussion in DESIGN.md). A process is "plain" when its id
+   is at least the role bound, it is honest, and no schedule fault
+   references it (as actor, destination, or advice bit) — permuting a
+   referenced id would change which edges the faults hit.
+
+   Canonical form sorts the plain ids by input value and relabels. A
+   final guard re-checks that the advice matrix is invariant under the
+   relabelling (rows and columns both move); when it is not, the
+   permutation is not an automorphism of the configuration and we fall
+   back to the identity — losing a potential hit, never soundness. An
+   equivariance regression test (test/test_check.ml) backs the
+   role-bound table: it runs permuted configurations through the real
+   engine and requires isomorphic reports. *)
+
+module E = Bap_chaos.Fuzz.E
+module Advice = Bap_prediction.Advice
+module Bitset = Bap_sim.Bitset
+module Schedule = Bap_chaos.Schedule
+
+let role_bound ~protocol ~t =
+  match protocol with
+  | E.Unauth | E.Auth -> max_int
+  | E.Es_baseline | E.Pk_baseline -> t + 1
+
+(* Every process id a fault mentions. An [Advice_flip]'s [bit] indexes
+   a *subject* process, so it pins that id too. *)
+let referenced = function
+  | Schedule.Crash_at { proc; _ } | Schedule.Equivocate { proc; _ } -> [ proc ]
+  | Schedule.Omit_to { proc; dst; _ } -> [ proc; dst ]
+  | Schedule.Advice_flip { proc; bit } -> [ proc; bit ]
+  | Schedule.Drop { src; dst; _ }
+  | Schedule.Duplicate { src; dst; _ }
+  | Schedule.Reorder { src; dst; _ }
+  | Schedule.Corrupt { src; dst; _ } ->
+    [ src; dst ]
+
+let permute_advice ~inv advice =
+  let n = Array.length advice in
+  Array.init n (fun i ->
+      let row = advice.(inv.(i)) in
+      Advice.init n (fun j -> Advice.get row inv.(j)))
+
+let canonicalize cfg =
+  let n = E.n_of cfg in
+  let bound = role_bound ~protocol:cfg.E.protocol ~t:cfg.E.t in
+  if bound >= n then cfg
+  else begin
+    let pinned = Array.make n false in
+    Array.iter (fun p -> if p >= 0 && p < n then pinned.(p) <- true) cfg.E.faulty;
+    List.iter
+      (fun f ->
+        List.iter (fun i -> if i >= 0 && i < n then pinned.(i) <- true) (referenced f))
+      cfg.E.schedule;
+    let plain =
+      List.init n Fun.id |> List.filter (fun i -> i >= bound && not pinned.(i))
+    in
+    match plain with
+    | [] | [ _ ] -> cfg
+    | _ ->
+      (* Relabel so plain slots hold inputs in ascending order; the
+         stable sort makes the representative deterministic. *)
+      let sorted =
+        List.stable_sort
+          (fun a b -> compare cfg.E.inputs.(a) cfg.E.inputs.(b))
+          plain
+      in
+      let perm = Array.init n Fun.id in
+      List.iter2 (fun slot orig -> perm.(orig) <- slot) plain sorted;
+      let inv = Array.make n 0 in
+      Array.iteri (fun i p -> inv.(p) <- i) perm;
+      let advice = permute_advice ~inv cfg.E.advice in
+      let automorphism =
+        try Array.for_all2 Advice.equal advice cfg.E.advice
+        with Invalid_argument _ -> false
+      in
+      if not automorphism then cfg
+      else
+        let inputs = Array.init n (fun i -> cfg.E.inputs.(inv.(i))) in
+        { cfg with E.inputs; advice }
+  end
+
+(* The dedup key: one string, fully determined by the configuration.
+   The faulty set goes through a {!Bitset} so the key is insensitive to
+   the array's element order. *)
+let key cfg =
+  let n = E.n_of cfg in
+  let b = Buffer.create 128 in
+  Buffer.add_string b (E.protocol_name cfg.E.protocol);
+  Buffer.add_char b '/';
+  Buffer.add_string b (string_of_int cfg.E.t);
+  Buffer.add_char b '/';
+  let faulty = Bitset.of_list n (Array.to_list cfg.E.faulty) in
+  for i = 0 to n - 1 do
+    Buffer.add_char b (if Bitset.get faulty i then '1' else '0')
+  done;
+  Buffer.add_char b '/';
+  Array.iter
+    (fun v ->
+      Buffer.add_string b (string_of_int v);
+      Buffer.add_char b ',')
+    cfg.E.inputs;
+  Buffer.add_char b '/';
+  Array.iter
+    (fun a ->
+      Buffer.add_string b (Advice.to_bits a);
+      Buffer.add_char b ',')
+    cfg.E.advice;
+  Buffer.add_char b '/';
+  Buffer.add_string b (Fmt.str "%a" Schedule.pp cfg.E.schedule);
+  Buffer.contents b

@@ -1,0 +1,287 @@
+(* Counterexample serialization: a violating configuration as JSON,
+   loadable by [bap_fuzz --replay] so the checker's findings rerun
+   under the fuzzer's engine entry points ({!Bap_chaos.Fuzz.run_one} /
+   {!Bap_chaos.Fuzz.shrink}) byte-identically.
+
+   The JSON carries everything a replay needs — protocol, t, faulty
+   set, inputs, advice bit-vectors, the schedule fault by fault, and
+   whether the run was sabotaged (the harness self-test plants its bug
+   through the same flag on replay). The rendered violations and the
+   universe decision path ride along for reporting; replays recompute
+   verdicts from scratch rather than trusting them. The emitter and the
+   parser live next to each other so the format has exactly one
+   definition; parsing uses the project's own {!Bap_telemetry.Json}
+   (the image has no json library). *)
+
+module E = Bap_chaos.Fuzz.E
+module Schedule = Bap_chaos.Schedule
+module Advice = Bap_prediction.Advice
+module Json = Bap_telemetry.Json
+
+type t = {
+  config : E.config;
+  sabotage : bool;  (** Replay must re-plant the self-test bug. *)
+  violations : string list;  (** Rendered verdicts; informational. *)
+  path : Bap_sim.Decision.path;  (** Universe branch indices; informational. *)
+}
+
+let of_explore ~sabotage (cex : Explore.counterexample) =
+  {
+    config = cex.Explore.config;
+    sabotage;
+    violations =
+      List.map (Fmt.str "%a" E.Oracle.pp_violation) cex.Explore.report.E.violations;
+    path = cex.Explore.path;
+  }
+
+(* -- Emitting -- *)
+
+let fault_to_json b fault =
+  let obj fields =
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (Printf.sprintf "\"%s\":%s" k v))
+      fields;
+    Buffer.add_char b '}'
+  in
+  let kind k = ("kind", Printf.sprintf "\"%s\"" k) in
+  let int k v = (k, string_of_int v) in
+  match fault with
+  | Schedule.Crash_at { proc; round } ->
+    obj [ kind "crash_at"; int "proc" proc; int "round" round ]
+  | Schedule.Omit_to { proc; dst; first; last } ->
+    obj [ kind "omit_to"; int "proc" proc; int "dst" dst; int "first" first;
+          int "last" last ]
+  | Schedule.Drop { src; dst; round } ->
+    obj [ kind "drop"; int "src" src; int "dst" dst; int "round" round ]
+  | Schedule.Duplicate { src; dst; round } ->
+    obj [ kind "duplicate"; int "src" src; int "dst" dst; int "round" round ]
+  | Schedule.Reorder { src; dst; round } ->
+    obj [ kind "reorder"; int "src" src; int "dst" dst; int "round" round ]
+  | Schedule.Corrupt { src; dst; round; bit } ->
+    obj [ kind "corrupt"; int "src" src; int "dst" dst; int "round" round;
+          int "bit" bit ]
+  | Schedule.Equivocate { proc; first; last; salt } ->
+    obj [ kind "equivocate"; int "proc" proc; int "first" first; int "last" last;
+          int "salt" salt ]
+  | Schedule.Advice_flip { proc; bit } ->
+    obj [ kind "advice_flip"; int "proc" proc; int "bit" bit ]
+
+let add_int_list b l =
+  Buffer.add_char b '[';
+  List.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (string_of_int v))
+    l;
+  Buffer.add_char b ']'
+
+let to_json cex =
+  let b = Buffer.create 512 in
+  let cfg = cex.config in
+  Buffer.add_string b
+    (Printf.sprintf "{\"protocol\":\"%s\",\"t\":%d,\"sabotage\":%b,\"faulty\":"
+       (E.protocol_name cfg.E.protocol) cfg.E.t cex.sabotage);
+  add_int_list b (Array.to_list cfg.E.faulty);
+  Buffer.add_string b ",\"inputs\":";
+  add_int_list b (Array.to_list cfg.E.inputs);
+  Buffer.add_string b ",\"advice\":[";
+  Array.iteri
+    (fun i a ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\"" (Advice.to_bits a)))
+    cfg.E.advice;
+  Buffer.add_string b "],\"schedule\":[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char b ',';
+      fault_to_json b f)
+    cfg.E.schedule;
+  Buffer.add_string b "],\"violations\":[";
+  List.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\"%s\"" (Json.escape v)))
+    cex.violations;
+  Buffer.add_string b "],\"path\":";
+  add_int_list b cex.path;
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let file_to_string cexs =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"version\":1,\"counterexamples\":[";
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b (to_json c))
+    cexs;
+  Buffer.add_string b "]}\n";
+  Buffer.contents b
+
+let write ~path cexs =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (file_to_string cexs))
+
+(* -- Parsing -- *)
+
+let ( let* ) r f = Result.bind r f
+
+let field name conv j ~what =
+  match conv (Json.member name j) with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "counterexample: missing or bad %s %S" what name)
+
+let int_list name j =
+  match Json.to_list (Json.member name j) with
+  | None -> Error (Printf.sprintf "counterexample: missing list %S" name)
+  | Some l ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | x :: rest -> (
+        match Json.to_int (Some x) with
+        | Some v -> go (v :: acc) rest
+        | None -> Error (Printf.sprintf "counterexample: non-integer in %S" name))
+    in
+    go [] l
+
+let fault_of_json j =
+  let i name = field name Json.to_int j ~what:"field" in
+  let* kind = field "kind" Json.to_string j ~what:"fault kind" in
+  match kind with
+  | "crash_at" ->
+    let* proc = i "proc" in
+    let* round = i "round" in
+    Ok (Schedule.Crash_at { proc; round })
+  | "omit_to" ->
+    let* proc = i "proc" in
+    let* dst = i "dst" in
+    let* first = i "first" in
+    let* last = i "last" in
+    Ok (Schedule.Omit_to { proc; dst; first; last })
+  | "drop" ->
+    let* src = i "src" in
+    let* dst = i "dst" in
+    let* round = i "round" in
+    Ok (Schedule.Drop { src; dst; round })
+  | "duplicate" ->
+    let* src = i "src" in
+    let* dst = i "dst" in
+    let* round = i "round" in
+    Ok (Schedule.Duplicate { src; dst; round })
+  | "reorder" ->
+    let* src = i "src" in
+    let* dst = i "dst" in
+    let* round = i "round" in
+    Ok (Schedule.Reorder { src; dst; round })
+  | "corrupt" ->
+    let* src = i "src" in
+    let* dst = i "dst" in
+    let* round = i "round" in
+    let* bit = i "bit" in
+    Ok (Schedule.Corrupt { src; dst; round; bit })
+  | "equivocate" ->
+    let* proc = i "proc" in
+    let* first = i "first" in
+    let* last = i "last" in
+    let* salt = i "salt" in
+    Ok (Schedule.Equivocate { proc; first; last; salt })
+  | "advice_flip" ->
+    let* proc = i "proc" in
+    let* bit = i "bit" in
+    Ok (Schedule.Advice_flip { proc; bit })
+  | k -> Error (Printf.sprintf "counterexample: unknown fault kind %S" k)
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+    let* y = f x in
+    let* ys = map_result f rest in
+    Ok (y :: ys)
+
+let of_json j =
+  let* name = field "protocol" Json.to_string j ~what:"protocol" in
+  let* protocol =
+    match Bap_chaos.Fuzz.protocol_of_name name with
+    | Some p -> Ok p
+    | None -> Error (Printf.sprintf "counterexample: unknown protocol %S" name)
+  in
+  let* t = field "t" Json.to_int j ~what:"t" in
+  let* sabotage = field "sabotage" Json.to_bool j ~what:"sabotage" in
+  let* faulty = int_list "faulty" j in
+  let* inputs = int_list "inputs" j in
+  let* advice_l =
+    match Json.to_list (Json.member "advice" j) with
+    | Some l -> Ok l
+    | None -> Error "counterexample: missing list \"advice\""
+  in
+  let* advice =
+    map_result
+      (fun a ->
+        match Json.to_string (Some a) with
+        | Some bits -> (
+          match Advice.of_bits bits with
+          | Some v -> Ok v
+          | None -> Error (Printf.sprintf "counterexample: bad advice bits %S" bits))
+        | None -> Error "counterexample: non-string advice entry")
+      advice_l
+  in
+  let* schedule_l =
+    match Json.to_list (Json.member "schedule" j) with
+    | Some l -> Ok l
+    | None -> Error "counterexample: missing list \"schedule\""
+  in
+  let* schedule = map_result fault_of_json schedule_l in
+  let* violations =
+    match Json.to_list (Json.member "violations" j) with
+    | None -> Ok []
+    | Some l ->
+      map_result
+        (fun v ->
+          match Json.to_string (Some v) with
+          | Some s -> Ok s
+          | None -> Error "counterexample: non-string violation")
+        l
+  in
+  let* path =
+    match Json.member "path" j with None -> Ok [] | Some _ -> int_list "path" j
+  in
+  Ok
+    {
+      config =
+        {
+          E.protocol;
+          t;
+          faulty = Array.of_list faulty;
+          inputs = Array.of_list inputs;
+          advice = Array.of_list advice;
+          schedule;
+        };
+      sabotage;
+      violations;
+      path;
+    }
+
+let of_string s =
+  match Json.parse s with
+  | exception Json.Parse msg -> Error (Printf.sprintf "counterexample: %s" msg)
+  | j -> (
+    match Json.to_list (Json.member "counterexamples" j) with
+    | Some l -> map_result of_json l
+    | None -> (
+      (* A bare counterexample object is accepted too — handy for
+         hand-trimmed repros. *)
+      match Json.member "protocol" j with
+      | Some _ ->
+        let* one = of_json j in
+        Ok [ one ]
+      | None -> Error "counterexample: no \"counterexamples\" list"))
+
+let load ~path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | s -> of_string s

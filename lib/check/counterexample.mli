@@ -1,0 +1,29 @@
+(** Counterexample serialization: a violating configuration as JSON,
+    loadable by [bap_fuzz --replay] so the checker's findings rerun
+    under the fuzzer's engine entry points byte-identically. Emitter
+    and parser live together: the format has exactly one definition. *)
+
+module E = Bap_chaos.Fuzz.E
+
+type t = {
+  config : E.config;
+  sabotage : bool;  (** Replay must re-plant the self-test bug. *)
+  violations : string list;  (** Rendered verdicts; informational. *)
+  path : Bap_sim.Decision.path;  (** Universe branch indices; informational. *)
+}
+
+val of_explore : sabotage:bool -> Explore.counterexample -> t
+
+val to_json : t -> string
+(** One counterexample as a single-line JSON object. *)
+
+val file_to_string : t list -> string
+(** The file format: [{"version":1,"counterexamples":[...]}]. *)
+
+val write : path:string -> t list -> unit
+
+val of_string : string -> (t list, string) result
+(** Parse a counterexample file; a bare counterexample object (no
+    wrapper) is accepted too, for hand-trimmed repros. *)
+
+val load : path:string -> (t list, string) result

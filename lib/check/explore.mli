@@ -1,0 +1,51 @@
+(** The explorer: every leaf of the configuration universe, deduped
+    through {!Canon} keys, run through the chaos engine's oracles.
+
+    A {e stateless} bounded model checker — the simulator's one-shot
+    continuations rule out mid-run forking, so each state is a complete
+    configuration and each transition a whole engine run. The
+    monitor-soundness oracle needs a delivery trace and is out of the
+    checker's scope (the sampled fuzzer keeps it); agreement, validity
+    and the round bound are checked on every state. *)
+
+module E = Bap_chaos.Fuzz.E
+
+type order =
+  | Dfs  (** Stream leaves in tree order; O(depth) memory. *)
+  | Bfs
+      (** Materialise leaves, sweep fault-count layers in order: all
+          fault-free runs first, then single-fault runs, ... — finds a
+          minimal-layer counterexample first at the cost of holding the
+          frontier. *)
+
+type counterexample = {
+  config : E.config;
+  report : E.report;
+  path : Bap_sim.Decision.path;
+      (** Root-to-leaf branch indices in the universe tree. *)
+}
+
+type stats = {
+  leaves : int;  (** Configurations enumerated. *)
+  states : int;  (** Unique canonical states actually run. *)
+  symmetry_hits : int;  (** Leaves deduplicated against an earlier state. *)
+  frontier_peak : int;  (** Widest fault-count layer. *)
+  violations : int;
+}
+
+type result = { stats : stats; counterexamples : counterexample list }
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val run :
+  ?order:order ->
+  ?symmetry:bool ->
+  ?sabotage:bool ->
+  ?progress:(leaves:int -> states:int -> violations:int -> unit) ->
+  Universe.params ->
+  result
+(** Exhaust the universe. [symmetry] (default true) dedups through
+    {!Canon.canonicalize}; [sabotage] plants the harness self-test bug
+    ({!Bap_chaos.Fuzz.run_one}'s [?sabotage]), which the checker must
+    then catch. Stats are mirrored into the telemetry metrics registry
+    under [check.*]. *)

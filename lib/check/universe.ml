@@ -1,0 +1,87 @@
+(* The bounded configuration universe: every (faulty set, input vector,
+   advice-error placement, fault schedule) the checker must visit, as
+   one decision tree.
+
+   Decision order is faulty -> inputs -> advice -> schedule, because the
+   later spaces depend on the earlier choices: the fault alphabet and
+   the ground-truth advice are both functions of the faulty set. The
+   leaves are exactly the {!Bap_chaos.Fuzz.E.config} values the fuzzer
+   could in principle generate inside the same bounds — checker and
+   fuzzer share the engine, the oracles, and (through
+   {!Bap_chaos.Space}) the fault alphabet, so "exhaustive over this
+   tree" is a statement about the very semantics the fuzzer samples.
+
+   The advice dimension follows the paper's model: only bits handed to
+   honest processes count toward the error budget B (faulty processes'
+   advice is adversary-controlled anyway, and the schedule's
+   [Advice_flip] faults cover tampering in transit). The baselines
+   ignore advice entirely, so their advice dimension collapses to the
+   ground truth — enumerating it would multiply the space by a factor
+   the protocol provably never reads. *)
+
+module Decision = Bap_sim.Decision
+module Advice = Bap_prediction.Advice
+module Gen = Bap_prediction.Gen
+module Space = Bap_chaos.Space
+module E = Bap_chaos.Fuzz.E
+
+type params = {
+  protocol : E.protocol;
+  n : int;
+  t : int;  (** Fault-tolerance parameter; faulty sets range over size <= t. *)
+  budget : int;  (** Advice error budget B (honest receivers only). *)
+  input_values : int list;  (** Per-process input domain; default [\[0; 1\]]. *)
+  bounds : Space.bounds;  (** Fault-schedule bounds, see {!Bap_chaos.Space}. *)
+}
+
+let default_params ~protocol ~n ~t =
+  {
+    protocol;
+    n;
+    t;
+    budget = 1;
+    input_values = [ 0; 1 ];
+    bounds = Space.default_bounds;
+  }
+
+let uses_advice = function
+  | E.Unauth | E.Auth -> true
+  | E.Es_baseline | E.Pk_baseline -> false
+
+let faulty_sets ~n ~t = Decision.subsets ~label:"faulty" ~limit:t (List.init n Fun.id)
+
+let input_vectors ~values n =
+  let rec go acc i =
+    if i = n then Decision.return (Array.of_list (List.rev acc))
+    else Decision.pick ~label:"input" values (fun v -> go (v :: acc) (i + 1))
+  in
+  go [] 0
+
+(* Ground truth plus every placement of at most [budget] wrong bits
+   across (honest receiver, subject) pairs. *)
+let advice_vectors ~protocol ~n ~faulty ~budget =
+  let base = Gen.perfect ~n ~faulty in
+  if (not (uses_advice protocol)) || budget <= 0 then Decision.return base
+  else begin
+    let is_faulty = Array.make n false in
+    Array.iter (fun p -> if p >= 0 && p < n then is_faulty.(p) <- true) faulty;
+    let pairs =
+      List.init n Fun.id
+      |> List.concat_map (fun i ->
+             if is_faulty.(i) then [] else List.init n (fun j -> (i, j)))
+    in
+    Decision.subsets ~label:"advice-error" ~limit:budget pairs
+    |> Decision.map (fun flips ->
+           let advice = Array.copy base in
+           List.iter (fun (i, j) -> advice.(i) <- Advice.flip advice.(i) j) flips;
+           advice)
+  end
+
+let configs p =
+  let open Decision in
+  let* faulty_list = faulty_sets ~n:p.n ~t:p.t in
+  let faulty = Array.of_list faulty_list in
+  let* inputs = input_vectors ~values:p.input_values p.n in
+  let* advice = advice_vectors ~protocol:p.protocol ~n:p.n ~faulty ~budget:p.budget in
+  let* schedule = Space.schedules ~n:p.n ~faulty p.bounds in
+  return { E.protocol = p.protocol; t = p.t; faulty; inputs; advice; schedule }

@@ -1,0 +1,29 @@
+(** The bounded configuration universe: every (faulty set, input
+    vector, advice-error placement, fault schedule) the checker must
+    visit, as one {!Bap_sim.Decision} tree whose leaves are engine
+    configurations. Checker and fuzzer share the engine, the oracles
+    and the fault alphabet ({!Bap_chaos.Space}), so exhausting this
+    tree is a statement about the very semantics the fuzzer samples. *)
+
+module E = Bap_chaos.Fuzz.E
+
+type params = {
+  protocol : E.protocol;
+  n : int;
+  t : int;  (** Fault-tolerance parameter; faulty sets range over size <= t. *)
+  budget : int;  (** Advice error budget B (honest receivers only). *)
+  input_values : int list;  (** Per-process input domain; default [\[0; 1\]]. *)
+  bounds : Bap_chaos.Space.bounds;  (** Fault-schedule bounds. *)
+}
+
+val default_params : protocol:E.protocol -> n:int -> t:int -> params
+(** [budget = 1], binary inputs, {!Bap_chaos.Space.default_bounds}. *)
+
+val uses_advice : E.protocol -> bool
+(** The baselines ignore advice; their advice dimension collapses to
+    the ground truth instead of multiplying the space. *)
+
+val configs : params -> E.config Bap_sim.Decision.t
+(** The full universe. Decision order is faulty set, then inputs, then
+    advice errors, then schedule — later spaces depend on earlier
+    choices. Every leaf is a distinct configuration. *)

@@ -1,0 +1,31 @@
+(** Algorithm 5: Unauthenticated Byzantine Agreement with
+    Classification.
+
+    2k+1 phases of 5 rounds each (graded consensus, conciliation,
+    graded consensus); in phase phi, process i listens to the phi-th
+    block of 3k+1 identifiers of its ordering pi(c_i). Under Theorem
+    5's side condition, agreement and strong unanimity hold and every
+    honest process decides within 5(2k+1) rounds. Whatever the
+    classification quality, the protocol consumes exactly [rounds ~k]
+    rounds (early deciders pad with silent rounds), so it composes with
+    the fixed-duration phases of Algorithm 1. *)
+
+module Make
+    (V : Value.S)
+    (W : Wire.S with type value = V.t)
+    (R : Bap_sim.Runtime.S with type msg = W.t) : sig
+  val rounds : k:int -> int
+  (** Exactly [5 * (2k + 1)]. *)
+
+  val feasible : n:int -> t:int -> k:int -> bool
+  (** The side condition [(2k+1)(3k+1) <= n - t - k] under which
+      Theorem 5 applies. *)
+
+  val max_feasible_k : n:int -> t:int -> int
+  (** Largest [k >= 0] with [feasible ~n ~t ~k], or [-1] if none. *)
+
+  val run :
+    R.ctx -> t:int -> k:int -> base_tag:W.tag -> V.t -> Bap_prediction.Advice.t -> V.t
+  (** [run ctx ~t ~k ~base_tag input classification] consumes tags
+      [base_tag .. base_tag + 3*(2k+1) - 1]. *)
+end

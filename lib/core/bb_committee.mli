@@ -1,0 +1,49 @@
+(** Algorithm 6: Byzantine Broadcast with an Implicit Committee.
+
+    A Dolev-Strong signature-chain broadcast truncated to k+1 rounds,
+    where only processes that can attach a committee certificate (t+1
+    signatures on <COMMITTEE, p_j>) may start or extend chains. If at
+    most k faulty processes hold committee certificates, a chain of
+    length k+1 contains an honest committee member's signature, which
+    gives the classic relay guarantee (Lemmas 21-23): committee
+    agreement, validity with a sender certificate, and default (bot)
+    without one. The module runs any number of instances (distinct
+    senders) in parallel over the same k+1 rounds. *)
+
+module Pki = Bap_crypto.Pki
+
+module Make
+    (V : Value.S)
+    (W : Wire.S with type value = V.t)
+    (R : Bap_sim.Runtime.S with type msg = W.t) : sig
+  val rounds : k:int -> int
+  (** Exactly [k + 1]. *)
+
+  val run_parallel :
+    R.ctx ->
+    pki:Pki.t ->
+    key:Pki.key ->
+    t:int ->
+    k:int ->
+    tag:W.tag ->
+    cc:W.committee_cert option ->
+    V.t ->
+    V.t option array
+  (** Run n parallel instances, one per sender; this process's input is
+      used in the instance where it is the sender. Slot [s] of the result
+      is instance [s]'s output ([None] is the paper's bot). *)
+
+  val run_single :
+    R.ctx ->
+    pki:Pki.t ->
+    key:Pki.key ->
+    t:int ->
+    k:int ->
+    tag:W.tag ->
+    cc:W.committee_cert option ->
+    sender:int ->
+    V.t ->
+    V.t option
+  (** A single instance with a designated [sender]; the value argument is
+      only used by the sender itself. Same round count. *)
+end

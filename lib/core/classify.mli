@@ -1,0 +1,14 @@
+(** Algorithm 2: one round of advice broadcasting followed by the
+    majority vote of {!Classification.vote}. *)
+
+module Make (W : Wire.S) (R : Bap_sim.Runtime.S with type msg = W.t) : sig
+  val rounds : int
+  (** Always 1. *)
+
+  val run : R.ctx -> Bap_prediction.Advice.t -> Bap_prediction.Advice.t
+  (** [run ctx advice] broadcasts the advice vector, collects everyone
+      else's, and returns this process's classification [c_i]. A process
+      [j] is classified honest iff at least [ceil((n+1)/2)] received
+      vectors (own included) predict it honest; vectors of the wrong
+      length and duplicate vectors from one sender are ignored. *)
+end

@@ -1,0 +1,19 @@
+(** Algorithm 4: Conciliation with Core Set.
+
+    One round: processes in their own L broadcast (value, L), build the
+    "leader graph" on the senders heard from, compute per listener the
+    minimum input among self-listening sources that reach it, and
+    return the plurality of these minima. Agreement and strong
+    unanimity (Lemmas 13-14) hold when every honest L_i contains only
+    honest processes, |L_i| = 3k+1, and a core set G of >= 2k+1 honest
+    processes lies in every honest L_i. *)
+
+module Make
+    (V : Value.S)
+    (W : Wire.S with type value = V.t)
+    (R : Bap_sim.Runtime.S with type msg = W.t) : sig
+  val rounds : int
+  (** Always 1. *)
+
+  val run : R.ctx -> l_set:int list -> tag:W.tag -> V.t -> V.t
+end

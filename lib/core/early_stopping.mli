@@ -1,0 +1,31 @@
+(** Early-stopping phase-king Byzantine agreement (the paper's
+    ba-early-stopping black box, Theorems 9/10).
+
+    The protocol is parametric in a graded-consensus implementation, so
+    one module serves both stacks: with the unauthenticated GC it is
+    the t < n/3 protocol of Theorem 9, with the authenticated GC the
+    t < n/2 protocol of Theorem 10. Kings rotate over identifiers
+    p-1 = 0, 1, 2, ...; agreement holds whenever [phases >= f + 1].
+    Every run consumes exactly [rounds] rounds; early deciders pad. *)
+
+module Make
+    (V : Value.S)
+    (W : Wire.S with type value = V.t)
+    (R : Bap_sim.Runtime.S with type msg = W.t) : sig
+  type gc = R.ctx -> tag:W.tag -> V.t -> V.t * int
+  (** A graded consensus of fixed duration. *)
+
+  val rounds : gc_rounds:int -> phases:int -> int
+  (** [phases * (2 * gc_rounds + 1)]. *)
+
+  val tags_used : phases:int -> int
+  (** 3 per phase. *)
+
+  type 'v result = { value : 'v; decided_round : int }
+  (** [decided_round] is the runtime round in which the decision was
+      fixed (0 when the protocol fell back to its current value at the
+      end without a grade-1 confirmation). *)
+
+  val run :
+    R.ctx -> gc:gc -> gc_rounds:int -> phases:int -> base_tag:W.tag -> V.t -> V.t result
+end

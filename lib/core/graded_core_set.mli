@@ -1,0 +1,22 @@
+(** Algorithm 3: Unauthenticated Graded Consensus with Core Set.
+
+    Each process listens only to the 3k+1 processes in its set L_i.
+    Strong unanimity and coherence (Lemmas 7-9) hold whenever
+    |L_i| = 3k+1 for every honest i and some core set G of >= 2k+1
+    honest processes is contained in every honest L_i. Without the
+    condition the protocol is still safe to run (it always terminates
+    in 2 rounds) but returns arbitrary grades. *)
+
+module Make
+    (V : Value.S)
+    (W : Wire.S with type value = V.t)
+    (R : Bap_sim.Runtime.S with type msg = W.t) : sig
+  val rounds : int
+  (** Always 2. *)
+
+  val run : R.ctx -> k:int -> l_set:int list -> tag:W.tag -> V.t -> V.t * int
+  (** [run ctx ~k ~l_set ~tag v] plays Algorithm 3 with listening set
+      [l_set] (which must have size 3k+1 for the guarantees to apply).
+      Only processes with [id ctx] in their own [l_set] send messages;
+      messages from senders outside [l_set] are ignored. *)
+end

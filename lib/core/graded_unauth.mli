@@ -1,0 +1,16 @@
+(** Plain unauthenticated graded consensus for t < n/3 (the paper's
+    Theorem 7, restated from Civit et al.): Algorithm 3 with the
+    listening set fixed to everyone, which turns the thresholds
+    2k+1 / k+1 over |L| = 3k+1 listeners into n-t / t+1 over n. *)
+
+module Make
+    (V : Value.S)
+    (W : Wire.S with type value = V.t)
+    (R : Bap_sim.Runtime.S with type msg = W.t) : sig
+  val rounds : int
+  (** Always 2. *)
+
+  val run : R.ctx -> t:int -> tag:W.tag -> V.t -> V.t * int
+  (** Returns [(value, grade)] with grade 0 or 1. Requires t < n/3 for
+      the strong-unanimity and coherence guarantees. *)
+end

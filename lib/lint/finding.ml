@@ -16,7 +16,7 @@ type rule = {
 }
 
 (* The catalog. D = determinism, P = cell purity, S = domain safety,
-   L = layering / interface hygiene. *)
+   L = layering / interface hygiene, C = checkability. *)
 let catalog =
   [
     {
@@ -77,6 +77,14 @@ let catalog =
       id = "L002";
       severity = Warning;
       summary = "module without an .mli in an interface-complete library";
+    };
+    {
+      id = "C001";
+      severity = Error;
+      summary =
+        "direct Rng draw at an adversary decision point: choices must be \
+         expressed as Bap_sim.Decision nodes so bap_check can enumerate them \
+         and counterexamples replay deterministically";
     };
     {
       id = "R001";

@@ -35,16 +35,29 @@ let supervisor_home = "lib/exec/supervisor.ml"
 let clock_allowed path =
   in_dir "lib/exec" path || in_dir "lib/telemetry" path
   || in_dir "lib/serve" path || in_dir "bin" path || in_dir "bench" path
+
+(* C001: code that executes adversary behavior (adversary strategies,
+   the fault injector), the enumerable choice space, and the checker
+   itself must not draw randomness directly — a hidden draw there makes
+   counterexample replay nondeterministic and exhaustive enumeration
+   unsound. Choices belong in Bap_sim.Decision nodes; Decision.sample
+   (lib/sim/decision.ml) is the one bridge back to Rng, and the legacy
+   sampled generator Schedule.gen stays legal because Space mirrors its
+   alphabet as an enumerable tree. *)
+let decision_restricted path =
+  path = "lib/sim/adversary.ml" || path = "lib/chaos/injector.ml"
+  || path = "lib/chaos/space.ml" || in_dir "lib/check" path
 let layer_restricted path = in_dir "lib/sim" path || in_dir "lib/core" path
 let in_experiments path = in_dir "lib/experiments" path
 let in_lib path = in_dir "lib" path
 
 (* Libraries whose modules must all carry an .mli. lib/core is the
-   protocol surface; lib/chaos, lib/lint, lib/serve and lib/telemetry
-   are post-hygiene code. *)
+   protocol surface; lib/chaos, lib/check, lib/lint, lib/serve and
+   lib/telemetry are post-hygiene code. *)
 let interface_complete path =
-  in_dir "lib/core" path || in_dir "lib/chaos" path || in_dir "lib/lint" path
-  || in_dir "lib/serve" path || in_dir "lib/telemetry" path
+  in_dir "lib/core" path || in_dir "lib/chaos" path || in_dir "lib/check" path
+  || in_dir "lib/lint" path || in_dir "lib/serve" path
+  || in_dir "lib/telemetry" path
 
 (* ---------- identifier helpers ---------- *)
 
@@ -188,6 +201,16 @@ let check (src : Source.t) : Finding.t list =
     if (name = "Random" || starts_with ~prefix:"Random." name) && path <> rng_home then
       emit ~loc "D001"
         (Printf.sprintf "%s: draw from a seeded Bap_sim.Rng stream instead" name);
+    if
+      (name = "Rng" || starts_with ~prefix:"Rng." name
+      || starts_with ~prefix:"Bap_sim.Rng." name)
+      && decision_restricted path
+    then
+      emit ~loc "C001"
+        (Printf.sprintf
+           "%s draws randomness at an adversary decision point; express the choice \
+            as a Bap_sim.Decision node"
+           name);
     if List.mem name clock_functions && not (clock_allowed path) then
       emit ~loc "D002"
         (Printf.sprintf "%s reads the wall clock; timing belongs to lib/exec and bin"

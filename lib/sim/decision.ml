@@ -1,0 +1,118 @@
+(* Enumerable adversary decisions.
+
+   Every choice an adversary (or a configuration generator) makes is a
+   node in a finite decision tree: a labelled branch point with a known
+   arity and a child per alternative. The same tree value supports all
+   three consumers of adversarial nondeterminism in this repository:
+
+   - the model checker walks {e every} leaf ({!iter}), which is what
+     makes its "all behaviours within the bounds" claim meaningful;
+   - a fuzzer samples one root-to-leaf path from a seeded stream
+     ({!sample}), giving the familiar randomized campaign;
+   - a replayer follows a recorded path ({!follow}), so any leaf —
+     in particular a violating one — is reproducible from the plain
+     [int list] of branch indices.
+
+   Trees are built with closures, so the space is never materialised;
+   only the path currently being walked is live. Leaf payloads are
+   ordinary values (for the chaos layer: fault schedules), which keeps
+   the compilation from decisions to running adversaries in one place —
+   {!Bap_chaos.Injector} — shared by checker and fuzzer alike. *)
+
+type 'a t =
+  | Return of 'a
+  | Choose of { label : string; arity : int; child : int -> 'a t }
+
+type path = int list
+
+let return v = Return v
+
+let choose ~label ~arity child =
+  if arity <= 0 then invalid_arg "Decision.choose: arity must be positive";
+  if arity = 1 then child 0 else Choose { label; arity; child }
+
+let pick ~label alternatives next =
+  let alts = Array.of_list alternatives in
+  let arity = Array.length alts in
+  if arity = 0 then invalid_arg "Decision.pick: no alternatives";
+  choose ~label ~arity (fun i -> next alts.(i))
+
+(* All subsets of at most [limit] items, indices strictly increasing, so
+   every subset appears exactly once and lists its elements in the input
+   order. Each node chooses either "stop here" (branch 0) or the next
+   element's offset past the previous choice. Shared by the fault-space
+   and configuration enumerations: one combinator, one subset
+   semantics. *)
+let subsets ~label ~limit items =
+  let alpha = Array.of_list items in
+  let total = Array.length alpha in
+  let rec extend acc start remaining =
+    let available = total - start in
+    if remaining = 0 || available = 0 then Return (List.rev acc)
+    else
+      choose ~label ~arity:(available + 1) (fun i ->
+          if i = 0 then Return (List.rev acc)
+          else
+            let idx = start + i - 1 in
+            extend (alpha.(idx) :: acc) (idx + 1) (remaining - 1))
+  in
+  extend [] 0 (max 0 limit)
+
+let rec map f = function
+  | Return v -> Return (f v)
+  | Choose { label; arity; child } ->
+    Choose { label; arity; child = (fun i -> map f (child i)) }
+
+let rec bind t f =
+  match t with
+  | Return v -> f v
+  | Choose { label; arity; child } ->
+    Choose { label; arity; child = (fun i -> bind (child i) f) }
+
+let ( let* ) = bind
+
+(* DFS over every leaf, lowest branch index first. The path handed to
+   the visitor is root-to-leaf. *)
+let iter visit t =
+  let rec go prefix = function
+    | Return v -> visit v ~path:(List.rev prefix)
+    | Choose { arity; child; _ } ->
+      for i = 0 to arity - 1 do
+        go (i :: prefix) (child i)
+      done
+  in
+  go [] t
+
+let count t =
+  let n = ref 0 in
+  iter (fun _ ~path:_ -> incr n) t;
+  !n
+
+let follow t path =
+  let rec go t path =
+    match (t, path) with
+    | Return v, [] -> Some v
+    | Return _, _ :: _ -> None
+    | Choose _, [] -> None
+    | Choose { arity; child; _ }, i :: rest ->
+      if i < 0 || i >= arity then None else go (child i) rest
+  in
+  go t path
+
+let sample rng t =
+  let rec go acc = function
+    | Return v -> (v, List.rev acc)
+    | Choose { arity; child; _ } ->
+      let i = Rng.int rng arity in
+      go (i :: acc) (child i)
+  in
+  go [] t
+
+let rec depth = function
+  | Return _ -> 0
+  | Choose { arity; child; _ } ->
+    let d = ref 0 in
+    for i = 0 to arity - 1 do
+      d := max !d (depth (child i))
+    done;
+    1 + !d

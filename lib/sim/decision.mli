@@ -1,0 +1,58 @@
+(** Enumerable adversary decisions.
+
+    A ['a t] is a finite decision tree: each {!choose} node is one
+    adversary (or configuration) choice with a known arity, each leaf a
+    fully determined value — for the chaos layer, a fault schedule. One
+    tree value serves three consumers: the model checker enumerates
+    every leaf ({!iter}), a fuzzer samples one leaf from a seeded
+    stream ({!sample}), and a replayer follows a recorded branch-index
+    path back to any leaf ({!follow}). Trees are closure-built and
+    never materialised. *)
+
+type 'a t =
+  | Return of 'a
+  | Choose of { label : string; arity : int; child : int -> 'a t }
+
+type path = int list
+(** Branch indices from root to leaf; the serializable identity of one
+    fully resolved set of decisions. *)
+
+val return : 'a -> 'a t
+
+val choose : label:string -> arity:int -> (int -> 'a t) -> 'a t
+(** A decision point with [arity] alternatives. Arity-1 nodes collapse
+    to their only child (they decide nothing). Raises [Invalid_argument]
+    on non-positive arity. *)
+
+val pick : label:string -> 'a list -> ('a -> 'b t) -> 'b t
+(** [pick ~label alts next]: choose one of [alts], then continue.
+    Raises [Invalid_argument] on an empty list. *)
+
+val subsets : label:string -> limit:int -> 'a list -> 'a list t
+(** The tree whose leaves are exactly the subsets of at most [limit]
+    items, each leaf listing its elements in the input order. The empty
+    subset is always a leaf. *)
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+
+val ( let* ) : 'a t -> ('a -> 'b t) -> 'b t
+(** [bind] as a binding operator: sequential decisions read top-down. *)
+
+val iter : ('a -> path:path -> unit) -> 'a t -> unit
+(** Depth-first enumeration of every leaf, lowest branch index first —
+    the checker's notion of "all behaviours". *)
+
+val count : 'a t -> int
+(** Number of leaves. Costs a full enumeration; meant for reporting,
+    not for hot paths. *)
+
+val follow : 'a t -> path -> 'a option
+(** Replay a recorded path; [None] if it runs off the tree. *)
+
+val sample : Rng.t -> 'a t -> 'a * path
+(** One uniform-per-node root-to-leaf walk from a seeded stream: the
+    fuzzing semantics of the same tree. *)
+
+val depth : 'a t -> int
+(** Longest root-to-leaf decision count. Full enumeration cost. *)

@@ -1,0 +1,242 @@
+(* The checker stack end to end: Decision-tree laws, universe
+   well-formedness, Canon's soundness as an engine-level equivariance,
+   and the headline pipeline — a sabotaged protocol must yield a
+   counterexample that serializes, replays under the fuzzer with the
+   same violation, and ddmin-shrinks. *)
+
+open Helpers
+module D = Bap_sim.Decision
+module Fuzz = Bap_chaos.Fuzz
+module E = Fuzz.E
+module Schedule = Bap_chaos.Schedule
+module U = Bap_checklib.Universe
+module Explore = Bap_checklib.Explore
+module Canon = Bap_checklib.Canon
+module Cx = Bap_checklib.Counterexample
+
+(* -- Decision-tree laws -- *)
+
+(* A lopsided tree: branch 20 is shallower than its siblings, so the
+   laws are exercised on uneven depths. 8 + 2 + 8 = 18 leaves. *)
+let demo_tree =
+  D.pick ~label:"a" [ 10; 20; 30 ] (fun a ->
+      D.pick ~label:"b" [ 1; 2 ] (fun b ->
+          if a = 20 then D.return (a + b)
+          else D.pick ~label:"c" [ 100; 200; 300; 400 ] (fun c -> D.return (a + b + c))))
+
+let leaves tree =
+  let acc = ref [] in
+  D.iter (fun v ~path -> acc := (v, path) :: !acc) tree;
+  List.rev !acc
+
+let test_decision_laws () =
+  let ls = leaves demo_tree in
+  Alcotest.(check int) "count = leaves iter visits" (D.count demo_tree) (List.length ls);
+  Alcotest.(check int) "18 leaves" 18 (List.length ls);
+  Alcotest.(check int) "depth is the longest chain" 3 (D.depth demo_tree);
+  (* iter streams lowest branch index first: paths ascend lexicographically. *)
+  let paths = List.map snd ls in
+  Alcotest.(check bool) "iter order is lexicographic" true
+    (List.sort compare paths = paths);
+  (* Every enumerated path replays to its own leaf. *)
+  List.iter
+    (fun (v, path) ->
+      match D.follow demo_tree path with
+      | Some v' -> Alcotest.(check int) "follow returns iter's leaf" v v'
+      | None -> Alcotest.fail "follow ran off the tree on an iter path")
+    ls;
+  (* Paths that run off the tree are rejected, not misread. *)
+  Alcotest.(check bool) "short path is no leaf" true (D.follow demo_tree [ 0 ] = None);
+  Alcotest.(check bool) "wide index rejected" true (D.follow demo_tree [ 5; 0; 0 ] = None);
+  Alcotest.(check bool) "long path rejected" true
+    (D.follow demo_tree [ 0; 0; 0; 0 ] = None)
+
+let test_decision_sample () =
+  (* Sampling is the fuzzer's semantics of the same tree: every sampled
+     (leaf, path) must agree with replay, and a fixed seed must be
+     reproducible. *)
+  for seed = 0 to 49 do
+    let v, path = D.sample (Rng.create seed) demo_tree in
+    (match D.follow demo_tree path with
+    | Some v' -> Alcotest.(check int) "sampled path replays to sampled leaf" v v'
+    | None -> Alcotest.fail "sampled path ran off the tree");
+    let v2, path2 = D.sample (Rng.create seed) demo_tree in
+    Alcotest.(check int) "same seed, same leaf" v v2;
+    Alcotest.(check (list int)) "same seed, same path" path path2
+  done
+
+let test_subsets () =
+  let items = [ 'a'; 'b'; 'c'; 'd' ] in
+  let tree = D.subsets ~label:"s" ~limit:2 items in
+  let ls = List.map fst (leaves tree) in
+  (* C(4,0) + C(4,1) + C(4,2) = 11 *)
+  Alcotest.(check int) "binomial leaf count" 11 (List.length ls);
+  Alcotest.(check bool) "empty subset present" true (List.mem [] ls);
+  Alcotest.(check int) "subsets are distinct" 11
+    (List.length (List.sort_uniq compare ls));
+  let rec subseq xs ys =
+    match (xs, ys) with
+    | [], _ -> true
+    | _, [] -> false
+    | x :: xs', y :: ys' -> if x = y then subseq xs' ys' else subseq xs ys'
+  in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "within limit" true (List.length s <= 2);
+      Alcotest.(check bool) "input order preserved" true (subseq s items))
+    ls
+
+(* -- Universe well-formedness -- *)
+
+let es_params = U.default_params ~protocol:E.Es_baseline ~n:4 ~t:1
+
+let test_universe_distinct () =
+  (* "Every leaf is a distinct configuration": raw (uncanonicalized)
+     keys must never collide across the enumeration. *)
+  let seen = Hashtbl.create 4096 in
+  let dups = ref 0 and total = ref 0 in
+  D.iter
+    (fun cfg ~path:_ ->
+      incr total;
+      let k = Canon.key cfg in
+      if Hashtbl.mem seen k then incr dups else Hashtbl.add seen k ())
+    (U.configs es_params);
+  Alcotest.(check int) "no duplicate configurations" 0 !dups;
+  Alcotest.(check bool) "universe is non-trivial" true (!total > 1000)
+
+let test_universe_advice_collapses_for_baselines () =
+  (* The baselines ignore advice, so raising the budget must not
+     multiply their universe. *)
+  Alcotest.(check bool) "baseline ignores advice" false (U.uses_advice E.Es_baseline);
+  Alcotest.(check bool) "wrapper uses advice" true (U.uses_advice E.Unauth);
+  let count p = D.count (U.configs p) in
+  Alcotest.(check int) "budget is a no-op for es"
+    (count es_params)
+    (count { es_params with U.budget = 3 })
+
+(* -- Canon: symmetry reduction is sound at the engine level -- *)
+
+let test_canon_equivariance () =
+  (* For every leaf whose canonical representative differs, the engine
+     must give the representative the same verdict — this is the fact
+     that makes dedup-by-canonical-key sound. Run under sabotage so the
+     comparison is not vacuously 0 = 0. *)
+  let checked = ref 0 and rewritten = ref 0 in
+  D.iter
+    (fun cfg ~path:_ ->
+      let canon = Canon.canonicalize cfg in
+      let k = Canon.key cfg and ck = Canon.key canon in
+      Alcotest.(check string) "canonicalize is idempotent" ck
+        (Canon.key (Canon.canonicalize canon));
+      if k <> ck && !rewritten < 150 then begin
+        incr rewritten;
+        let a = Fuzz.run_one ~sabotage:true cfg in
+        let b = Fuzz.run_one ~sabotage:true canon in
+        incr checked;
+        Alcotest.(check int) "same violation count" (List.length a.E.violations)
+          (List.length b.E.violations);
+        Alcotest.(check int) "same round count" a.E.rounds b.E.rounds
+      end)
+    (U.configs es_params);
+  Alcotest.(check bool) "equivariance was actually exercised" true (!checked > 10)
+
+(* -- Explorer verdicts and bookkeeping -- *)
+
+let test_explore_clean () =
+  let r = Explore.run es_params in
+  Alcotest.(check int) "clean protocol: no violations" 0 r.Explore.stats.violations;
+  Alcotest.(check bool) "no counterexamples" true (r.Explore.counterexamples = []);
+  Alcotest.(check int) "leaves = states + symmetry hits"
+    r.Explore.stats.leaves
+    (r.Explore.stats.states + r.Explore.stats.symmetry_hits);
+  Alcotest.(check bool) "symmetry found representatives" true
+    (r.Explore.stats.symmetry_hits > 0);
+  Alcotest.(check bool) "frontier tracked" true (r.Explore.stats.frontier_peak >= 1)
+
+let test_explore_symmetry_consistent () =
+  (* Dedup may drop duplicate *witnesses*, never the existence of a
+     violation: both modes must catch the planted bug, and reduction
+     can only shrink the state count. *)
+  let sym = Explore.run ~sabotage:true es_params in
+  let nosym = Explore.run ~symmetry:false ~sabotage:true es_params in
+  Alcotest.(check bool) "sabotage caught with symmetry" true
+    (sym.Explore.stats.violations > 0);
+  Alcotest.(check bool) "sabotage caught without symmetry" true
+    (nosym.Explore.stats.violations > 0);
+  Alcotest.(check int) "same universe either way" sym.Explore.stats.leaves
+    nosym.Explore.stats.leaves;
+  Alcotest.(check bool) "reduction never adds states" true
+    (sym.Explore.stats.states <= nosym.Explore.stats.states);
+  Alcotest.(check int) "no reduction, no hits" 0 nosym.Explore.stats.symmetry_hits
+
+(* -- The headline round-trip: checker -> JSON -> fuzzer -> ddmin -- *)
+
+let violation_kind = function
+  | E.Oracle.Agreement _ -> "agreement"
+  | E.Oracle.Validity _ -> "validity"
+  | E.Oracle.Termination _ -> "termination"
+  | E.Oracle.Monitor_unsound _ -> "monitor"
+  | E.Oracle.Crash _ -> "crash"
+
+let kinds (r : E.report) =
+  List.sort_uniq String.compare (List.map violation_kind r.E.violations)
+
+let test_counterexample_roundtrip () =
+  let result = Explore.run ~sabotage:true es_params in
+  let cex =
+    match result.Explore.counterexamples with
+    | [] -> Alcotest.fail "sabotaged explorer found no counterexample"
+    | c :: _ -> c
+  in
+  let cx = Cx.of_explore ~sabotage:true cex in
+  (* Serialize, parse, and re-serialize byte-identically. *)
+  let file = Cx.file_to_string [ cx ] in
+  let cx' =
+    match Cx.of_string file with
+    | Error e -> Alcotest.fail ("counterexample file did not parse: " ^ e)
+    | Ok [ c ] -> c
+    | Ok l -> Alcotest.fail (Printf.sprintf "expected 1 counterexample, got %d" (List.length l))
+  in
+  Alcotest.(check string) "round-trip is byte-identical" file (Cx.file_to_string [ cx' ]);
+  Alcotest.(check bool) "sabotage flag survives" true cx'.Cx.sabotage;
+  Alcotest.(check string) "config survives" (Canon.key cex.Explore.config)
+    (Canon.key cx'.Cx.config);
+  Alcotest.(check (list int)) "universe path survives" cex.Explore.path cx'.Cx.path;
+  (* A bare object (hand-trimmed repro) parses too. *)
+  (match Cx.of_string (Cx.to_json cx) with
+  | Ok [ _ ] -> ()
+  | Ok _ | Error _ -> Alcotest.fail "bare counterexample object rejected");
+  (* Replay under the fuzzer's entry point: the parsed configuration
+     must reproduce the violation the checker reported. *)
+  let replay = Fuzz.run_one ~sabotage:cx'.Cx.sabotage cx'.Cx.config in
+  Alcotest.(check bool) "replay violates" true (replay.E.violations <> []);
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Printf.sprintf "replay reproduces %s violation" k)
+        true
+        (List.mem k (kinds replay)))
+    (kinds cex.Explore.report);
+  (* ddmin: the shrunk schedule is no longer and still violating. *)
+  let shrunk = Fuzz.shrink ~sabotage:true cex.Explore.config in
+  Alcotest.(check bool) "shrunk schedule is no longer" true
+    (Schedule.length shrunk <= Schedule.length cex.Explore.config.E.schedule);
+  let reshrunk = Fuzz.run_one ~sabotage:true { cex.Explore.config with E.schedule = shrunk } in
+  Alcotest.(check bool) "shrunk schedule still violates" true
+    (reshrunk.E.violations <> [])
+
+let suite =
+  [
+    Alcotest.test_case "decision laws: count/iter/follow" `Quick test_decision_laws;
+    Alcotest.test_case "decision sample = seeded replay" `Quick test_decision_sample;
+    Alcotest.test_case "subsets combinator" `Quick test_subsets;
+    Alcotest.test_case "universe leaves are distinct" `Quick test_universe_distinct;
+    Alcotest.test_case "advice collapses for baselines" `Quick
+      test_universe_advice_collapses_for_baselines;
+    Alcotest.test_case "canon is an engine equivariance" `Quick test_canon_equivariance;
+    Alcotest.test_case "clean explore: zero violations" `Quick test_explore_clean;
+    Alcotest.test_case "symmetry on/off agree on verdicts" `Quick
+      test_explore_symmetry_consistent;
+    Alcotest.test_case "counterexample round-trips through the fuzzer" `Quick
+      test_counterexample_roundtrip;
+  ]

@@ -64,13 +64,13 @@ let prop_wrapper_unauth =
   qcheck ~count:60 ~name:"wrapper-unauth: counted == concrete" diff_gen
     (fun ((n, t, _, _, adv, _, _) as cfg) ->
       let rng, faulty, advice, inputs = setup cfg in
-      let adversary () = unauth_adversaries.(adv) rng in
-      let counted =
-        S.run_unauth ~adversary:(adversary ()) ~t ~faulty ~inputs ~advice ()
-      in
+      (* Built once: strategies like adaptive_splitter draw their
+         parameters from the rng, so building twice would hand the two
+         engines different adversaries. *)
+      let adversary = unauth_adversaries.(adv) rng in
+      let counted = S.run_unauth ~adversary ~t ~faulty ~inputs ~advice () in
       let concrete =
-        S.run_unauth ~adversary:(adversary ()) ~mode:`Concrete ~t ~faulty ~inputs
-          ~advice ()
+        S.run_unauth ~adversary ~mode:`Concrete ~t ~faulty ~inputs ~advice ()
       in
       ignore n;
       outcomes_equal counted concrete)
@@ -99,18 +99,18 @@ let prop_dolev_strong =
     (fun ((n, _, _, _, adv, _, _) as cfg) ->
       let rng, faulty, _, inputs = setup cfg in
       let t = (n - 1) / 2 in
-      let adversary () = unauth_adversaries.(adv) rng in
+      let adversary = unauth_adversaries.(adv) rng in
       let body pki ctx =
         let i = S.R.id ctx in
         Ds.agree ctx ~pki ~key:(Pki.key pki i) ~t ~tag:0 inputs.(i)
       in
       let counted =
         let pki = Pki.create ~n in
-        run_baseline ~n ~faulty ~adversary:(adversary ()) (body pki)
+        run_baseline ~n ~faulty ~adversary (body pki)
       in
       let concrete =
         let pki = Pki.create ~n in
-        run_baseline ~mode:`Concrete ~n ~faulty ~adversary:(adversary ()) (body pki)
+        run_baseline ~mode:`Concrete ~n ~faulty ~adversary (body pki)
       in
       outcomes_equal counted concrete)
 
@@ -118,15 +118,13 @@ let prop_phase_king =
   qcheck ~count:30 ~name:"phase-king: counted == concrete" diff_gen
     (fun ((n, t, _, _, adv, _, _) as cfg) ->
       let rng, faulty, _, inputs = setup cfg in
-      let adversary () = unauth_adversaries.(adv) rng in
+      let adversary = unauth_adversaries.(adv) rng in
       let body ctx =
         let gc ctx ~tag v = S.Graded_unauth.run ctx ~t ~tag v in
         Pk.run ctx ~gc ~t ~base_tag:0 inputs.(S.R.id ctx)
       in
-      let counted = run_baseline ~n ~faulty ~adversary:(adversary ()) body in
-      let concrete =
-        run_baseline ~mode:`Concrete ~n ~faulty ~adversary:(adversary ()) body
-      in
+      let counted = run_baseline ~n ~faulty ~adversary body in
+      let concrete = run_baseline ~mode:`Concrete ~n ~faulty ~adversary body in
       outcomes_equal counted concrete)
 
 let prop_chaos_schedules =

@@ -178,6 +178,35 @@ let test_l002 () =
   check_ids "monitor is not (yet) interface-complete" []
     (Rules.check_interfaces ~mls:[ "lib/monitor/foo.ml" ] ~mlis:[])
 
+(* ---------- C001: adversary decisions outside the Decision tree ---------- *)
+
+let test_c001 () =
+  check_ids "Rng draw in adversary behavior fires" [ "C001" ]
+    (lint ~path:"lib/sim/adversary.ml" "let f rng = Rng.int rng 3");
+  check_ids "qualified Rng draw in the fault injector fires" [ "C001" ]
+    (lint ~path:"lib/chaos/injector.ml" "let f rng = Bap_sim.Rng.pick rng [ 1; 2 ]");
+  check_ids "Rng draw in the checker's choice space fires" [ "C001" ]
+    (lint ~path:"lib/chaos/space.ml" "let f rng = Rng.bool rng");
+  check_ids "Rng draw in the checker fires" [ "C001" ]
+    (lint ~path:"lib/check/explore.ml" "let f rng = Rng.int rng 2");
+  check_ids "Decision nodes are the idiom" []
+    (lint ~path:"lib/chaos/space.ml"
+       "let f () = Decision.choose ~label:\"salt\" ~arity:2 (fun i -> Decision.return i)");
+  check_ids "Decision.sample is the sanctioned bridge" []
+    (lint ~path:"lib/sim/decision.ml" "let sample rng t = Rng.int rng 3");
+  check_ids "the sampled schedule generator stays legal" []
+    (lint ~path:"lib/chaos/schedule.ml" "let gen rng = Rng.int rng 6")
+
+let test_c001_waiver () =
+  check_ids "waiver comment above suppresses" []
+    (lint ~path:"lib/sim/adversary.ml"
+       "(* LINT: waive C001 tie-break seeded from the schedule, replay-stable *)\n\
+        let f rng = Rng.int rng 3");
+  check_ids "waiver for another rule does not" [ "C001" ]
+    (lint ~path:"lib/sim/adversary.ml"
+       "(* LINT: waive D001 wrong id *)\n\
+        let f rng = Rng.int rng 3")
+
 (* ---------- R001: exception-swallowing handlers ---------- *)
 
 let test_r001 () =
@@ -272,6 +301,8 @@ let suite =
     Alcotest.test_case "S001 waiver" `Quick test_s001_waiver;
     Alcotest.test_case "L001 layering" `Quick test_l001;
     Alcotest.test_case "L002 interfaces" `Quick test_l002;
+    Alcotest.test_case "C001 adversary decisions" `Quick test_c001;
+    Alcotest.test_case "C001 waiver" `Quick test_c001_waiver;
     Alcotest.test_case "R001 exception swallowing" `Quick test_r001;
     Alcotest.test_case "R001 waiver" `Quick test_r001_waiver;
     Alcotest.test_case "X001 parse failure" `Quick test_x001;
