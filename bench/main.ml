@@ -106,6 +106,16 @@ let int_flag args name ~default =
   in
   find args
 
+(* Like [int_flag] but 0 is a meaningful value (e.g. --retransmit 0). *)
+let nat_flag args name ~default =
+  let rec find = function
+    | f :: v :: _ when f = name -> (
+      match int_of_string_opt v with Some n -> max 0 n | None -> default)
+    | _ :: rest -> find rest
+    | [] -> default
+  in
+  find args
+
 let string_flag args name =
   let rec find = function
     | f :: v :: _ when f = name -> Some v
@@ -135,6 +145,16 @@ let serve_bench args ~jobs =
   let instances = int_flag args "--instances" ~default:2000 in
   let n = int_flag args "--n" ~default:4 in
   let socket = string_flag args "--serve-socket" in
+  (* Client resilience (socket mode): --reconnect N retries a dead
+     server with deterministic seeded backoff, --retransmit N re-sends
+     unanswered ids on fresh connections, --exactly-once tightens the
+     oracle into the crash-restart property (no loss, no duplicates).
+     That triple is what the serve-crash CI job drives against a
+     SIGKILLed-and-resumed daemon. *)
+  let reconnect = nat_flag args "--reconnect" ~default:0 in
+  let retransmit = nat_flag args "--retransmit" ~default:0 in
+  let client_seed = nat_flag args "--client-seed" ~default:0 in
+  let exactly_once = List.mem "--exactly-once" args in
   let families =
     match string_flag args "--families" with
     | None -> [ Instance.Unauth; Instance.Es; Instance.Pk ]
@@ -162,14 +182,16 @@ let serve_bench args ~jobs =
          every hang costs a full watchdog timeout of wall-clock, and a
          load test runs thousands of instances, not dozens of cells. *)
       let disconnect_pct = if socket = None then 0 else 3 in
+      let respond_disconnect_pct = if socket = None then 0 else 2 in
       Some
         (Harness.create ~seed ~crash_pct:6 ~hang_pct:1 ~doomed_pct:2
-           ~frame_corrupt_pct:5 ~disconnect_pct ())
+           ~frame_corrupt_pct:5 ~disconnect_pct ~respond_disconnect_pct ())
   in
   let outcome =
     match socket with
     | Some path ->
-      Load.run_socket ?chaos ~path ~instances ~families ~n ()
+      Load.run_socket ?chaos ~reconnect ~retransmit ~seed:client_seed ~path
+        ~instances ~families ~n ()
     | None ->
       let inject =
         Option.map
@@ -200,7 +222,7 @@ let serve_bench args ~jobs =
   (match outcome.Load.server with
   | Some s -> print_endline (Server.report s)
   | None -> ());
-  match Load.failures ~chaos:(chaos <> None) outcome with
+  match Load.failures ~chaos:(chaos <> None) ~exactly_once outcome with
   | [] ->
     print_endline "serve oracle: PASS";
     0

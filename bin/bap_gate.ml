@@ -247,12 +247,62 @@ type history_entry = {
   h_wall_ms : float;
   h_serve_per_sec : float;
   h_scale_n1000_ms : float;
+  h_recovery_ms : float;
+      (* crash-restart recovery probe; 0.0 in entries from before the
+         instance journal existed *)
 }
 
 let today () =
   let tm = Unix.gmtime (Unix.time ()) in
   Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
     tm.Unix.tm_mday
+
+(* The recovery probe: craft an instance journal holding accepted-but-
+   unanswered instances, then time a --resume server recovering them
+   over an immediately-EOF stream — the restart-to-ready cost of a
+   SIGKILLed service, isolated from any client traffic. Recovery that
+   loses or invents instances is correctness and fails the gate. *)
+let measure_recovery () =
+  let module Server = Bap_servelib.Server in
+  let module SJournal = Bap_servelib.Journal in
+  let module Load = Bap_servelib.Load in
+  let k = 64 in
+  let path = Filename.temp_file "bap_gate_recovery" ".journal" in
+  let j = SJournal.open_ ~path () in
+  List.iter
+    (fun spec -> ignore (SJournal.accept j spec))
+    (Load.plan_specs ~instances:k ~families:[ Bap_servelib.Instance.Pk ] ~n:4);
+  SJournal.close j;
+  let null_r, null_w = Unix.pipe () and out_r, out_w = Unix.pipe () in
+  Unix.close null_w (* immediate EOF: wall time is pure recovery *);
+  let cfg =
+    {
+      Server.default_config with
+      Server.journal_path = Some path;
+      resume = true;
+      batch = 256;
+      queue_capacity = max 1 k;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let stats = Server.serve_fds cfg ~in_fd:null_r ~out_fd:out_w in
+  let ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  List.iter
+    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    [ null_r; out_r; out_w ];
+  (try Sys.remove path with Sys_error _ -> ());
+  if
+    stats.Server.recovered <> k
+    || stats.Server.accepted <> k
+    || stats.Server.responded <> k
+  then begin
+    Printf.printf
+      "FAILED: recovery probe recovered %d / accepted %d / responded %d of %d \
+       journaled instance(s)\n"
+      stats.Server.recovered stats.Server.accepted stats.Server.responded k;
+    exit 1
+  end;
+  ms
 
 let measure_scale () =
   let r = Scale_probe.run ~n:1000 ~f:0 () in
@@ -295,7 +345,13 @@ let last_history_entry path =
         with
         | Some h_date, Some h_wall_ms, Some h_serve_per_sec, Some h_scale_n1000_ms
           ->
-          Some { h_date; h_wall_ms; h_serve_per_sec; h_scale_n1000_ms }
+          (* recovery_ms arrived with the instance journal; entries from
+             before it default to 0 (which disables the drift warning). *)
+          let h_recovery_ms =
+            Option.value ~default:0. (to_float (member "recovery_ms" j))
+          in
+          Some
+            { h_date; h_wall_ms; h_serve_per_sec; h_scale_n1000_ms; h_recovery_ms }
         | _ -> None))
   end
 
@@ -307,13 +363,15 @@ let append_history ~path e =
       output_string oc
         (Printf.sprintf
            "{\"date\": %S, \"wall_ms\": %.1f, \"serve_per_sec\": %.0f, \
-            \"scale_n1000_ms\": %.1f}\n"
-           e.h_date e.h_wall_ms e.h_serve_per_sec e.h_scale_n1000_ms))
+            \"scale_n1000_ms\": %.1f, \"recovery_ms\": %.1f}\n"
+           e.h_date e.h_wall_ms e.h_serve_per_sec e.h_scale_n1000_ms
+           e.h_recovery_ms))
 
 (* Measure the scale probe, warn against the previous trajectory point,
    and append the new one. *)
 let record_history ~path ~wall_ms ~serve_per_sec =
   let scale_ms = measure_scale () in
+  let recovery_ms = measure_recovery () in
   (match last_history_entry path with
   | None -> ()
   | Some prev ->
@@ -334,16 +392,26 @@ let record_history ~path ~wall_ms ~serve_per_sec =
          (%s: %.0f ms)"
         scale_ms
         ((scale_ms /. prev.h_scale_n1000_ms -. 1.) *. 100.)
-        prev.h_date prev.h_scale_n1000_ms);
+        prev.h_date prev.h_scale_n1000_ms;
+    if prev.h_recovery_ms > 0. && recovery_ms > 1.5 *. prev.h_recovery_ms then
+      warn
+        "crash-restart recovery %.0f ms is %.0f%% over the last trajectory \
+         point (%s: %.0f ms)"
+        recovery_ms
+        ((recovery_ms /. prev.h_recovery_ms -. 1.) *. 100.)
+        prev.h_date prev.h_recovery_ms);
   append_history ~path
     {
       h_date = today ();
       h_wall_ms = wall_ms;
       h_serve_per_sec = serve_per_sec;
       h_scale_n1000_ms = scale_ms;
+      h_recovery_ms = recovery_ms;
     };
-  Printf.printf "bap_gate: appended trajectory point to %s (scale n=1000: %.0f ms)\n"
-    path scale_ms
+  Printf.printf
+    "bap_gate: appended trajectory point to %s (scale n=1000: %.0f ms, \
+     recovery: %.0f ms)\n"
+    path scale_ms recovery_ms
 
 let check ~baseline_file ~history ~jobs =
   let text =

@@ -28,8 +28,8 @@ let write_file path contents =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc contents)
 
-let run socket jobs queue batch retries timeout max_frame chaos_seed trace_out
-    metrics_json quiet =
+let run socket jobs queue batch retries timeout max_frame chaos_seed kill9_pct
+    journal resume trace_out metrics_json quiet =
   (match trace_out with
   | Some path -> Tel.install ~wall:true (Tel.Jsonl path)
   | None -> if metrics_json <> None then Tel.install Tel.Counters_only);
@@ -43,6 +43,27 @@ let run socket jobs queue batch retries timeout max_frame chaos_seed trace_out
         | None -> None)
       chaos
   in
+  (* A kill9 hit is a real SIGKILL to self: the hard-crash leg of the
+     serve-crash CI job. The probe fires at the answer point — work
+     done, respond record not yet journaled — which is exactly the
+     window --resume must cover. *)
+  let kill9 =
+    if kill9_pct <= 0 then None
+    else begin
+      let h =
+        Harness.create ~crash_pct:0 ~hang_pct:0 ~cache_pct:0 ~kill9_pct
+          ~seed:(Option.value ~default:0 chaos_seed)
+          ()
+      in
+      Some
+        (fun ~key ->
+          if Harness.kill9 h ~key then begin
+            Fmt.epr "[serve] chaos: SIGKILL at %s@." key;
+            Unix.kill (Unix.getpid ()) Sys.sigkill
+          end;
+          false)
+    end
+  in
   let cfg =
     {
       Server.jobs = max 1 jobs;
@@ -53,6 +74,9 @@ let run socket jobs queue batch retries timeout max_frame chaos_seed trace_out
       max_frame;
       seed = Option.value ~default:0 chaos_seed;
       inject;
+      journal_path = journal;
+      resume;
+      kill9;
     }
   in
   Server.install_signal_handlers ();
@@ -133,6 +157,37 @@ let cmd =
              default schedule faults only early attempts, so supervised \
              retry recovers every instance.")
   in
+  let kill9 =
+    Arg.(
+      value & opt int 0
+      & info [ "kill9" ] ~docv:"PCT"
+          ~doc:
+            "Seeded SIGKILL-self chaos: each instance has a PCT% chance of \
+             killing the server dead at its answer point (after execution, \
+             before the answer is journaled). Pair with --journal, then \
+             restart with --resume — and without --kill9, or the same keys \
+             re-fire. Seeded by --harness-chaos (default seed 0).")
+  in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"PATH"
+          ~doc:
+            "Write-ahead instance journal: every admitted instance is logged \
+             at accept and its answer is flushed to PATH before the response \
+             frame is written, so a SIGKILL loses nothing accepted.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Replay the journal's valid prefix before serving: re-dispatch \
+             every accepted-unanswered instance and answer retransmits of \
+             already-answered ones from the journal, exactly once. Requires \
+             --journal.")
+  in
   let trace_out =
     Arg.(
       value
@@ -157,6 +212,7 @@ let cmd =
           pool; degrades, sheds, and drains — never aborts")
     Term.(
       const run $ socket $ jobs $ queue $ batch $ retries $ timeout $ max_frame
-      $ chaos_seed $ trace_out $ metrics_json $ quiet)
+      $ chaos_seed $ kill9 $ journal $ resume $ trace_out $ metrics_json
+      $ quiet)
 
 let () = exit (Cmd.eval' cmd)

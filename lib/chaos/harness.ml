@@ -12,7 +12,11 @@
    quarantine / DEGRADED path. *)
 
 type fault = Crash | Hang
-type frame_fault = Corrupt_payload | Disconnect_mid_frame
+
+type frame_fault =
+  | Corrupt_payload
+  | Disconnect_mid_frame
+  | Disconnect_on_respond
 
 type t = {
   seed : int;
@@ -23,11 +27,14 @@ type t = {
   faulty_attempts : int;
   frame_corrupt_pct : int;
   disconnect_pct : int;
+  respond_disconnect_pct : int;
+  kill9_pct : int;
 }
 
 let create ?(crash_pct = 25) ?(hang_pct = 10) ?(doomed_pct = 0)
     ?(cache_pct = 25) ?(faulty_attempts = 2) ?(frame_corrupt_pct = 0)
-    ?(disconnect_pct = 0) ~seed () =
+    ?(disconnect_pct = 0) ?(respond_disconnect_pct = 0) ?(kill9_pct = 0) ~seed
+    () =
   let pct name v =
     if v < 0 || v > 100 then
       invalid_arg (Printf.sprintf "Harness.create: %s = %d not in 0..100" name v)
@@ -38,10 +45,14 @@ let create ?(crash_pct = 25) ?(hang_pct = 10) ?(doomed_pct = 0)
   pct "cache_pct" cache_pct;
   pct "frame_corrupt_pct" frame_corrupt_pct;
   pct "disconnect_pct" disconnect_pct;
+  pct "respond_disconnect_pct" respond_disconnect_pct;
+  pct "kill9_pct" kill9_pct;
   if crash_pct + hang_pct > 100 then
     invalid_arg "Harness.create: crash_pct + hang_pct > 100";
-  if frame_corrupt_pct + disconnect_pct > 100 then
-    invalid_arg "Harness.create: frame_corrupt_pct + disconnect_pct > 100";
+  if frame_corrupt_pct + disconnect_pct + respond_disconnect_pct > 100 then
+    invalid_arg
+      "Harness.create: frame_corrupt_pct + disconnect_pct + \
+       respond_disconnect_pct > 100";
   if faulty_attempts < 0 then invalid_arg "Harness.create: faulty_attempts < 0";
   {
     seed;
@@ -52,6 +63,8 @@ let create ?(crash_pct = 25) ?(hang_pct = 10) ?(doomed_pct = 0)
     faulty_attempts;
     frame_corrupt_pct;
     disconnect_pct;
+    respond_disconnect_pct;
+    kill9_pct;
   }
 
 let djb2 s =
@@ -81,7 +94,18 @@ let frame_fault t ~key =
   if r < t.frame_corrupt_pct then Some Corrupt_payload
   else if r < t.frame_corrupt_pct + t.disconnect_pct then
     Some Disconnect_mid_frame
+  else if
+    r < t.frame_corrupt_pct + t.disconnect_pct + t.respond_disconnect_pct
+  then Some Disconnect_on_respond
   else None
+
+(* Server-side SIGKILL chaos: the probe is polled once per instance at
+   the answer point (after execution, before the respond record), so a
+   hit crashes the server at the worst moment durability must survive —
+   work done, answer not yet journaled. Keyed on the instance key only:
+   a resumed incarnation must pass the probe for the *same* keys it
+   recovered, so the driver disables kill9 on restart. *)
+let kill9 t ~key = t.kill9_pct > 0 && roll t ~salt:"kill9" ~key < t.kill9_pct
 
 let corrupt_byte t ~key ~len =
   if len <= 0 then invalid_arg "Harness.corrupt_byte: len <= 0";

@@ -8,140 +8,37 @@
    uninterrupted run at any --jobs level, because rendering order comes
    from the plan, never from completion order.
 
-   On-disk format (text, line-framed):
-
-     bap-journal 1 <fingerprint>\n
-     cell <addr> <payload-bytes> <md5 hex of payload>\n
-     <payload>
-     cell ...
-
-   where <addr> is the Cache.cell_address of the cell under
-   <fingerprint> and <payload> is Cache.encode_rows of its result
-   (payloads end in '\n' by construction). The digest makes any torn or
-   damaged record — and everything after it — detectable; the
-   fingerprint makes a journal written by a different build invalid as
-   a whole, exactly like the cache. *)
+   The framing, torn-tail truncation, per-record flush, and loud
+   best-effort degradation all live in the shared {!Wal} core (extracted
+   in PR 9 so the serve layer's instance journal reuses them); this
+   module owns only the sweep-specific parts: cell addressing, row
+   payload codec, and at-most-once dedup of addresses. Records are
+   tagged "cell" and keyed by the Cache.cell_address of the cell under
+   the journal's fingerprint; a journal written by a different build
+   fails the WAL header check and is discarded wholesale, exactly like
+   the cache. *)
 
 type t = {
-  jpath : string;
-  fp : string;
+  wal : Wal.t;
   entries : (string, Cache.rows) Hashtbl.t;
-  mutable oc : out_channel option;
+  fp : string;
   jm : Mutex.t;
 }
 
 let default_path = Filename.concat "results" "sweep.journal"
+let magic = "bap-journal 2"
 
-let header_of fp = Printf.sprintf "bap-journal 1 %s\n" fp
-
-let read_file p =
-  let ic = open_in_bin p in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
-
-(* Parse the longest valid prefix. Returns the entries found (in file
-   order) and the byte offset where validity ends. A header mismatch
-   validates zero bytes, discarding the stale journal wholesale. *)
-let parse_prefix ~fp s =
-  let header = header_of fp in
-  let hlen = String.length header in
-  if String.length s < hlen || not (String.equal (String.sub s 0 hlen) header)
-  then ([], 0)
-  else begin
-    let entries = ref [] in
-    let pos = ref hlen in
-    let valid = ref hlen in
-    let ok = ref true in
-    while !ok do
-      match String.index_from_opt s !pos '\n' with
-      | None -> ok := false
-      | Some eol -> (
-        let line = String.sub s !pos (eol - !pos) in
-        match String.split_on_char ' ' line with
-        | [ "cell"; addr; len; digest ] -> (
-          match int_of_string_opt len with
-          | Some n when n >= 0 && eol + 1 + n <= String.length s ->
-            let payload = String.sub s (eol + 1) n in
-            if String.equal digest (Digest.to_hex (Digest.string payload)) then (
-              match Cache.decode_rows payload with
-              | Some rows ->
-                entries := (addr, rows) :: !entries;
-                pos := eol + 1 + n;
-                valid := !pos
-              | None -> ok := false)
-            else ok := false
-          | _ -> ok := false)
-        | _ -> ok := false)
-    done;
-    (List.rev !entries, !valid)
-  end
-
-let write_record oc addr rows =
-  let payload = Cache.encode_rows rows in
-  Printf.fprintf oc "cell %s %d %s\n%s" addr (String.length payload)
-    (Digest.to_hex (Digest.string payload))
-    payload
-
-let rec mkdir_p d =
-  if not (Sys.file_exists d) then begin
-    mkdir_p (Filename.dirname d);
-    try Sys.mkdir d 0o755 with Sys_error _ -> ()
-  end
-
-(* Best-effort open: an unwritable journal path degrades to "no
-   journaling" (oc = None) rather than failing the sweep. *)
 let open_ ?(resume = false) ~path ~fingerprint () =
+  let wal = Wal.open_ ~resume ~magic ~path ~fingerprint () in
   let entries = Hashtbl.create 64 in
-  let t =
-    { jpath = path; fp = fingerprint; entries; oc = None; jm = Mutex.create () }
-  in
-  mkdir_p (Filename.dirname path);
-  (try
-     if resume && Sys.file_exists path then begin
-       let contents = read_file path in
-       let parsed, valid = parse_prefix ~fp:fingerprint contents in
-       List.iter (fun (addr, rows) -> Hashtbl.replace entries addr rows) parsed;
-       if valid = 0 then begin
-         (* Stale build or corrupt header: start the journal over. *)
-         let oc = open_out_bin path in
-         output_string oc (header_of fingerprint);
-         flush oc;
-         t.oc <- Some oc
-       end
-       else begin
-         (* Drop the torn tail, then append after the valid prefix. *)
-         let truncated =
-           valid = String.length contents
-           || (try Unix.truncate path valid; true
-               with Unix.Unix_error _ -> false)
-         in
-         if truncated then begin
-           let oc =
-             open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 path
-           in
-           t.oc <- Some oc
-         end
-         else begin
-           (* Truncate failed, so the torn tail is stuck on disk. Appending
-              after it would hide every later record behind the corrupt one
-              on the next resume — rewrite the valid prefix fresh instead. *)
-           let oc = open_out_bin path in
-           output_string oc (header_of fingerprint);
-           List.iter (fun (addr, rows) -> write_record oc addr rows) parsed;
-           flush oc;
-           t.oc <- Some oc
-         end
-       end
-     end
-     else begin
-       let oc = open_out_bin path in
-       output_string oc (header_of fingerprint);
-       flush oc;
-       t.oc <- Some oc
-     end
-   with Sys_error _ -> ());
-  t
+  List.iter
+    (fun (r : Wal.record) ->
+      if String.equal r.tag "cell" then
+        match Cache.decode_rows r.payload with
+        | Some rows -> Hashtbl.replace entries r.key rows
+        | None -> ())
+    (Wal.records wal);
+  { wal; entries; fp = fingerprint; jm = Mutex.create () }
 
 let find t addr = Hashtbl.find_opt t.entries addr
 
@@ -149,48 +46,22 @@ let append t addr rows =
   (* The dedup check and the table update must both sit inside the lock:
      append runs concurrently from every pool worker, and OCaml 5's
      Hashtbl is not domain-safe — a racing replace/resize can corrupt
-     the table. *)
+     the table. (The WAL has its own lock, but the dedup decision and
+     the write must be atomic together.) *)
   Mutex.lock t.jm;
   if not (Hashtbl.mem t.entries addr) then begin
     Bap_telemetry.Telemetry.Metrics.counter "journal.appends" 1;
     Hashtbl.replace t.entries addr rows;
-    match t.oc with
-    | Some oc -> (
-      try
-        write_record oc addr rows;
-        (* One flush per record is the crash-safety contract: after
-           [append] returns, a SIGKILL cannot lose this cell. *)
-        flush oc
-      with Sys_error _ -> t.oc <- None)
-    | None -> ()
+    Wal.append t.wal ~tag:"cell" ~key:addr (Cache.encode_rows rows)
   end;
   Mutex.unlock t.jm
 
 let address t = Cache.cell_address ~fingerprint:t.fp
 let entries t = Hashtbl.length t.entries
-let path t = t.jpath
-
-let close_locked t =
-  match t.oc with
-  | Some oc ->
-    (try flush oc with Sys_error _ -> ());
-    close_out_noerr oc;
-    t.oc <- None
-  | None -> ()
-
-let close t =
-  Mutex.lock t.jm;
-  close_locked t;
-  Mutex.unlock t.jm
+let path t = Wal.path t.wal
+let close t = Wal.close t.wal
 
 let signal_close t =
-  (* Called from a signal handler, which may have interrupted the very
-     thread that holds [t.jm] inside [append] — a blocking lock would
-     self-deadlock. If the lock is contended we simply skip the close:
-     every record is flushed as it is appended, so at most one
-     in-progress record is lost, and the resume path discards a torn
-     tail anyway. *)
-  if Mutex.try_lock t.jm then begin
-    close_locked t;
-    Mutex.unlock t.jm
-  end
+  (* Delegates to the WAL's try-lock close; see {!Wal.signal_close} for
+     why a blocking lock would self-deadlock under a signal handler. *)
+  Wal.signal_close t.wal

@@ -11,8 +11,10 @@
     Records are keyed by {!Cache.cell_address} under the journal's
     fingerprint; a journal written by a different build fails the header
     check and is discarded wholesale, mirroring cache invalidation.
-    Opening is best-effort: an unwritable path degrades to "no
-    journaling" rather than failing the sweep. *)
+    Framing, torn-tail truncation and flushing live in the shared
+    {!Wal} core. Opening is best-effort: an unwritable path degrades to
+    "no journaling" rather than failing the sweep — loudly, via the
+    WAL's stderr warning and [wal_degraded] telemetry instant. *)
 
 type t
 

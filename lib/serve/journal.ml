@@ -1,0 +1,122 @@
+(* The instance journal: durability for the always-on service.
+
+   Two record kinds ride the shared WAL core (Bap_exec.Wal):
+
+     rec accept  <key> ... payload = the request JSON (with client id)
+     rec respond <key> ... payload = the response JSON bytes, verbatim
+
+   keyed by Instance.key — the client-id-free canonical identity — and
+   fingerprinted by the executable digest, so a journal written by a
+   different build is discarded wholesale. An accept is appended (and
+   flushed) when the instance passes admission; a respond is appended
+   before the response frame touches the wire. The crash contract that
+   buys:
+
+   - accept in journal, no respond: the server died owning the
+     instance. Resume re-dispatches it; the client never saw a
+     response, so it retransmits and collects the recovered one.
+   - respond in journal: the answer bytes are durable. Whether or not
+     the frame reached the client, a retransmit of that key replays the
+     exact journaled bytes — answered exactly once, delivered at least
+     once, byte-identical always.
+
+   The table maps each key to Pending (accepted, not yet answered) or
+   Answered (the durable response bytes). All calls run on the serve
+   loop's domain; the WAL has its own lock for the signal path. *)
+
+module Wal = Bap_exec.Wal
+module Cache = Bap_exec.Cache
+module Tel = Bap_telemetry.Telemetry
+
+type state = Pending of Instance.spec | Answered of string
+
+type t = {
+  wal : Wal.t;
+  table : (string, state) Hashtbl.t;
+  mutable accepts : int;  (* distinct keys ever accepted, incl. loaded *)
+  mutable answers : int;  (* distinct keys answered, incl. loaded *)
+  recovered : (string * Instance.spec) list;  (* pending at open, file order *)
+}
+
+let default_path = Filename.concat "results" "serve.journal"
+let magic = "bap-serve-journal 1"
+
+let open_ ?(resume = false) ~path () =
+  let wal =
+    Wal.open_ ~resume ~magic ~path ~fingerprint:(Cache.code_fingerprint ()) ()
+  in
+  let table = Hashtbl.create 256 in
+  let order = ref [] in
+  let accepts = ref 0 in
+  let answers = ref 0 in
+  List.iter
+    (fun (r : Wal.record) ->
+      match r.tag with
+      | "accept" -> (
+        if not (Hashtbl.mem table r.key) then
+          match Instance.parse r.payload with
+          | Ok spec ->
+            Hashtbl.replace table r.key (Pending spec);
+            order := (r.key, spec) :: !order;
+            incr accepts
+          | Error _ ->
+            (* Digest-valid but unparseable: a writer bug, not a torn
+               write. Skip the record rather than poison the resume. *)
+            ())
+      | "respond" -> (
+        match Hashtbl.find_opt table r.key with
+        | Some (Answered _) -> () (* first answer wins, even on load *)
+        | (Some (Pending _) | None) as prev ->
+          if prev = None then incr accepts;
+          incr answers;
+          Hashtbl.replace table r.key (Answered r.payload))
+      | _ -> ())
+    (Wal.records wal);
+  let recovered =
+    List.rev !order
+    |> List.filter (fun (k, _) ->
+           match Hashtbl.find_opt table k with
+           | Some (Pending _) -> true
+           | _ -> false)
+  in
+  if recovered <> [] then begin
+    Tel.Metrics.counter "serve.journal.recovered" (List.length recovered);
+    Tel.instant ~cat:"serve" ~name:"journal_recovered"
+      ~attrs:(fun () -> [ ("pending", Tel.Int (List.length recovered)) ])
+      ()
+  end;
+  { wal; table; accepts = !accepts; answers = !answers; recovered }
+
+let lookup t key = Hashtbl.find_opt t.table key
+
+let accept t (spec : Instance.spec) =
+  let key = Instance.key spec in
+  match Hashtbl.find_opt t.table key with
+  | Some (Answered bytes) -> `Replay bytes
+  | Some (Pending _) -> `Duplicate
+  | None ->
+    Hashtbl.replace t.table key (Pending spec);
+    t.accepts <- t.accepts + 1;
+    Wal.append t.wal ~tag:"accept" ~key (Instance.request_json spec);
+    Tel.Metrics.counter "serve.journal.accepts" 1;
+    `Logged
+
+let respond t ~key bytes =
+  match Hashtbl.find_opt t.table key with
+  | Some (Answered _) -> () (* first answer wins: no record, no overwrite *)
+  | (Some (Pending _) | None) as prev ->
+    if prev = None then t.accepts <- t.accepts + 1;
+    t.answers <- t.answers + 1;
+    Hashtbl.replace t.table key (Answered bytes);
+    (* Flushed before the caller writes the response frame: that
+       ordering is the exactly-once contract. *)
+    Wal.append t.wal ~tag:"respond" ~key bytes;
+    Tel.Metrics.counter "serve.journal.responds" 1
+
+let recovered t = t.recovered
+let accepted t = t.accepts
+let answered t = t.answers
+let active t = Wal.active t.wal
+let path t = Wal.path t.wal
+let close t = Wal.close t.wal
+let signal_close t = Wal.signal_close t.wal

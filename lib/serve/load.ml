@@ -3,7 +3,14 @@
    onto the wire (including the chaos damage it inflicted), and then
    recomputes every spec serially to compare against what the service
    answered. The service under test never knows which of its clients
-   is the auditor. *)
+   is the auditor.
+
+   Resilience (ISSUE 9): the socket client can reconnect with
+   deterministic seeded backoff and retransmit unanswered requests by
+   id — which is exactly what makes it the crash-restart oracle: a
+   durable server that was SIGKILLed mid-load and resumed must answer
+   the retransmits with bytes identical to a clean run, each id exactly
+   once. *)
 
 module Harness = Bap_chaos.Harness
 module Json = Bap_telemetry.Json
@@ -12,11 +19,13 @@ type outcome = {
   sent : int;
   corrupted : int;
   disconnects : int;
+  retransmits : int;  (* request frames sent again after a reconnect *)
   responses : int;
   ok : int;
   degraded : int;
   rejected : int;
   unanswered : int;
+  duplicates : int;  (* extra responses for an already-answered id *)
   mismatches : int;
   per_sec : float;
   server : Server.stats option;
@@ -44,6 +53,8 @@ type item = {
   wire : string;  (* frame bytes as they will hit the wire *)
   corrupt : bool;
   disconnect : bool;  (* close after a strict prefix of [wire] *)
+  respond_disconnect : bool;
+      (* send [wire] whole, then hang up before reading the response *)
 }
 
 let plan_items ?chaos ~instances ~families ~n () =
@@ -51,9 +62,17 @@ let plan_items ?chaos ~instances ~families ~n () =
   |> List.map (fun spec ->
          let payload = Instance.request_json spec in
          let key = string_of_int spec.Instance.id in
+         let clean =
+           {
+             spec;
+             wire = Frame.encode payload;
+             corrupt = false;
+             disconnect = false;
+             respond_disconnect = false;
+           }
+         in
          match Option.map (fun h -> (h, Harness.frame_fault h ~key)) chaos with
-         | None | Some (_, None) ->
-           { spec; wire = Frame.encode payload; corrupt = false; disconnect = false }
+         | None | Some (_, None) -> clean
          | Some (h, Some Harness.Corrupt_payload) ->
            let off, mask =
              Harness.corrupt_byte h ~key ~len:(String.length payload)
@@ -61,14 +80,11 @@ let plan_items ?chaos ~instances ~families ~n () =
            let b = Bytes.of_string payload in
            Bytes.set b off
              (Char.chr (Char.code (Bytes.get b off) lxor mask land 0xff));
-           {
-             spec;
-             wire = Frame.encode (Bytes.to_string b);
-             corrupt = true;
-             disconnect = false;
-           }
+           { clean with wire = Frame.encode (Bytes.to_string b); corrupt = true }
          | Some (_, Some Harness.Disconnect_mid_frame) ->
-           { spec; wire = Frame.encode payload; corrupt = false; disconnect = true })
+           { clean with disconnect = true }
+         | Some (_, Some Harness.Disconnect_on_respond) ->
+           { clean with respond_disconnect = true })
 
 (* ---------- client-side IO ---------- *)
 
@@ -115,6 +131,19 @@ let ignore_sigpipe () =
   try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
   with Invalid_argument _ | Sys_error _ -> ()
 
+(* Deterministic seeded backoff: exponential base with a djb2 jitter,
+   never a Random draw (D001). Same seed, same waits. *)
+let djb2 s =
+  String.fold_left (fun h c -> ((h * 33) + Char.code c) land max_int) 5381 s
+
+let backoff_s ~seed ~attempt =
+  let base = 0.05 *. float_of_int (1 lsl min attempt 5) in
+  let jitter =
+    float_of_int (djb2 (Printf.sprintf "%d|backoff|%d" seed attempt) mod 50)
+    /. 1000.
+  in
+  Float.min 1.6 base +. jitter
+
 (* ---------- the oracle ---------- *)
 
 let response_parts payload =
@@ -134,6 +163,7 @@ type audit = {
   a_degraded : int;
   a_rejected : int;
   a_unanswered : int;
+  a_duplicates : int;
   a_mismatches : int;
   a_responses : int;
 }
@@ -168,6 +198,9 @@ let audit_responses ~sent_items ~payloads =
               (fun acc e -> if score e > score acc then e else acc)
               (List.hd entries) (List.tl entries)
           in
+          let a =
+            { a with a_duplicates = a.a_duplicates + List.length entries - 1 }
+          in
           (match score best with
           | 3 -> { a with a_ok = a.a_ok + 1 }
           | 2 -> { a with a_degraded = a.a_degraded + 1 }
@@ -178,32 +211,46 @@ let audit_responses ~sent_items ~payloads =
       a_degraded = 0;
       a_rejected = 0;
       a_unanswered = 0;
+      a_duplicates = 0;
       a_mismatches = 0;
       a_responses = List.length payloads;
     }
     sent_items
 
-let outcome_of ~sent_items ~payloads ~disconnects ~per_sec ~server =
+let outcome_of ~sent_items ~payloads ~disconnects ~retransmits ~per_sec ~server
+    =
   let a = audit_responses ~sent_items ~payloads in
   {
     sent = List.length sent_items;
     corrupted = List.length (List.filter (fun i -> i.corrupt) sent_items);
     disconnects;
+    retransmits;
     responses = a.a_responses;
     ok = a.a_ok;
     degraded = a.a_degraded;
     rejected = a.a_rejected;
     unanswered = a.a_unanswered;
+    duplicates = a.a_duplicates;
     mismatches = a.a_mismatches;
     per_sec;
     server;
   }
 
-let failures ?(chaos = false) o =
+let failures ?(chaos = false) ?(exactly_once = false) o =
   let fail = ref [] in
   let add fmt = Printf.ksprintf (fun s -> fail := s :: !fail) fmt in
   if o.mismatches > 0 then
     add "%d ok response(s) differ from the serial batch bytes" o.mismatches;
+  if exactly_once then begin
+    (* The crash-restart oracle: after reconnect + retransmit against a
+       durable server, every clean instance is answered — exactly once.
+       A duplicate can only be counted against a clean run (corruption
+       can alias an innocent id). *)
+    if o.unanswered > 0 then
+      add "%d instance(s) never answered after retransmit" o.unanswered;
+    if o.corrupted = 0 && o.duplicates > 0 then
+      add "%d duplicate response(s) for already-answered id(s)" o.duplicates
+  end;
   if not chaos then begin
     (* Completeness is only ours to assert in-process, where the server
        outlives the plan by construction. An external daemon may be
@@ -228,10 +275,11 @@ let failures ?(chaos = false) o =
 
 let pp ppf o =
   Format.fprintf ppf
-    "sent %d (corrupt %d, disconnects %d) -> responses %d: ok %d degraded %d \
-     rejected %d unanswered %d mismatches %d at %.0f/s"
-    o.sent o.corrupted o.disconnects o.responses o.ok o.degraded o.rejected
-    o.unanswered o.mismatches o.per_sec
+    "sent %d (corrupt %d, disconnects %d, retransmits %d) -> responses %d: ok \
+     %d degraded %d rejected %d unanswered %d duplicates %d mismatches %d at \
+     %.0f/s"
+    o.sent o.corrupted o.disconnects o.retransmits o.responses o.ok o.degraded
+    o.rejected o.unanswered o.duplicates o.mismatches o.per_sec
 
 (* ---------- in-process mode ---------- *)
 
@@ -243,7 +291,8 @@ let run_inproc ?chaos ~config ~instances ~families ~n () =
   (* Client halves run on their own domains; the server loop keeps the
      calling domain, exactly as in production. A chaos disconnect in
      pipe mode is a torn tail: the writer stops mid-frame and hangs
-     up, which is all a pipe can express. *)
+     up, which is all a pipe can express; a respond-disconnect sends
+     its frame whole and then hangs up. *)
   let writer =
     Domain.spawn (fun () ->
         let sent = ref [] in
@@ -255,6 +304,12 @@ let run_inproc ?chaos ~config ~instances ~families ~n () =
                  incr disconnects;
                  write_all c2s_w it.wire 0
                    (max 1 (String.length it.wire / 2));
+                 raise Exit
+               end
+               else if it.respond_disconnect then begin
+                 incr disconnects;
+                 write_all c2s_w it.wire 0 (String.length it.wire);
+                 sent := it :: !sent;
                  raise Exit
                end
                else begin
@@ -273,22 +328,45 @@ let run_inproc ?chaos ~config ~instances ~families ~n () =
   let sent_items, disconnects = Domain.join writer in
   let payloads = Domain.join reader in
   (try Unix.close s2c_r with Unix.Unix_error _ -> ());
-  outcome_of ~sent_items ~payloads ~disconnects
+  outcome_of ~sent_items ~payloads ~disconnects ~retransmits:0
     ~per_sec:stats.Server.health.Health.per_sec ~server:(Some stats)
 
 (* ---------- socket client mode ---------- *)
 
-let run_socket ?chaos ~path ~instances ~families ~n () =
+let run_socket ?chaos ?(reconnect = 0) ?(retransmit = 0) ?(seed = 0) ~path
+    ~instances ~families ~n () =
   ignore_sigpipe ();
   let items = plan_items ?chaos ~instances ~families ~n () in
   let started = Unix.gettimeofday () in
   let collected = ref [] in
   let reader = ref None in
-  let connect () =
+  let retransmits = ref 0 in
+  let connect_once () =
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    Unix.connect fd (Unix.ADDR_UNIX path);
-    reader := Some (Domain.spawn (fun () -> read_responses fd));
-    fd
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () ->
+      reader := Some (Domain.spawn (fun () -> read_responses fd));
+      fd
+    | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+  in
+  (* Reconnects ride the seeded backoff: the server of a crash-resume
+     run is allowed to be dead for a few hundred milliseconds while it
+     restarts, and two runs of the same seed wait out the same
+     schedule. *)
+  let connect () =
+    let rec go attempt =
+      match connect_once () with
+      | fd -> fd
+      | exception
+          Unix.Unix_error
+            ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.ECONNRESET), _, _)
+        when attempt < reconnect ->
+        Unix.sleepf (backoff_s ~seed ~attempt);
+        go (attempt + 1)
+    in
+    go 0
   in
   (* The reader must be joined before its fd is closed: close would
      recycle the fd number under a domain still blocked in [read].
@@ -301,39 +379,111 @@ let run_socket ?chaos ~path ~instances ~families ~n () =
       reader := None
   in
   let sent = ref [] in
+  let sent_ids = Hashtbl.create 997 in
   let disconnects = ref 0 in
   let fd = ref (connect ()) in
+  let drop_conn ~how =
+    (try Unix.shutdown !fd how with Unix.Unix_error _ -> ());
+    join_reader ();
+    try Unix.close !fd with Unix.Unix_error _ -> ()
+  in
+  let note_sent it =
+    if not (Hashtbl.mem sent_ids it.spec.Instance.id) then begin
+      Hashtbl.replace sent_ids it.spec.Instance.id ();
+      sent := it :: !sent
+    end
+  in
+  (* One frame, surviving mid-write server death when the reconnect
+     budget allows: hang up, back off, reconnect, write the frame again
+     from the start (the server sees the torn prefix as a torn stream;
+     the durable server dedups the re-sent frame by key). *)
+  let send_frame wire =
+    let rec go attempt =
+      try write_all !fd wire 0 (String.length wire)
+      with Server_gone ->
+        if attempt >= reconnect then raise Server_gone;
+        drop_conn ~how:Unix.SHUTDOWN_ALL;
+        Unix.sleepf (backoff_s ~seed ~attempt);
+        fd := connect ();
+        incr retransmits;
+        go (attempt + 1)
+    in
+    go 0
+  in
   (try
      List.iter
        (fun it ->
          if it.disconnect then begin
            (* A real mid-frame hangup: strict prefix, then a new
-              connection for the rest of the plan. The frames the
-              server had accepted but not answered become its
-              dropped_disconnect count, not ours. *)
+              connection for the rest of the plan. Without a journal,
+              the frames the server had accepted but not answered
+              become its dropped_disconnect count, not ours. *)
            incr disconnects;
            (try write_all !fd it.wire 0 (max 1 (String.length it.wire / 2))
             with Server_gone -> ());
-           (try Unix.shutdown !fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
-           join_reader ();
-           (try Unix.close !fd with Unix.Unix_error _ -> ());
+           drop_conn ~how:Unix.SHUTDOWN_ALL;
+           fd := connect ()
+         end
+         else if it.respond_disconnect then begin
+           (* The frame arrives whole; the client is gone before the
+              answer can be written. A durable server journals that
+              answer and replays it to the retransmit. *)
+           incr disconnects;
+           (try write_all !fd it.wire 0 (String.length it.wire)
+            with Server_gone -> ());
+           note_sent it;
+           drop_conn ~how:Unix.SHUTDOWN_ALL;
            fd := connect ()
          end
          else begin
-           write_all !fd it.wire 0 (String.length it.wire);
-           sent := it :: !sent
+           send_frame it.wire;
+           note_sent it
          end)
-       items
-   with Server_gone -> ());
-  (* Half-close: the server sees EOF, flushes its backlog, and the
-     reader domain still gets every response before its own EOF. *)
-  (try Unix.shutdown !fd Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
-  join_reader ();
-  (try Unix.close !fd with Unix.Unix_error _ -> ());
+       items;
+     (* Half-close: the server sees EOF, flushes its backlog, and the
+        reader domain still gets every response before its own EOF. *)
+     drop_conn ~how:Unix.SHUTDOWN_SEND
+   with Server_gone | Unix.Unix_error _ -> drop_conn ~how:Unix.SHUTDOWN_ALL);
+  (* Retransmit rounds: resend every clean item whose id has no
+     response yet, on a fresh connection each round. Against a durable
+     server every round is answered from the journal (or by the
+     recovered dispatch), so one round usually empties the set. *)
+  (try
+     let round = ref 0 in
+     while !round < retransmit do
+       incr round;
+       let answered = Hashtbl.create 997 in
+       List.iter
+         (fun p ->
+           match response_parts p with
+           | Some id, Some _ -> Hashtbl.replace answered id ()
+           | _ -> ())
+         !collected;
+       let missing =
+         List.filter
+           (fun (it : item) ->
+             (not it.corrupt)
+             && not (Hashtbl.mem answered it.spec.Instance.id))
+           items
+       in
+       if missing = [] then round := retransmit
+       else begin
+         fd := connect ();
+         List.iter
+           (fun (it : item) ->
+             let wire = Frame.encode (Instance.request_json it.spec) in
+             send_frame wire;
+             incr retransmits;
+             note_sent it)
+           missing;
+         drop_conn ~how:Unix.SHUTDOWN_SEND
+       end
+     done
+   with Server_gone | Unix.Unix_error _ -> drop_conn ~how:Unix.SHUTDOWN_ALL);
   let wall = Unix.gettimeofday () -. started in
   let payloads = !collected in
   let per_sec =
     if wall <= 0. then 0. else float_of_int (List.length payloads) /. wall
   in
   outcome_of ~sent_items:(List.rev !sent) ~payloads ~disconnects:!disconnects
-    ~per_sec ~server:None
+    ~retransmits:!retransmits ~per_sec ~server:None

@@ -18,12 +18,14 @@
 type outcome = {
   sent : int;  (** frames fully written to the wire *)
   corrupted : int;  (** frames sent with a chaos-flipped payload byte *)
-  disconnects : int;  (** chaos mid-frame connection closes *)
+  disconnects : int;  (** chaos connection closes (mid-frame or on-respond) *)
+  retransmits : int;  (** request frames sent again after a reconnect *)
   responses : int;  (** response frames read back *)
   ok : int;
   degraded : int;
   rejected : int;
   unanswered : int;  (** fully-sent clean frames with no response *)
+  duplicates : int;  (** extra responses for an already-answered id *)
   mismatches : int;  (** ok responses differing from the batch bytes *)
   per_sec : float;  (** server-side rate in-process, client-side over a socket *)
   server : Server.stats option;  (** in-process mode only *)
@@ -53,6 +55,9 @@ val run_inproc :
 
 val run_socket :
   ?chaos:Bap_chaos.Harness.t ->
+  ?reconnect:int ->
+  ?retransmit:int ->
+  ?seed:int ->
   path:string ->
   instances:int ->
   families:Instance.family list ->
@@ -62,11 +67,23 @@ val run_socket :
 (** Drive an external daemon. The daemon's lifetime is not ours (the
     CI smoke SIGTERMs it mid-load), so completeness is reported rather
     than asserted — but byte-identity of every [ok] response remains a
-    hard check. Chaos disconnects really close the socket mid-frame
-    and reconnect. *)
+    hard check. Chaos disconnects really close the socket (mid-frame
+    or after the frame, before the response) and reconnect.
 
-val failures : ?chaos:bool -> outcome -> string list
+    [reconnect] (default 0) is the budget of reconnect attempts per
+    failure, waited out with deterministic seeded backoff ([seed]):
+    the client of a crash-resume run survives the server's restart
+    window. [retransmit] (default 0) is the number of rounds in which
+    every clean item whose id is still unanswered is re-sent on a
+    fresh connection — against a durable server the journal answers
+    them, each exactly once. *)
+
+val failures : ?chaos:bool -> ?exactly_once:bool -> outcome -> string list
 (** The oracle verdict: human-readable failure lines, empty on pass.
-    [chaos] relaxes completeness exactly as documented above. *)
+    [chaos] relaxes completeness exactly as documented above;
+    [exactly_once] tightens it into the crash-restart oracle — every
+    clean instance answered ([unanswered = 0] even under chaos) and,
+    when nothing was corrupted, answered exactly once
+    ([duplicates = 0]). *)
 
 val pp : Format.formatter -> outcome -> unit

@@ -2,8 +2,9 @@
    parallelism. The loop's invariants:
 
    - every frame read produces exactly one response frame, unless the
-     client is gone (counted as dropped) or the stream died before the
-     frame completed (counted as torn);
+     client is gone (journaled for later replay when durable, counted
+     as dropped when not) or the stream died before the frame completed
+     (counted as torn);
    - in-process buffering is bounded by (queue_capacity + one decoder
      chunk + one max_frame): overload is shed at admission, not
      absorbed;
@@ -15,7 +16,17 @@
    already buffered, and a dispatch fires as soon as the input goes
    momentarily quiet or the batch cap is reached. Light load therefore
    gets per-request latency close to one instance's cost; sustained
-   load gets full batches and the pool's throughput. *)
+   load gets full batches and the pool's throughput.
+
+   Durability (ISSUE 9): with [journal_path] set, every admitted
+   instance is logged at accept and again at respond — the respond
+   record is flushed before the response frame touches the wire. A
+   SIGKILL therefore loses nothing accepted: [resume] replays the
+   journal's valid prefix, re-dispatches every accepted-unanswered
+   instance through the normal Dispatch path before the first
+   connection, and answers retransmits of already-answered keys by
+   replaying the journaled bytes verbatim. Each accepted instance is
+   answered exactly once across incarnations. *)
 
 module Pool = Bap_exec.Pool
 module Supervisor = Bap_exec.Supervisor
@@ -31,6 +42,9 @@ type config = {
   seed : int;
   inject :
     (key:string -> attempt:int -> Bap_exec.Supervisor.injected option) option;
+  journal_path : string option;
+  resume : bool;
+  kill9 : (key:string -> bool) option;
 }
 
 let default_config =
@@ -43,6 +57,9 @@ let default_config =
     max_frame = Frame.default_max_len;
     seed = 0;
     inject = None;
+    journal_path = None;
+    resume = false;
+    kill9 = None;
   }
 
 type stats = {
@@ -56,8 +73,12 @@ type stats = {
   rejected_invalid : int;
   rejected_draining : int;
   dropped_disconnect : int;
+  recovered : int;
+  replayed : int;
+  suppressed : int;
   torn_streams : int;
   poisoned_streams : int;
+  durable : bool;
   wall_s : float;
   health : Health.summary;
   exit_code : int;
@@ -101,6 +122,7 @@ type server = {
   adm : Admission.t;
   disp : Dispatch.t;
   health : Health.t;
+  journal : Journal.t option;
   started : float;
   mutable connections : int;
   mutable responded : int;
@@ -110,11 +132,19 @@ type server = {
   mutable rej_malformed : int;
   mutable rej_invalid : int;
   mutable rej_draining : int;
+  mutable dropped : int;
+      (* explicitly counted at each drop site, never derived (the old
+         accepted - responded derivation double-counts once resumed
+         instances answer in a later incarnation) *)
+  mutable recovered_n : int;
+  mutable replayed : int;
+  mutable suppressed : int;
   mutable torn : int;
   mutable poisoned : int;
 }
 
 exception Client_gone
+exception Kill9 of string
 
 let now_us () = Unix.gettimeofday () *. 1e6
 
@@ -144,14 +174,14 @@ let read_chunk fd chunk =
 
 (* ---------- responses ---------- *)
 
-let send_response srv out_fd (resp : Instance.response) =
+let write_frame out_fd json =
+  let wire = Frame.encode json in
+  write_all out_fd (Bytes.unsafe_of_string wire) 0 (String.length wire)
+
+(* Rejections are not accepted work: no journal record, no drop
+   accounting — one typed frame and done. *)
+let send_rejection srv out_fd (resp : Instance.response) =
   (match resp with
-  | Instance.Done _ ->
-    srv.completed <- srv.completed + 1;
-    srv.responded <- srv.responded + 1
-  | Instance.Degraded _ ->
-    srv.degraded <- srv.degraded + 1;
-    srv.responded <- srv.responded + 1
   | Instance.Rejected { reason; _ } -> (
     match reason with
     | Instance.Overload -> srv.rej_overload <- srv.rej_overload + 1
@@ -161,39 +191,118 @@ let send_response srv out_fd (resp : Instance.response) =
     | Instance.Invalid _ ->
       srv.rej_invalid <- srv.rej_invalid + 1;
       Tel.Metrics.counter "serve.rejected.invalid" 1
-    | Instance.Draining -> srv.rej_draining <- srv.rej_draining + 1));
-  let wire = Frame.encode (Instance.response_to_json resp) in
-  write_all out_fd (Bytes.unsafe_of_string wire) 0 (String.length wire)
+    | Instance.Draining -> srv.rej_draining <- srv.rej_draining + 1)
+  | Instance.Done _ | Instance.Degraded _ -> ());
+  write_frame out_fd (Instance.response_to_json resp)
+
+let count_answered srv (resp : Instance.response) =
+  (match resp with
+  | Instance.Done _ -> srv.completed <- srv.completed + 1
+  | Instance.Degraded _ -> srv.degraded <- srv.degraded + 1
+  | Instance.Rejected _ -> ());
+  srv.responded <- srv.responded + 1
+
+(* Answer one accepted entry. Order is the durability contract:
+   kill9 probe (the crash point chaos exercises), journal respond +
+   flush, counters, then the frame. An answer counts as responded once
+   it is durable or delivered; with no journal and a vanished client it
+   is an explicit drop. [out_fd = None] answers into the journal only —
+   the Client_gone backlog and resume recovery use that. *)
+let answer_entry srv out_fd (spec : Instance.spec) (resp : Instance.response) =
+  let key = Instance.key spec in
+  (match srv.cfg.kill9 with
+  | Some probe when probe ~key -> raise (Kill9 key)
+  | _ -> ());
+  let json = Instance.response_to_json resp in
+  let journaled =
+    match srv.journal with
+    | Some j ->
+      Journal.respond j ~key json;
+      (* A degraded journal holds nothing: only an active one makes an
+         undelivered answer durable. *)
+      Journal.active j
+    | None -> false
+  in
+  let write_err =
+    match out_fd with
+    | None -> None
+    | Some fd -> ( try write_frame fd json; None with Client_gone -> Some Client_gone)
+  in
+  let delivered = out_fd <> None && write_err = None in
+  if journaled || delivered then count_answered srv resp
+  else begin
+    (* Not durable and the client vanished mid-write: the answer is
+       gone. Count the drop here, at the site, never by derivation. *)
+    srv.dropped <- srv.dropped + 1;
+    Tel.Metrics.counter "serve.dropped_disconnect" 1
+  end;
+  match write_err with Some e -> raise e | None -> ()
+
+let enqueue_spec srv out_fd spec =
+  match Admission.offer srv.adm ~now_us:(now_us ()) spec with
+  | Admission.Enqueued -> (
+    match srv.journal with
+    | Some j -> ignore (Journal.accept j spec)
+    | None -> ())
+  | Admission.Shed reason ->
+    send_rejection srv out_fd
+      (Instance.Rejected { id = spec.Instance.id; reason })
 
 let process_payload srv out_fd payload =
   match Instance.parse payload with
   | Error (`Malformed msg) ->
-    send_response srv out_fd
+    send_rejection srv out_fd
       (Instance.Rejected { id = -1; reason = Instance.Malformed msg })
   | Error (`Invalid (id, msg)) ->
-    send_response srv out_fd
+    send_rejection srv out_fd
       (Instance.Rejected { id; reason = Instance.Invalid msg })
   | Ok spec -> (
-    match Admission.offer srv.adm ~now_us:(now_us ()) spec with
-    | Admission.Enqueued -> ()
-    | Admission.Shed reason ->
-      send_response srv out_fd
-        (Instance.Rejected { id = spec.Instance.id; reason }))
+    match srv.journal with
+    | None -> enqueue_spec srv out_fd spec
+    | Some j -> (
+      match Journal.lookup j (Instance.key spec) with
+      | Some (Journal.Answered bytes) ->
+        (* Already answered (this or a previous incarnation): replay
+           the journaled bytes verbatim — never re-execute. *)
+        srv.replayed <- srv.replayed + 1;
+        Tel.Metrics.counter "serve.replayed" 1;
+        write_frame out_fd bytes
+      | Some (Journal.Pending _) ->
+        (* An earlier accept owns this key and will answer it; a second
+           response would break exactly-once. *)
+        srv.suppressed <- srv.suppressed + 1;
+        Tel.Metrics.counter "serve.suppressed" 1
+      | None -> enqueue_spec srv out_fd spec))
 
-let dispatch_queued srv out_fd =
-  let batch = Admission.take_batch srv.adm ~max:srv.cfg.batch in
-  if batch <> [] then begin
+(* Dispatch one batch and answer it. [out_fd = None] (client gone,
+   journal on) answers into the journal only. A client vanishing
+   mid-batch flips the rest of the batch to the no-client path — the
+   work is already done; it is journaled when durable, or an explicit
+   drop when not — then re-raises. *)
+let dispatch_entries srv out_fd entries =
+  if entries <> [] then begin
     let responses =
       Tel.span ~cat:"serve" ~name:"dispatch"
-        ~attrs:(fun () -> [ ("batch", Tel.Int (List.length batch)) ])
-        (fun () -> Dispatch.run srv.disp batch)
+        ~attrs:(fun () -> [ ("batch", Tel.Int (List.length entries)) ])
+        (fun () -> Dispatch.run srv.disp entries)
     in
+    let gone = ref false in
     List.iter
       (fun ((e : Admission.entry), resp) ->
-        send_response srv out_fd resp;
-        Health.record_latency srv.health ~us:(now_us () -. e.Admission.arrival_us))
-      responses
+        let out = if !gone then None else out_fd in
+        match answer_entry srv out e.Admission.spec resp with
+        | () ->
+          if out <> None then
+            Health.record_latency srv.health
+              ~us:(now_us () -. e.Admission.arrival_us)
+        | exception Client_gone -> gone := true)
+      responses;
+    if !gone then raise Client_gone
   end
+
+let dispatch_queued srv out_fd =
+  dispatch_entries srv out_fd
+    (Admission.take_batch srv.adm ~max:srv.cfg.batch)
 
 (* Finish every accepted entry. Called on EOF, drain, and poisoned
    streams: accepted work is answered, never silently dropped. *)
@@ -201,6 +310,44 @@ let flush_backlog srv out_fd =
   while Admission.depth srv.adm > 0 do
     dispatch_queued srv out_fd
   done
+
+(* Re-dispatch every accepted-unanswered instance from the journal,
+   before the first connection. The answers land in the journal as
+   respond records; the clients that owned them are gone, so delivery
+   happens when they reconnect and retransmit (journal lookup ->
+   replay). Runs through the normal Dispatch/supervisor path: a
+   poisoned recovered instance degrades, never aborts, the restart. *)
+let recover_pending srv =
+  match srv.journal with
+  | None -> ()
+  | Some j ->
+    let pending = Journal.recovered j in
+    if pending <> [] then begin
+      let n = List.length pending in
+      srv.recovered_n <- n;
+      Printf.eprintf
+        "[serve] resume: re-dispatching %d accepted-unanswered instance(s)\n%!"
+        n;
+      Tel.span ~cat:"serve" ~name:"recover"
+        ~attrs:(fun () -> [ ("pending", Tel.Int n) ])
+        (fun () ->
+          let rec batches = function
+            | [] -> ()
+            | rest ->
+              let k = min srv.cfg.batch (List.length rest) in
+              let batch = List.filteri (fun i _ -> i < k) rest in
+              let tail = List.filteri (fun i _ -> i >= k) rest in
+              let entries =
+                List.map
+                  (fun (_key, spec) ->
+                    { Admission.spec; arrival_us = now_us () })
+                  batch
+              in
+              dispatch_entries srv None entries;
+              batches tail
+          in
+          batches pending)
+    end
 
 (* ---------- one connection ---------- *)
 
@@ -219,7 +366,7 @@ let serve_connection srv ~in_fd ~out_fd =
     | Frame.Oversized n ->
       srv.poisoned <- srv.poisoned + 1;
       Tel.Metrics.counter "serve.poisoned_streams" 1;
-      send_response srv out_fd
+      send_rejection srv out_fd
         (Instance.Rejected
            {
              id = -1;
@@ -232,7 +379,7 @@ let serve_connection srv ~in_fd ~out_fd =
       `Poisoned
   in
   let finish ~torn =
-    flush_backlog srv out_fd;
+    flush_backlog srv (Some out_fd);
     if torn then begin
       srv.torn <- srv.torn + 1;
       Tel.Metrics.counter "serve.torn_streams" 1
@@ -245,7 +392,7 @@ let serve_connection srv ~in_fd ~out_fd =
       | `Poisoned -> finish ~torn:false
       | `More ->
         if Admission.depth srv.adm >= srv.cfg.batch then begin
-          dispatch_queued srv out_fd;
+          dispatch_queued srv (Some out_fd);
           loop ()
         end
         else begin
@@ -260,7 +407,7 @@ let serve_connection srv ~in_fd ~out_fd =
           else if Admission.depth srv.adm > 0 then begin
             (* Input went quiet with work queued: dispatch now, favouring
                latency over batch fill. *)
-            dispatch_queued srv out_fd;
+            dispatch_queued srv (Some out_fd);
             loop ()
           end
           else loop ()
@@ -268,24 +415,35 @@ let serve_connection srv ~in_fd ~out_fd =
   in
   try loop () with
   | Client_gone ->
-    (* Nobody is listening: answering the backlog would block forever,
-       so it is dropped — visibly (the exact count is derived at
-       finalize as accepted - responded, covering the batch that was
-       mid-dispatch too). *)
-    let lost = Admission.depth srv.adm in
-    ignore (Admission.take_batch srv.adm ~max:lost);
-    Tel.Metrics.counter "serve.dropped_disconnect" lost;
+    (* Nobody is listening. With a journal the accepted backlog is
+       still executed and journaled — the answers are durable and
+       replayed when the client reconnects and retransmits, so nothing
+       is dropped. Without one, answering would block forever: the
+       backlog is dropped, each entry explicitly counted at this site. *)
+    (match srv.journal with
+    | Some _ -> flush_backlog srv None
+    | None ->
+      let lost = Admission.depth srv.adm in
+      ignore (Admission.take_batch srv.adm ~max:lost);
+      srv.dropped <- srv.dropped + lost;
+      Tel.Metrics.counter "serve.dropped_disconnect" lost);
     srv.torn <- srv.torn + 1;
     Tel.Metrics.counter "serve.torn_streams" 1
 
 (* ---------- serve entry points ---------- *)
 
 let make_server cfg disp =
+  let journal =
+    Option.map
+      (fun path -> Journal.open_ ~resume:cfg.resume ~path ())
+      cfg.journal_path
+  in
   {
     cfg;
     adm = Admission.create ~capacity:cfg.queue_capacity;
     disp;
     health = Health.create ();
+    journal;
     started = Unix.gettimeofday ();
     connections = 0;
     responded = 0;
@@ -295,26 +453,43 @@ let make_server cfg disp =
     rej_malformed = 0;
     rej_invalid = 0;
     rej_draining = 0;
+    dropped = 0;
+    recovered_n = 0;
+    replayed = 0;
+    suppressed = 0;
     torn = 0;
     poisoned = 0;
   }
 
 let finalize srv =
   let wall_s = Unix.gettimeofday () -. srv.started in
-  let accepted = Admission.accepted_total srv.adm in
+  (* Journal-derived accounting when durable: accepted and responded
+     are the union across incarnations (the journal is the ledger), so
+     accepted = responded after a clean recovery. Without a journal the
+     counters are this-process, and dropped is the explicitly counted
+     total — never the accepted - responded derivation. *)
+  let accepted, responded =
+    match srv.journal with
+    | Some j -> (Journal.accepted j, Journal.answered j)
+    | None -> (Admission.accepted_total srv.adm, srv.responded)
+  in
   {
     connections = srv.connections;
     accepted;
-    responded = srv.responded;
+    responded;
     completed = srv.completed;
     degraded = srv.degraded;
     rejected_overload = srv.rej_overload;
     rejected_malformed = srv.rej_malformed;
     rejected_invalid = srv.rej_invalid;
     rejected_draining = srv.rej_draining;
-    dropped_disconnect = accepted - srv.responded;
+    dropped_disconnect = srv.dropped;
+    recovered = srv.recovered_n;
+    replayed = srv.replayed;
+    suppressed = srv.suppressed;
     torn_streams = srv.torn;
     poisoned_streams = srv.poisoned;
+    durable = (match srv.journal with Some j -> Journal.active j | None -> false);
     wall_s;
     health = Health.summarize srv.health ~wall_s;
     exit_code = (if draining () then drain_code () else 0);
@@ -336,8 +511,13 @@ let with_server cfg f =
   Supervisor.with_supervisor scfg (fun sup ->
       Pool.with_pool ~jobs:cfg.jobs (fun pool ->
           let srv = make_server cfg (Dispatch.create ~pool ~supervisor:sup) in
-          f srv;
-          finalize srv))
+          Fun.protect
+            ~finally:(fun () ->
+              match srv.journal with Some j -> Journal.close j | None -> ())
+            (fun () ->
+              recover_pending srv;
+              f srv;
+              finalize srv)))
 
 let serve_fds cfg ~in_fd ~out_fd =
   with_server cfg (fun srv ->
@@ -375,17 +555,23 @@ let serve_socket cfg ~path =
 
 let report (s : stats) =
   String.concat "\n"
-    [
-      Printf.sprintf "[serve] %d connection(s) in %.2fs, exit %d" s.connections
-        s.wall_s s.exit_code;
-      Printf.sprintf "[serve] accepted=%d responded=%d dropped=%d" s.accepted
-        s.responded s.dropped_disconnect;
-      Printf.sprintf "[serve] completed=%d degraded=%d" s.completed s.degraded;
-      Printf.sprintf
-        "[serve] rejected: overload=%d malformed=%d invalid=%d draining=%d"
-        s.rejected_overload s.rejected_malformed s.rejected_invalid
-        s.rejected_draining;
-      Printf.sprintf "[serve] streams: torn=%d poisoned=%d" s.torn_streams
-        s.poisoned_streams;
-      Format.asprintf "[serve] %a" Health.pp_summary s.health;
-    ]
+    ([
+       Printf.sprintf "[serve] %d connection(s) in %.2fs, exit %d"
+         s.connections s.wall_s s.exit_code;
+       Printf.sprintf "[serve] accepted=%d responded=%d dropped=%d" s.accepted
+         s.responded s.dropped_disconnect;
+       Printf.sprintf "[serve] completed=%d degraded=%d" s.completed s.degraded;
+       Printf.sprintf
+         "[serve] rejected: overload=%d malformed=%d invalid=%d draining=%d"
+         s.rejected_overload s.rejected_malformed s.rejected_invalid
+         s.rejected_draining;
+       Printf.sprintf "[serve] streams: torn=%d poisoned=%d" s.torn_streams
+         s.poisoned_streams;
+     ]
+    @ (if s.durable then
+         [
+           Printf.sprintf "[serve] journal: recovered=%d replayed=%d suppressed=%d"
+             s.recovered s.replayed s.suppressed;
+         ]
+       else [])
+    @ [ Format.asprintf "[serve] %a" Health.pp_summary s.health ])

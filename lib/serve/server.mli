@@ -17,7 +17,15 @@
     - {b poisoned instances}: crashes and watchdog timeouts retry
       deterministically, then degrade to a [Degraded] response;
     - {b drain}: SIGTERM/SIGINT stop admission, finish the accepted
-      backlog, flush telemetry, and exit 143/130 — never mid-write.
+      backlog, flush telemetry, and exit 143/130 — never mid-write;
+    - {b SIGKILL / power loss}: with [journal_path] set, every
+      admitted instance is journaled at accept and its answer is
+      journaled (and flushed) {e before} the response frame is
+      written. A [resume] restart replays the journal's valid prefix,
+      re-dispatches every accepted-unanswered instance, and answers
+      retransmits of already-answered keys by replaying the journaled
+      bytes — each accepted instance is answered {e exactly once}
+      across incarnations.
 
     The loop runs on the calling domain; instance execution is the
     only parallel part. *)
@@ -33,16 +41,30 @@ type config = {
   inject :
     (key:string -> attempt:int -> Bap_exec.Supervisor.injected option) option;
       (** chaos hook into instance attempts *)
+  journal_path : string option;
+      (** instance journal location; [None] = no durability *)
+  resume : bool;
+      (** replay the journal's valid prefix and re-dispatch its
+          accepted-unanswered instances before the first connection *)
+  kill9 : (key:string -> bool) option;
+      (** chaos crash probe, polled just before each answer is
+          journaled; [true] raises {!Kill9} — equivalent to a SIGKILL
+          at the worst point, since every journal record is already
+          flushed *)
 }
 
 val default_config : config
 (** jobs 1, queue 1024, batch 64, retries 2, timeout 10s, 1 MiB
-    frames, seed 0, no injection. *)
+    frames, seed 0, no injection, no journal, no kill9. *)
 
 type stats = {
   connections : int;
-  accepted : int;  (** admitted past the queue gate *)
-  responded : int;  (** accepted instances answered (ok or degraded) *)
+  accepted : int;
+      (** admitted past the queue gate; journal-derived (distinct keys,
+          union across incarnations) when durable *)
+  responded : int;
+      (** accepted instances answered (ok or degraded); journal-derived
+          when durable *)
   completed : int;
   degraded : int;
   rejected_overload : int;
@@ -50,14 +72,27 @@ type stats = {
   rejected_invalid : int;
   rejected_draining : int;
   dropped_disconnect : int;
-      (** accepted instances whose client vanished before the response
-          could be written — nonzero only under client disconnects *)
+      (** accepted instances whose answer was lost to a vanished
+          client — explicitly counted at each drop site, never derived;
+          always 0 when durable (the backlog is journaled instead) *)
+  recovered : int;
+      (** accepted-unanswered instances re-dispatched at resume *)
+  replayed : int;  (** retransmits answered from the journal verbatim *)
+  suppressed : int;
+      (** duplicate accepts of a still-pending key, not enqueued twice *)
   torn_streams : int;
   poisoned_streams : int;  (** connections killed by an oversized prefix *)
+  durable : bool;
+      (** journaling was configured and still active at exit *)
   wall_s : float;
   health : Health.summary;
   exit_code : int;  (** 0 on EOF, 130/143 after a drain signal *)
 }
+
+exception Kill9 of string
+(** Raised out of the serve call when the [kill9] probe fires; the
+    argument is the instance key at the crash point. In-process chaos
+    only — the daemon turns the probe into a real [SIGKILL]. *)
 
 val serve_fds : config -> in_fd:Unix.file_descr -> out_fd:Unix.file_descr -> stats
 (** Serve one frame stream (the stdin/stdout mode). Returns after EOF
@@ -81,4 +116,4 @@ val install_signal_handlers : unit -> unit
 val report : stats -> string
 (** Human summary, one line per concern; includes the
     ["accepted=N responded=N dropped=N"] line the serve-smoke CI job
-    greps. *)
+    greps, plus a journal line when durable. *)

@@ -9,6 +9,8 @@ module Admission = Bap_servelib.Admission
 module Dispatch = Bap_servelib.Dispatch
 module Server = Bap_servelib.Server
 module Load = Bap_servelib.Load
+module Journal = Bap_servelib.Journal
+module Health = Bap_servelib.Health
 module Pool = Bap_exec.Pool
 module Supervisor = Bap_exec.Supervisor
 module Harness = Bap_chaos.Harness
@@ -331,6 +333,269 @@ let test_drain_answers_backlog () =
       | _ -> Alcotest.fail "response for unknown id")
     !got
 
+(* ---------- frame decoder state isolation ---------- *)
+
+let test_decoder_state_isolation () =
+  (* Two connections, two decoders: an oversized prefix poisoning one
+     must not perturb the other's torn-tail resume — decoder state is
+     per-connection, never shared. *)
+  let a = Frame.decoder ~max_len:64 () in
+  let b = Frame.decoder ~max_len:64 () in
+  let wire = Frame.encode "payload-one" ^ Frame.encode "payload-two" in
+  let cut = String.length wire - 3 in
+  Frame.feed_string b (String.sub wire 0 cut);
+  (match Frame.next b with
+  | Frame.Frame p -> Alcotest.(check string) "b decodes its first frame" "payload-one" p
+  | _ -> Alcotest.fail "b lost its first frame");
+  (* Poison a while b is holding a torn tail. *)
+  Frame.feed_string a (Frame.encode (String.make 65 'x'));
+  (match Frame.next a with
+  | Frame.Oversized _ -> ()
+  | _ -> Alcotest.fail "a not poisoned by the oversized prefix");
+  Alcotest.(check bool) "a poisoned" true (Frame.poisoned a);
+  Alcotest.(check bool) "b unaffected" false (Frame.poisoned b);
+  (* b resumes its torn frame as if a did not exist. *)
+  Frame.feed_string b (String.sub wire cut 3);
+  (match Frame.next b with
+  | Frame.Frame p -> Alcotest.(check string) "b resumes the torn frame" "payload-two" p
+  | _ -> Alcotest.fail "b failed to resume after a was poisoned");
+  (match Frame.next b with
+  | Frame.Await -> ()
+  | _ -> Alcotest.fail "b has trailing junk");
+  (* And a stays dead: poison does not leak out, or heal, across
+     another decoder's traffic. *)
+  Frame.feed_string a (Frame.encode "ok");
+  match Frame.next a with
+  | Frame.Oversized _ -> ()
+  | _ -> Alcotest.fail "a resynchronised across b's traffic"
+
+(* ---------- health quantile edges ---------- *)
+
+let test_health_quantile_edges () =
+  (* Zero samples: quantiles are 0, never a scan off the end. *)
+  let h0 = Health.create () in
+  Alcotest.(check int) "empty count" 0 (Health.count h0);
+  Alcotest.(check int) "empty quantile" 0 (Health.quantile h0 0.5);
+  let s0 = Health.summarize h0 ~wall_s:1.0 in
+  Alcotest.(check int) "empty p99" 0 s0.Health.p99_us;
+  Alcotest.(check int) "empty max" 0 s0.Health.max_us;
+  (* One sample: every quantile is that sample (the bucket bound is
+     capped at the observed max), including clamped out-of-range q. *)
+  let h1 = Health.create () in
+  Health.record_latency h1 ~us:100.;
+  List.iter
+    (fun q ->
+      Alcotest.(check int) "single-sample quantile" 100 (Health.quantile h1 q))
+    [ -1.; 0.; 0.5; 0.99; 1.; 2. ];
+  (* All-equal: p50 = p99 = max exactly, not merely within a bucket. *)
+  let h2 = Health.create () in
+  for _ = 1 to 1000 do
+    Health.record_latency h2 ~us:250.
+  done;
+  let s2 = Health.summarize h2 ~wall_s:2.0 in
+  Alcotest.(check int) "all-equal p50" 250 s2.Health.p50_us;
+  Alcotest.(check int) "all-equal p99" 250 s2.Health.p99_us;
+  Alcotest.(check int) "all-equal max" 250 s2.Health.max_us;
+  Alcotest.(check (float 0.001)) "per_sec" 500. s2.Health.per_sec
+
+(* ---------- the instance journal ---------- *)
+
+let with_temp_path prefix f =
+  let path = Filename.temp_file prefix ".tmp" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let test_journal_exactly_once () =
+  with_temp_path "bap_journal" (fun path ->
+      let j = Journal.open_ ~path () in
+      Alcotest.(check bool) "fresh journal active" true (Journal.active j);
+      let s0 = spec_i 0 and s1 = spec_i 1 in
+      (match Journal.accept j s0 with
+      | `Logged -> ()
+      | _ -> Alcotest.fail "first accept not `Logged");
+      (match Journal.accept j s0 with
+      | `Duplicate -> ()
+      | _ -> Alcotest.fail "re-accept of a pending key not `Duplicate");
+      (match Journal.accept j s1 with
+      | `Logged -> ()
+      | _ -> Alcotest.fail "distinct key not `Logged");
+      Journal.respond j ~key:(Instance.key s0) "answer-bytes-0";
+      (* First answer wins: a second respond must not change the bytes. *)
+      Journal.respond j ~key:(Instance.key s0) "other-bytes";
+      (match Journal.accept j s0 with
+      | `Replay b ->
+        Alcotest.(check string) "replay is the first journaled answer"
+          "answer-bytes-0" b
+      | _ -> Alcotest.fail "re-accept of an answered key not `Replay");
+      Alcotest.(check int) "accepted" 2 (Journal.accepted j);
+      Alcotest.(check int) "answered" 1 (Journal.answered j);
+      Journal.close j;
+      (* The next incarnation: answered keys replay the same bytes,
+         pending keys surface as recovered, counts are the union. *)
+      let j2 = Journal.open_ ~resume:true ~path () in
+      Alcotest.(check int) "accepted survives reopen" 2 (Journal.accepted j2);
+      Alcotest.(check int) "answered survives reopen" 1 (Journal.answered j2);
+      (match Journal.recovered j2 with
+      | [ (k, s) ] ->
+        Alcotest.(check string) "recovered the pending key" (Instance.key s1) k;
+        Alcotest.(check bool) "recovered spec round-trips" true (s = s1)
+      | l ->
+        Alcotest.fail
+          (Printf.sprintf "recovered %d pending, want exactly 1" (List.length l)));
+      (match Journal.accept j2 s0 with
+      | `Replay b ->
+        Alcotest.(check string) "replay across incarnations" "answer-bytes-0" b
+      | _ -> Alcotest.fail "answered key lost across reopen");
+      Journal.respond j2 ~key:(Instance.key s1) "answer-bytes-1";
+      Alcotest.(check int) "recovery answered" 2 (Journal.answered j2);
+      Journal.close j2)
+
+let test_journal_degrades_loud () =
+  (* An unwritable journal path (here: a directory) must degrade to
+     "no durability" without failing the server — while the in-memory
+     exactly-once table keeps working. The WAL side of the degradation
+     is loud (stderr + wal.degraded telemetry); what we can assert
+     in-process is that [active] reports the truth. *)
+  let dir = Filename.temp_file "bap_wal" ".dir" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () -> try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () ->
+      let j = Journal.open_ ~path:dir () in
+      Alcotest.(check bool) "unwritable path degrades" false (Journal.active j);
+      (match Journal.accept j (spec_i 3) with
+      | `Logged -> ()
+      | _ -> Alcotest.fail "accept on a degraded journal");
+      Journal.respond j ~key:(Instance.key (spec_i 3)) "bytes";
+      (match Journal.accept j (spec_i 3) with
+      | `Replay b -> Alcotest.(check string) "in-memory replay" "bytes" b
+      | _ -> Alcotest.fail "degraded journal lost its table");
+      Alcotest.(check int) "answered tracked in memory" 1 (Journal.answered j);
+      Journal.close j)
+
+(* ---------- explicit drop accounting ---------- *)
+
+let write_request fd s =
+  let wire = Frame.encode (Instance.request_json s) in
+  let b = Bytes.of_string wire in
+  ignore (Unix.write fd b 0 (Bytes.length b))
+
+let test_dropped_disconnect_explicit () =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  (* The client vanishes before any response can be delivered: close
+     the response pipe's read half up front. Without a journal every
+     accepted instance's answer is lost — and each loss must be counted
+     at its drop site, never derived as accepted - responded. *)
+  let run ~journal_path =
+    let c2s_r, c2s_w = Unix.pipe () in
+    let s2c_r, s2c_w = Unix.pipe () in
+    Unix.close s2c_r;
+    List.iter (write_request c2s_w) (List.init 3 spec_i);
+    Unix.close c2s_w;
+    let cfg = { (quiet_config ~jobs:1) with Server.journal_path } in
+    let stats = Server.serve_fds cfg ~in_fd:c2s_r ~out_fd:s2c_w in
+    List.iter
+      (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+      [ c2s_r; s2c_w ];
+    stats
+  in
+  let bare = run ~journal_path:None in
+  Alcotest.(check int) "bare: all three accepted" 3 bare.Server.accepted;
+  Alcotest.(check int) "bare: none responded" 0 bare.Server.responded;
+  Alcotest.(check int) "bare: every drop explicitly counted" 3
+    bare.Server.dropped_disconnect;
+  Alcotest.(check bool) "bare: not durable" false bare.Server.durable;
+  (* The same vanish with a journal drops nothing: the answers are
+     durable instead of delivered, and responded says so. *)
+  with_temp_path "bap_drop" (fun jpath ->
+      let durable = run ~journal_path:(Some jpath) in
+      Alcotest.(check int) "durable: nothing dropped" 0
+        durable.Server.dropped_disconnect;
+      Alcotest.(check int) "durable: all answered into the journal" 3
+        durable.Server.responded;
+      Alcotest.(check bool) "durable flag" true durable.Server.durable)
+
+(* ---------- crash-restart: the exactly-once oracle ---------- *)
+
+let test_crash_restart_exactly_once () =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  with_temp_path "bap_crash" (fun jpath ->
+      with_temp_path "bap_sock" (fun spath ->
+          let instances = 50 in
+          let base =
+            {
+              (quiet_config ~jobs:2) with
+              Server.journal_path = Some jpath;
+              timeout_s = Some 5.;
+            }
+          in
+          (* Incarnation 1 dies at its 8th answer point — work done,
+             respond record not yet journaled: the exact window
+             durability must cover. *)
+          let hits = ref 0 in
+          let cfg1 =
+            {
+              base with
+              Server.kill9 =
+                Some
+                  (fun ~key:_ ->
+                    incr hits;
+                    !hits = 8);
+            }
+          in
+          let inc1 =
+            Domain.spawn (fun () ->
+                match Server.serve_socket cfg1 ~path:spath with
+                | _ -> None
+                | exception Server.Kill9 key -> Some key)
+          in
+          (* The client rides out the crash window: seeded-backoff
+             reconnects plus id-based retransmit rounds. *)
+          let client =
+            Domain.spawn (fun () ->
+                Load.run_socket ~reconnect:400 ~retransmit:6 ~seed:11
+                  ~path:spath ~instances
+                  ~families:[ Instance.Pk; Instance.Es ]
+                  ~n:4 ())
+          in
+          (match Domain.join inc1 with
+          | Some _key -> ()
+          | None -> Alcotest.fail "incarnation 1 outlived its kill point");
+          (* Incarnation 2: resume from the journal, no chaos. It must
+             re-dispatch the accepted-unanswered backlog before serving
+             and answer retransmits of answered keys from the journal. *)
+          let inc2 =
+            Domain.spawn (fun () ->
+                Server.serve_socket { base with Server.resume = true } ~path:spath)
+          in
+          let o = Domain.join client in
+          Server.request_drain ~code:0;
+          let stats2 = Domain.join inc2 in
+          (* The oracle: union of responses across incarnations is
+             exactly one byte-identical answer per instance. *)
+          (match Load.failures ~exactly_once:true o with
+          | [] -> ()
+          | fs -> Alcotest.fail (String.concat "; " fs));
+          Alcotest.(check int) "every instance answered ok" instances o.Load.ok;
+          Alcotest.(check int) "no duplicates" 0 o.Load.duplicates;
+          Alcotest.(check bool) "the crash forced reconnects" true
+            (o.Load.retransmits > 0);
+          Alcotest.(check bool) "incarnation 2 durable" true stats2.Server.durable;
+          Alcotest.(check bool) "incarnation 2 recovered the backlog" true
+            (stats2.Server.recovered > 0);
+          Alcotest.(check bool) "retransmits answered from the journal" true
+            (stats2.Server.replayed > 0);
+          Alcotest.(check int) "journal union: accepted = responded"
+            stats2.Server.accepted stats2.Server.responded;
+          Alcotest.(check int) "journal union covers the whole plan" instances
+            stats2.Server.accepted;
+          Alcotest.(check int) "nothing dropped across incarnations" 0
+            stats2.Server.dropped_disconnect))
+
 let suite =
   [
     QCheck_alcotest.to_alcotest qcheck_roundtrip;
@@ -359,4 +624,16 @@ let suite =
       test_end_to_end_chaos;
     Alcotest.test_case "serve: drain answers the backlog" `Quick
       test_drain_answers_backlog;
+    Alcotest.test_case "frame: poison is per-decoder state" `Quick
+      test_decoder_state_isolation;
+    Alcotest.test_case "health: quantile edges (0, 1, all-equal)" `Quick
+      test_health_quantile_edges;
+    Alcotest.test_case "journal: accept/respond/replay across reopen" `Quick
+      test_journal_exactly_once;
+    Alcotest.test_case "journal: unwritable path degrades loudly" `Quick
+      test_journal_degrades_loud;
+    Alcotest.test_case "serve: disconnect drops are explicit, journal drops none"
+      `Quick test_dropped_disconnect_explicit;
+    Alcotest.test_case "serve: crash-restart answers exactly once" `Quick
+      test_crash_restart_exactly_once;
   ]
