@@ -17,6 +17,7 @@ module Engine = Bap_exec.Engine
 module Pool = Bap_exec.Pool
 module Cache = Bap_exec.Cache
 module Tel = Bap_telemetry.Telemetry
+module Memprobe = Bap_telemetry.Memprobe
 
 let stage = Bechamel.Staged.stage
 
@@ -233,8 +234,12 @@ let serve_bench args ~jobs =
 (* CI gate: the telemetry spine must cost < 5% wall-clock when recording
    a full JSONL trace of the quick sweep. min-of-3 on each side filters
    scheduler noise; both sides are fresh uncached sweeps so cache state
-   cannot tilt the comparison. Exit 1 on regression. *)
-let trace_overhead ~jobs =
+   cannot tilt the comparison. Exit 1 on regression.
+
+   With [alloc] the "on" side also runs the allocation probe (per-span
+   GC deltas folded into metrics, minor_words span attributes) — the
+   same budget, so the observatory earns its keep the way tracing does. *)
+let trace_overhead ~jobs ~alloc =
   let trace_path = Filename.concat (Filename.get_temp_dir_name ()) "bap_overhead.jsonl" in
   let sweep () =
     Pool.with_pool ~jobs (fun pool ->
@@ -248,15 +253,22 @@ let trace_overhead ~jobs =
   let on_ =
     min_of_3 (fun () ->
         Tel.install ~wall:true (Tel.Jsonl trace_path);
-        Fun.protect ~finally:Tel.shutdown sweep)
+        if alloc then Memprobe.enable ();
+        Fun.protect
+          ~finally:(fun () ->
+            if alloc then Memprobe.disable ();
+            Tel.shutdown ())
+          sweep)
   in
   (try Sys.remove trace_path with Sys_error _ -> ());
   let overhead = (on_ -. off) /. Float.max 1e-9 off in
   Printf.printf
-    "trace overhead: off %.2fs  on %.2fs  overhead %+.1f%% (budget 5%%)\n"
+    "%s overhead: off %.2fs  on %.2fs  overhead %+.1f%% (budget 5%%)\n"
+    (if alloc then "trace+alloc" else "trace")
     off on_ (100. *. overhead);
   if overhead > 0.05 then begin
-    Printf.printf "FAILED: tracing overhead above budget\n";
+    Printf.printf "FAILED: %s overhead above budget\n"
+      (if alloc then "tracing+allocation-probe" else "tracing");
     exit 1
   end
 
@@ -271,7 +283,7 @@ let () =
   let metrics_json = string_flag args "--metrics-json" in
   let quick = not full in
   if List.mem "--trace-overhead" args then begin
-    trace_overhead ~jobs;
+    trace_overhead ~jobs ~alloc:(List.mem "--alloc" args);
     exit 0
   end;
   if List.mem "--serve" args then exit (serve_bench args ~jobs);

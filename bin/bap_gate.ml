@@ -16,8 +16,15 @@
 
    The gate also maintains the bench trajectory (BENCH_HISTORY.jsonl):
    one dated JSON line per run with the sweep wall clock, the serve
-   throughput, and the n=1000 scale-probe time. Drift against the
-   previous trajectory point is warn-only.
+   throughput, the n=1000 scale-probe time, the crash-restart recovery
+   time, and the allocation probe's minor words per round. Drift
+   against the previous trajectory point is warn-only.
+
+   Allocation is gated the same warn-only way: a pinned E1-style probe
+   measures domain-local minor words per simulated round — exactly
+   reproducible on one machine and one compiler, but legitimately
+   different across OCaml versions, so a regression annotates instead
+   of failing.
 
    Usage:
      dune exec bin/bap_gate.exe -- --write             # baseline + trajectory
@@ -164,7 +171,30 @@ let measure_serve { s_jobs; s_instances; _ } =
   in
   (o.Bap_servelib.Load.per_sec, Load.failures o)
 
-let json_of ~metrics ~wall_ms ~serve =
+(* The allocation probe: a pinned E1-style slice of the sweep, run
+   inline on the calling domain so Gc.minor_words (via the memprobe's
+   domain-local reader) counts exactly this work and nothing else.
+   Minor words per round is a pure function of the compiled code — the
+   alloc-regression signal ISSUE 10's observatory gates on. *)
+let measure_alloc () =
+  let module Memprobe = Bap_telemetry.Memprobe in
+  let cells =
+    [
+      unauth_cell ~n:25 ~f:4 ~m:0;
+      unauth_cell ~n:25 ~f:4 ~m:2;
+      unauth_cell ~n:31 ~f:10 ~m:0;
+    ]
+  in
+  let mw0 = Memprobe.domain_minor_words () in
+  let rounds = List.fold_left (fun acc cell -> acc + (cell ()).rounds) 0 cells in
+  let words = Memprobe.domain_minor_words () -. mw0 in
+  if rounds <= 0 then begin
+    Printf.printf "FAILED: alloc probe simulated 0 rounds\n";
+    exit 1
+  end;
+  words /. float_of_int rounds
+
+let json_of ~metrics ~wall_ms ~serve ~alloc =
   let cell m =
     Printf.sprintf
       "    {\"id\": %S, \"decided\": %d, \"rounds\": %d, \"msgs\": %d, \"ok\": %b}"
@@ -179,9 +209,14 @@ let json_of ~metrics ~wall_ms ~serve =
          \"instances\": %d, \"families\": \"pk\", \"n\": 4}"
         s.s_per_sec s.s_jobs s.s_instances
   in
+  let alloc_field =
+    match alloc with
+    | None -> ""
+    | Some w -> Printf.sprintf ",\n  \"alloc_minor_words_per_round\": %.1f" w
+  in
   Printf.sprintf
-    "{\n  \"version\": 1,\n  \"wall_ms\": %.1f%s,\n  \"cells\": [\n%s\n  ]\n}\n"
-    wall_ms serve_field
+    "{\n  \"version\": 1,\n  \"wall_ms\": %.1f%s%s,\n  \"cells\": [\n%s\n  ]\n}\n"
+    wall_ms serve_field alloc_field
     (String.concat ",\n" (List.map cell metrics))
 
 (* JSON parsing lives in lib/telemetry (shared with the trace sinks and
@@ -223,7 +258,10 @@ let parse_baseline text =
         Some { s_per_sec; s_jobs; s_instances }
       | _ -> invalid_arg "baseline: malformed serve reference")
   in
-  (cells, wall_ms, serve)
+  (* Absent in baselines from before the allocation observatory; None
+     simply skips the alloc drift warning. *)
+  let alloc = to_float (member "alloc_minor_words_per_round" j) in
+  (cells, wall_ms, serve, alloc)
 
 (* ---------- the gate ---------- *)
 
@@ -250,6 +288,9 @@ type history_entry = {
   h_recovery_ms : float;
       (* crash-restart recovery probe; 0.0 in entries from before the
          instance journal existed *)
+  h_alloc_words_per_round : float;
+      (* allocation probe; 0.0 in entries from before the allocation
+         observatory existed *)
 }
 
 let today () =
@@ -345,13 +386,25 @@ let last_history_entry path =
         with
         | Some h_date, Some h_wall_ms, Some h_serve_per_sec, Some h_scale_n1000_ms
           ->
-          (* recovery_ms arrived with the instance journal; entries from
-             before it default to 0 (which disables the drift warning). *)
+          (* recovery_ms arrived with the instance journal and the alloc
+             probe with the allocation observatory; entries from before
+             either default to 0 (which disables that drift warning). *)
           let h_recovery_ms =
             Option.value ~default:0. (to_float (member "recovery_ms" j))
           in
+          let h_alloc_words_per_round =
+            Option.value ~default:0.
+              (to_float (member "alloc_minor_words_per_round" j))
+          in
           Some
-            { h_date; h_wall_ms; h_serve_per_sec; h_scale_n1000_ms; h_recovery_ms }
+            {
+              h_date;
+              h_wall_ms;
+              h_serve_per_sec;
+              h_scale_n1000_ms;
+              h_recovery_ms;
+              h_alloc_words_per_round;
+            }
         | _ -> None))
   end
 
@@ -363,17 +416,25 @@ let append_history ~path e =
       output_string oc
         (Printf.sprintf
            "{\"date\": %S, \"wall_ms\": %.1f, \"serve_per_sec\": %.0f, \
-            \"scale_n1000_ms\": %.1f, \"recovery_ms\": %.1f}\n"
+            \"scale_n1000_ms\": %.1f, \"recovery_ms\": %.1f, \
+            \"alloc_minor_words_per_round\": %.1f}\n"
            e.h_date e.h_wall_ms e.h_serve_per_sec e.h_scale_n1000_ms
-           e.h_recovery_ms))
+           e.h_recovery_ms e.h_alloc_words_per_round))
 
 (* Measure the scale probe, warn against the previous trajectory point,
    and append the new one. *)
-let record_history ~path ~wall_ms ~serve_per_sec =
+let record_history ~path ~wall_ms ~serve_per_sec ~alloc_words_per_round =
   let scale_ms = measure_scale () in
   let recovery_ms = measure_recovery () in
   (match last_history_entry path with
-  | None -> ()
+  | None ->
+    (* Satellite of ISSUE 10: an empty or missing trajectory is a seed,
+       not an error — say so instead of silently skipping the drift
+       checks. *)
+    Printf.printf
+      "bap_gate: no prior trajectory point in %s; seeding the first one \
+       (drift warnings begin with the next run)\n"
+      path
   | Some prev ->
     if wall_ms > 1.2 *. prev.h_wall_ms then
       warn "gate sweep %.0f ms is %.0f%% over the last trajectory point (%s: %.0f ms)"
@@ -399,7 +460,17 @@ let record_history ~path ~wall_ms ~serve_per_sec =
          point (%s: %.0f ms)"
         recovery_ms
         ((recovery_ms /. prev.h_recovery_ms -. 1.) *. 100.)
-        prev.h_date prev.h_recovery_ms);
+        prev.h_date prev.h_recovery_ms;
+    if
+      prev.h_alloc_words_per_round > 0.
+      && alloc_words_per_round > 1.1 *. prev.h_alloc_words_per_round
+    then
+      warn
+        "alloc probe %.0f minor words/round is %.0f%% over the last \
+         trajectory point (%s: %.0f)"
+        alloc_words_per_round
+        ((alloc_words_per_round /. prev.h_alloc_words_per_round -. 1.) *. 100.)
+        prev.h_date prev.h_alloc_words_per_round);
   append_history ~path
     {
       h_date = today ();
@@ -407,11 +478,12 @@ let record_history ~path ~wall_ms ~serve_per_sec =
       h_serve_per_sec = serve_per_sec;
       h_scale_n1000_ms = scale_ms;
       h_recovery_ms = recovery_ms;
+      h_alloc_words_per_round = alloc_words_per_round;
     };
   Printf.printf
     "bap_gate: appended trajectory point to %s (scale n=1000: %.0f ms, \
-     recovery: %.0f ms)\n"
-    path scale_ms recovery_ms
+     recovery: %.0f ms, alloc: %.0f words/round)\n"
+    path scale_ms recovery_ms alloc_words_per_round
 
 let check ~baseline_file ~history ~jobs =
   let text =
@@ -420,7 +492,7 @@ let check ~baseline_file ~history ~jobs =
       ~finally:(fun () -> close_in_noerr ic)
       (fun () -> really_input_string ic (in_channel_length ic))
   in
-  let expected, base_wall, serve_ref = parse_baseline text in
+  let expected, base_wall, serve_ref, base_alloc = parse_baseline text in
   let actual, failed, wall_ms = run_sweep ~jobs in
   if failed <> [] then begin
     List.iter (fun msg -> Printf.printf "QUARANTINED %s\n" msg) failed;
@@ -472,6 +544,22 @@ let check ~baseline_file ~history ~jobs =
         per_sec
         ((1. -. (per_sec /. r.s_per_sec)) *. 100.)
         r.s_per_sec);
+  let alloc_words = measure_alloc () in
+  (match base_alloc with
+  | None ->
+    Printf.printf
+      "bap_gate: alloc probe %.0f minor words/round (no baseline yet — run \
+       --write to record one)\n"
+      alloc_words
+  | Some base ->
+    Printf.printf "bap_gate: alloc probe %.0f minor words/round (baseline %.0f)\n"
+      alloc_words base;
+    if base > 0. && alloc_words > 1.1 *. base then
+      warn
+        "alloc probe %.0f minor words/round is %.0f%% over the baseline's %.0f"
+        alloc_words
+        ((alloc_words /. base -. 1.) *. 100.)
+        base);
   (match history with
   | None -> ()
   | Some path ->
@@ -480,7 +568,8 @@ let check ~baseline_file ~history ~jobs =
       | Some p -> p
       | None -> fst (measure_serve { s_per_sec = 0.; s_jobs = 1; s_instances = 3000 })
     in
-    record_history ~path ~wall_ms ~serve_per_sec:per_sec);
+    record_history ~path ~wall_ms ~serve_per_sec:per_sec
+      ~alloc_words_per_round:alloc_words);
   match (List.rev !drift, failed) with
   | [], [] ->
     Printf.printf "ok: all %d correctness metrics match the baseline\n"
@@ -510,18 +599,24 @@ let write ~baseline_file ~history ~jobs =
     end;
     Some { r with s_per_sec = per_sec }
   in
+  let alloc_words = measure_alloc () in
   let oc = open_out_bin baseline_file in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc (json_of ~metrics ~wall_ms ~serve));
-  Printf.printf "bap_gate: wrote %d cells to %s (%.0f ms, serve %.0f/s)\n"
+    (fun () ->
+      output_string oc (json_of ~metrics ~wall_ms ~serve ~alloc:(Some alloc_words)));
+  Printf.printf
+    "bap_gate: wrote %d cells to %s (%.0f ms, serve %.0f/s, alloc %.0f \
+     words/round)\n"
     (List.length metrics) baseline_file wall_ms
-    (match serve with Some s -> s.s_per_sec | None -> 0.);
+    (match serve with Some s -> s.s_per_sec | None -> 0.)
+    alloc_words;
   (* --write always extends the trajectory: a fresh baseline is exactly
      the moment a new point belongs on the curve. *)
   let path = Option.value history ~default:"BENCH_HISTORY.jsonl" in
   record_history ~path ~wall_ms
-    ~serve_per_sec:(match serve with Some s -> s.s_per_sec | None -> 0.);
+    ~serve_per_sec:(match serve with Some s -> s.s_per_sec | None -> 0.)
+    ~alloc_words_per_round:alloc_words;
   0
 
 (* ---------- the stats gate ---------- *)

@@ -29,7 +29,7 @@ let write_file path contents =
     (fun () -> output_string oc contents)
 
 let run socket jobs queue batch retries timeout max_frame chaos_seed kill9_pct
-    journal resume trace_out metrics_json quiet =
+    journal resume flight_capacity flight_dump trace_out metrics_json quiet =
   (match trace_out with
   | Some path -> Tel.install ~wall:true (Tel.Jsonl path)
   | None -> if metrics_json <> None then Tel.install Tel.Counters_only);
@@ -77,6 +77,8 @@ let run socket jobs queue batch retries timeout max_frame chaos_seed kill9_pct
       journal_path = journal;
       resume;
       kill9;
+      flight_capacity = max 1 flight_capacity;
+      flight_dump;
     }
   in
   Server.install_signal_handlers ();
@@ -188,6 +190,25 @@ let cmd =
              already-answered ones from the journal, exactly once. Requires \
              --journal.")
   in
+  let flight_capacity =
+    Arg.(
+      value & opt int 256
+      & info [ "flight-capacity" ] ~docv:"N"
+          ~doc:
+            "Flight-recorder ring size: the last N service events \
+             (admissions, responses, quarantines) are retained in memory for \
+             SIGUSR1 dumps and the stats admin frame.")
+  in
+  let flight_dump =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight-dump" ] ~docv:"FILE"
+          ~doc:
+            "Where flight-recorder dumps land beside stderr (SIGUSR1 and \
+             quarantine both dump). Defaults to the journal path plus \
+             $(b,.flight) when --journal is set.")
+  in
   let trace_out =
     Arg.(
       value
@@ -212,7 +233,7 @@ let cmd =
           pool; degrades, sheds, and drains — never aborts")
     Term.(
       const run $ socket $ jobs $ queue $ batch $ retries $ timeout $ max_frame
-      $ chaos_seed $ kill9 $ journal $ resume $ trace_out $ metrics_json
-      $ quiet)
+      $ chaos_seed $ kill9 $ journal $ resume $ flight_capacity $ flight_dump
+      $ trace_out $ metrics_json $ quiet)
 
 let () = exit (Cmd.eval' cmd)

@@ -33,6 +33,7 @@ module Journal = Bap_exec.Journal
 module Supervisor = Bap_exec.Supervisor
 module Harness = Bap_chaos.Harness
 module Tel = Bap_telemetry.Telemetry
+module Memprobe = Bap_telemetry.Memprobe
 
 let write_file path contents =
   let oc = open_out_bin path in
@@ -54,12 +55,23 @@ let resume_command () =
   String.concat " " (List.map shell_quote args)
 
 let run full only jobs no_cache cache_dir retries timeout journal_path no_journal
-    resume chaos_seed trace_out metrics_json stats_json =
+    resume chaos_seed trace_out alloc_out metrics_json stats_json =
   (* Telemetry writes only to the named files, never stdout, so the
      tables stay byte-identical whether or not tracing is on. *)
-  (match trace_out with
-  | Some path -> Tel.install ~wall:true (Tel.Jsonl path)
-  | None -> if metrics_json <> None then Tel.install Tel.Counters_only);
+  (match (alloc_out, trace_out) with
+  | Some path, _ | None, Some path -> Tel.install ~wall:true (Tel.Jsonl path)
+  | None, None -> if metrics_json <> None then Tel.install Tel.Counters_only);
+  (* --alloc-out: same JSONL trace, plus the allocation probe (spans
+     gain minor_words attributes, the metrics registry gains alloc.*
+     counters) and — where the runtime supports Memprof — the sampling
+     profiler. *)
+  if alloc_out <> None then begin
+    Memprobe.enable ();
+    if not (Memprobe.start_sampling ()) then
+      Option.iter
+        (fun msg -> Fmt.epr "[alloc] sampling profiler unavailable: %s@." msg)
+        (Memprobe.sampling_failure ())
+  end;
   let quick = not full in
   let jobs = match jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
   let cache = if no_cache then None else Some (Cache.create ~dir:cache_dir ()) in
@@ -164,6 +176,29 @@ let run full only jobs no_cache cache_dir retries timeout journal_path no_journa
   (match (stats_json, !final_stats) with
   | Some path, Some s -> write_file path (Engine.stats_json s)
   | _ -> ());
+  (* The alloc trace is self-contained: merged Memprof samples flush as
+     sorted instants, and an alloc.process instant records the
+     process-wide total so `bap_trace alloc` can report what share of
+     all allocation its spans explain. Emitted after the pool quiesces,
+     so every domain's counters are published. *)
+  if alloc_out <> None then begin
+    Memprobe.stop_sampling ();
+    Memprobe.flush_samples_to_trace ();
+    let d = Memprobe.process_delta () in
+    Tel.instant ~cat:"alloc" ~name:"alloc.process"
+      ~attrs:(fun () ->
+        [
+          ("minor_words", Tel.Int (int_of_float d.Memprobe.minor_words));
+          ("promoted_words", Tel.Int (int_of_float d.Memprobe.promoted_words));
+          ("major_words", Tel.Int (int_of_float d.Memprobe.major_words));
+          ("minor_collections", Tel.Int d.Memprobe.minor_collections);
+          ("major_collections", Tel.Int d.Memprobe.major_collections);
+          ("compactions", Tel.Int d.Memprobe.compactions);
+          ("heap_words", Tel.Int d.Memprobe.heap_words);
+        ])
+      ();
+    Memprobe.disable ()
+  end;
   Tel.shutdown ();
   if code <> 0 then exit code
 
@@ -255,6 +290,18 @@ let cmd =
              spans from the engine. Analyse with bap_trace. Never touches \
              stdout.")
   in
+  let alloc_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "alloc-out" ] ~docv:"FILE"
+          ~doc:
+            "Like --trace-out, with the allocation probe on: spans carry \
+             per-phase/per-cell minor-word deltas, Memprof samples (where the \
+             runtime supports them) ride along as instants, and the trace is \
+             self-contained for bap_trace alloc. Never touches stdout; table \
+             bytes are unchanged.")
+  in
   let metrics_json =
     Arg.(
       value
@@ -278,7 +325,7 @@ let cmd =
     (Cmd.info "bap_tables" ~doc:"Regenerate the reproduction experiment tables")
     Term.(
       const run $ full $ only $ jobs $ no_cache $ cache_dir $ retries $ timeout
-      $ journal_path $ no_journal $ resume $ chaos_seed $ trace_out
+      $ journal_path $ no_journal $ resume $ chaos_seed $ trace_out $ alloc_out
       $ metrics_json $ stats_json)
 
 let () = exit (Cmd.eval cmd)

@@ -1,6 +1,6 @@
 (* CLI: analyse JSONL telemetry traces produced with --trace-out.
 
-   Three reports over the logical event stream:
+   Four reports over the logical event stream:
 
      summary  per-phase rollup of rounds / messages / bits — reconstructs
               the paper-facing accounting (E1's headline numbers) from
@@ -8,13 +8,18 @@
      diff     regression-style delta table between two traces;
      critpath the slowest cells by wall time, with ASCII timing bars
               (needs a trace recorded with wall-clock stamps, which
-              --trace-out always enables).
+              --trace-out always enables);
+     alloc    per-phase minor-word attribution with allocation bars and
+              the top Memprof-sampled sites (needs a trace recorded with
+              the allocation probe on, e.g. bap_tables --alloc-out).
 
    Examples:
      dune exec bin/bap_tables.exe -- --trace-out sweep.jsonl
      dune exec bin/bap_trace.exe -- summary sweep.jsonl
      dune exec bin/bap_trace.exe -- diff before.jsonl after.jsonl
-     dune exec bin/bap_trace.exe -- critpath sweep.jsonl --top 10 *)
+     dune exec bin/bap_trace.exe -- critpath sweep.jsonl --top 10
+     dune exec bin/bap_tables.exe -- --alloc-out alloc.jsonl
+     dune exec bin/bap_trace.exe -- alloc alloc.jsonl *)
 
 open Cmdliner
 module Analysis = Bap_telemetry.Analysis
@@ -60,9 +65,27 @@ let critpath_cmd =
     (Cmd.info "critpath" ~doc:"Slowest cells by wall time, with timing bars")
     Term.(const run $ trace_arg ~pos:0 ~docv:"TRACE" $ top)
 
+let alloc_cmd =
+  let top =
+    Arg.(
+      value & opt int 15
+      & info [ "top" ]
+          ~docv:"N"
+          ~doc:"How many of the hottest sampled allocation sites to show.")
+  in
+  let run file top =
+    with_trace file (fun evs -> print_string (Analysis.alloc_report ~top evs))
+  in
+  Cmd.v
+    (Cmd.info "alloc"
+       ~doc:
+         "Per-phase minor-word attribution (allocation bars, top sampled \
+          sites); record the trace with bap_tables --alloc-out")
+    Term.(const run $ trace_arg ~pos:0 ~docv:"TRACE" $ top)
+
 let cmd =
   Cmd.group
     (Cmd.info "bap_trace" ~doc:"Analyse JSONL telemetry traces (see --trace-out)")
-    [ summary_cmd; diff_cmd; critpath_cmd ]
+    [ summary_cmd; diff_cmd; critpath_cmd; alloc_cmd ]
 
 let () = exit (Cmd.eval cmd)

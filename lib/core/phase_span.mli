@@ -6,5 +6,10 @@ module Make (R : Bap_sim.Runtime.S) : sig
       emitted only from process 0 (all processes execute the same
       deterministic schedule, so one copy suffices). Begin and end
       events carry the current round, giving the span the round extent
-      [begin.round + 1 .. end.round]. *)
+      [begin.round + 1 .. end.round]. When the allocation probe is on
+      ([Bap_telemetry.Memprobe.enabled]), the End event additionally
+      carries the phase's domain-local [minor_words] delta and the
+      phase becomes a [Memprobe.phase_if] frame, folding its GC deltas
+      into the metrics registry under [name]; with the probe off the
+      span bytes are identical to an unprobed build. *)
 end

@@ -31,7 +31,8 @@ let catalog =
       severity = Error;
       summary =
         "wall-clock read (Unix.gettimeofday/Unix.time/Sys.time) outside the \
-         timing shims in lib/exec and bin";
+         timing shims in lib/exec and bin, or a Gc counter read outside the \
+         lib/telemetry memprobe";
     };
     {
       id = "D003";

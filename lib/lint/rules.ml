@@ -36,6 +36,14 @@ let clock_allowed path =
   in_dir "lib/exec" path || in_dir "lib/telemetry" path
   || in_dir "lib/serve" path || in_dir "bin" path || in_dir "bench" path
 
+(* D002's GC leg: GC counter reads are the allocation observatory's
+   business, and only lib/telemetry (the Memprobe) may perform them.
+   A stray Gc.minor_words elsewhere double-counts against the probe's
+   per-span attribution and silently diverges on a runtime with
+   different GC accounting; everything reads allocation through
+   Bap_telemetry.Memprobe instead. *)
+let gc_allowed path = in_dir "lib/telemetry" path
+
 (* C001: code that executes adversary behavior (adversary strategies,
    the fault injector), the enumerable choice space, and the checker
    itself must not draw randomness directly — a hidden draw there makes
@@ -124,6 +132,27 @@ let print_functions =
   ]
 
 let clock_functions = [ "Unix.gettimeofday"; "Unix.time"; "Sys.time" ]
+
+(* Specific stdlib Gc entry points, not the head module: lib/core has a
+   legitimate local [module Gc = Graded_core_set.Make ...] (graded
+   consensus), so only the stdlib functions' full names count. *)
+let gc_functions =
+  [
+    "Gc.stat";
+    "Gc.quick_stat";
+    "Gc.counters";
+    "Gc.minor_words";
+    "Gc.allocated_bytes";
+    "Gc.minor";
+    "Gc.major";
+    "Gc.major_slice";
+    "Gc.full_major";
+    "Gc.compact";
+    "Gc.set";
+    "Gc.get";
+    "Gc.Memprof.start";
+    "Gc.Memprof.stop";
+  ]
 let forbidden_layer_heads = [ "Bap_chaos"; "Bap_exec"; "Bap_experiments" ]
 
 (* Mutable-state creators for S001. [Atomic.make] is the sanctioned
@@ -214,6 +243,12 @@ let check (src : Source.t) : Finding.t list =
     if List.mem name clock_functions && not (clock_allowed path) then
       emit ~loc "D002"
         (Printf.sprintf "%s reads the wall clock; timing belongs to lib/exec and bin"
+           name);
+    if List.mem name gc_functions && not (gc_allowed path) then
+      emit ~loc "D002"
+        (Printf.sprintf
+           "%s reads the GC outside lib/telemetry; go through \
+            Bap_telemetry.Memprobe"
            name);
     if starts_with ~prefix:"Marshal." name && path <> marshal_home then
       emit ~loc "D005"

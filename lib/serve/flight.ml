@@ -1,0 +1,94 @@
+(* Flight recorder: a bounded in-memory ring of recent service events —
+   the daemon's black box. Recording is one array store and one counter
+   bump (no allocation beyond the entry itself, no IO), so every
+   admission, response, and quarantine can afford a record. The ring is
+   only rendered on demand: a SIGUSR1 dump, a quarantine, or a typed
+   [Stats] admin frame.
+
+   Owned by the server loop domain; not thread-safe. Signal handlers
+   never touch it — they flip an atomic flag and the loop records on
+   its own next head. Wall stamps are fine here: lib/serve is inside
+   the D002 clock allowlist, and a black box without timestamps is not
+   much of a black box. *)
+
+module Memprobe = Bap_telemetry.Memprobe
+module Json = Bap_telemetry.Json
+
+type entry = {
+  seq : int;
+  wall_us : float;
+  kind : string;
+  key : string;
+  detail : string;
+}
+
+type t = { ring : entry array; capacity : int; mutable total : int }
+
+let dummy = { seq = -1; wall_us = 0.; kind = ""; key = ""; detail = "" }
+
+let create ?(capacity = 256) () =
+  let capacity = max 1 capacity in
+  { ring = Array.make capacity dummy; capacity; total = 0 }
+
+let capacity t = t.capacity
+
+let record t ~kind ~key ~detail =
+  let e =
+    {
+      seq = t.total;
+      wall_us = Unix.gettimeofday () *. 1e6;
+      kind;
+      key;
+      detail;
+    }
+  in
+  t.ring.(t.total mod t.capacity) <- e;
+  t.total <- t.total + 1
+
+let recorded t = t.total
+let retained t = min t.total t.capacity
+let dropped t = t.total - retained t
+
+let entries t =
+  let n = retained t in
+  List.init n (fun i -> t.ring.((t.total - n + i) mod t.capacity))
+
+let dump t ~gc ~health =
+  let b = Buffer.create 1024 in
+  let line fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string b s;
+        Buffer.add_char b '\n')
+      fmt
+  in
+  line "[flight] %d event(s) recorded, %d retained (capacity %d, %d overwritten)"
+    t.total (retained t) t.capacity (dropped t);
+  line
+    "[flight] gc: minor=%.0fw promoted=%.0fw major=%.0fw heap=%dw \
+     compactions=%d collections=%d/%d"
+    gc.Memprobe.minor_words gc.Memprobe.promoted_words gc.Memprobe.major_words
+    gc.Memprobe.heap_words gc.Memprobe.compactions gc.Memprobe.minor_collections
+    gc.Memprobe.major_collections;
+  line "[flight] health: %s" (Format.asprintf "%a" Health.pp_summary health);
+  let es = entries t in
+  let t0 = match es with e :: _ -> e.wall_us | [] -> 0. in
+  List.iter
+    (fun e ->
+      line "[flight]   #%d +%.3fms %-10s %s%s" e.seq
+        ((e.wall_us -. t0) /. 1e3)
+        e.kind e.key
+        (if e.detail = "" then "" else " (" ^ e.detail ^ ")"))
+    es;
+  Buffer.contents b
+
+let entry_json e =
+  Printf.sprintf
+    "{\"seq\":%d,\"wall_us\":%.0f,\"kind\":\"%s\",\"key\":\"%s\",\"detail\":\"%s\"}"
+    e.seq e.wall_us (Json.escape e.kind) (Json.escape e.key)
+    (Json.escape e.detail)
+
+let to_json t =
+  Printf.sprintf "{\"recorded\":%d,\"dropped\":%d,\"entries\":[%s]}" t.total
+    (dropped t)
+    (String.concat "," (List.map entry_json (entries t)))

@@ -1,0 +1,52 @@
+(** Flight recorder: a bounded ring of recent service events.
+
+    The serve loop records one entry per admission outcome, response,
+    quarantine, and observed signal; the ring keeps the last [capacity]
+    of them and overwrites the oldest beyond that, so memory stays
+    constant over any uptime. {!dump} renders the retained window as a
+    human black box (with a GC and {!Health} snapshot on top), and
+    {!to_json} is the payload of the typed [Stats] admin frame — a live
+    daemon is inspectable without a restart, and a quarantine leaves a
+    readable trail next to the instance journal.
+
+    Owned by the server loop domain; not thread-safe. *)
+
+type entry = {
+  seq : int;  (** 0-based position in the recorded stream, never reused *)
+  wall_us : float;  (** wall-clock stamp at record time *)
+  kind : string;  (** e.g. ["accept"], ["respond"], ["quarantine"] *)
+  key : string;  (** instance key, signal name, or client id *)
+  detail : string;  (** free-form; may be empty *)
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Ring of the last [capacity] (default 256, min 1) events. *)
+
+val capacity : t -> int
+
+val record : t -> kind:string -> key:string -> detail:string -> unit
+(** Append one event, overwriting the oldest when full. One array
+    store; cheap enough for every admission. *)
+
+val recorded : t -> int
+(** Events recorded over the recorder's lifetime (not just retained). *)
+
+val retained : t -> int
+(** Events currently held: [min (recorded t) (capacity t)]. *)
+
+val dropped : t -> int
+(** Events overwritten by wraparound: [recorded - retained]. *)
+
+val entries : t -> entry list
+(** The retained window, oldest first. *)
+
+val dump : t -> gc:Bap_telemetry.Memprobe.snapshot -> health:Health.summary -> string
+(** Human black-box text: a header with recorded/retained/overwritten
+    counts, the GC and health snapshots, then one line per retained
+    event with its offset from the oldest retained stamp. *)
+
+val to_json : t -> string
+(** [{"recorded":N,"dropped":N,"entries":[...]}] — the flight section
+    of the [Stats] admin frame. *)

@@ -5,6 +5,7 @@
    which is the right trade for a hot path that must not allocate. *)
 
 module Tel = Bap_telemetry.Telemetry
+module Memprobe = Bap_telemetry.Memprobe
 
 let buckets = 64
 
@@ -49,9 +50,12 @@ type summary = {
   p99_us : int;
   max_us : int;
   per_sec : float;
+  heap_words : int;
+  compactions : int;
 }
 
 let summarize t ~wall_s =
+  let gc = Memprobe.snapshot () in
   let s =
     {
       completed = t.total;
@@ -60,14 +64,20 @@ let summarize t ~wall_s =
       max_us = t.max_us;
       per_sec =
         (if wall_s <= 0. then 0. else float_of_int t.total /. wall_s);
+      heap_words = gc.Memprobe.heap_words;
+      compactions = gc.Memprobe.compactions;
     }
   in
   Tel.Metrics.gauge_max "serve.latency_p50_us" s.p50_us;
   Tel.Metrics.gauge_max "serve.latency_p99_us" s.p99_us;
   Tel.Metrics.gauge_max "serve.instances_per_sec" (int_of_float s.per_sec);
+  Tel.Metrics.gauge_max "serve.heap_words" s.heap_words;
+  Tel.Metrics.gauge_max "serve.compactions" s.compactions;
   s
 
 let pp_summary ppf s =
   Format.fprintf ppf
-    "%d instance(s), %.0f/s, latency p50 %dus p99 %dus max %dus" s.completed
-    s.per_sec s.p50_us s.p99_us s.max_us
+    "%d instance(s), %.0f/s, latency p50 %dus p99 %dus max %dus, heap %dw, \
+     %d compaction(s)"
+    s.completed s.per_sec s.p50_us s.p99_us s.max_us s.heap_words
+    s.compactions

@@ -28,10 +28,15 @@ type summary = {
   p99_us : int;
   max_us : int;
   per_sec : float;
+  heap_words : int;  (** major-heap size at summarize time *)
+  compactions : int;  (** heap compactions since process start *)
 }
 
 val summarize : t -> wall_s:float -> summary
-(** Also publishes [serve.latency_p50_us] / [serve.latency_p99_us]
-    gauges and the [serve.instances_per_sec] gauge to the registry. *)
+(** Also publishes [serve.latency_p50_us] / [serve.latency_p99_us],
+    [serve.instances_per_sec], [serve.heap_words] and
+    [serve.compactions] gauges to the registry. The heap fields come
+    from a {!Bap_telemetry.Memprobe.snapshot} — a [Gc.quick_stat]
+    behind the D002 boundary, cheap enough for every summary. *)
 
 val pp_summary : Format.formatter -> summary -> unit

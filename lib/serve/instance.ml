@@ -105,6 +105,21 @@ let parse payload =
           in
           match validate s with Ok () -> Ok s | Error msg -> Error (`Invalid (id, msg))))))
 
+(* Admin frames share the wire with instance requests but are not
+   instances: no admission, no journal record, no effect on the
+   accepted/responded ledger. The shape is {"admin":"stats"}; anything
+   else falls through to instance parsing, so a client typo still gets
+   a typed Malformed/Invalid rejection rather than silence. *)
+type admin = Stats
+
+let parse_admin payload =
+  match Json.parse payload with
+  | exception Json.Parse _ -> None
+  | j -> (
+    match Json.to_string (Json.member "admin" j) with
+    | Some "stats" -> Some Stats
+    | Some _ | None -> None)
+
 let reason_json = function
   | Overload -> "\"reason\":\"overload\""
   | Malformed d ->

@@ -65,6 +65,14 @@ val key : spec -> string
 val parse : string -> (spec, [ `Malformed of string | `Invalid of int * string ]) result
 (** Parse and validate one frame payload. *)
 
+type admin = Stats  (** [{"admin":"stats"}]: introspection, not work *)
+
+val parse_admin : string -> admin option
+(** Recognise an admin frame. Checked before {!parse}: an admin frame
+    is answered from server state (counters, health, GC, flight
+    recorder) without touching admission or the journal. [None] means
+    "not an admin frame" — the payload then takes the instance path. *)
+
 val execute : spec -> metrics
 (** Run the instance to completion. Pure: same spec, same metrics, on
     any domain, at any [--jobs]. Calls [Supervisor.tick] on every

@@ -31,6 +31,7 @@
 module Pool = Bap_exec.Pool
 module Supervisor = Bap_exec.Supervisor
 module Tel = Bap_telemetry.Telemetry
+module Memprobe = Bap_telemetry.Memprobe
 
 type config = {
   jobs : int;
@@ -45,6 +46,8 @@ type config = {
   journal_path : string option;
   resume : bool;
   kill9 : (key:string -> bool) option;
+  flight_capacity : int;
+  flight_dump : string option;
 }
 
 let default_config =
@@ -60,6 +63,8 @@ let default_config =
     journal_path = None;
     resume = false;
     kill9 = None;
+    flight_capacity = 256;
+    flight_dump = None;
   }
 
 type stats = {
@@ -98,6 +103,11 @@ let request_drain ~code =
 let drain_code () = match Atomic.get drain_flag with -1 -> 0 | c -> c
 let draining () = Atomic.get drain_flag <> 0
 
+(* SIGUSR1 = "dump the flight recorder". Same discipline as drain: the
+   handler only flips the flag; the loop, which owns the recorder and
+   stderr, dumps at its next head. *)
+let usr1_flag : bool Atomic.t = Atomic.make false
+
 let install_signal_handlers () =
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ | Sys_error _ -> ());
@@ -112,7 +122,14 @@ let install_signal_handlers () =
   in
   (try Sys.set_signal Sys.sigint (on "sigint" 130)
    with Invalid_argument _ | Sys_error _ -> ());
-  try Sys.set_signal Sys.sigterm (on "sigterm" 143)
+  (try Sys.set_signal Sys.sigterm (on "sigterm" 143)
+   with Invalid_argument _ | Sys_error _ -> ());
+  try
+    Sys.set_signal Sys.sigusr1
+      (Sys.Signal_handle
+         (fun _ ->
+           Tel.instant ~cat:"serve" ~name:"sigusr1" ();
+           Atomic.set usr1_flag true))
   with Invalid_argument _ | Sys_error _ -> ()
 
 (* ---------- server state ---------- *)
@@ -123,6 +140,11 @@ type server = {
   disp : Dispatch.t;
   health : Health.t;
   journal : Journal.t option;
+  flight : Flight.t;
+  flight_path : string option;
+      (* where dumps land beside stderr: [flight_dump], defaulting to
+         "<journal_path>.flight" when durable — the black box lives
+         next to the instance journal *)
   started : float;
   mutable connections : int;
   mutable responded : int;
@@ -178,11 +200,54 @@ let write_frame out_fd json =
   let wire = Frame.encode json in
   write_all out_fd (Bytes.unsafe_of_string wire) 0 (String.length wire)
 
+(* ---------- flight recorder plumbing ---------- *)
+
+let render_flight srv =
+  let wall_s = Unix.gettimeofday () -. srv.started in
+  Flight.dump srv.flight ~gc:(Memprobe.snapshot ())
+    ~health:(Health.summarize srv.health ~wall_s)
+
+(* Dump the black box: always to stderr, and to the flight file when
+   one is configured (or implied by the journal). A dump failure is
+   never allowed to take the service down — the recorder is
+   observability, not correctness. *)
+let dump_flight srv ~reason =
+  let text = render_flight srv in
+  Printf.eprintf "[serve] flight dump (%s)\n%s%!" reason text;
+  match srv.flight_path with
+  | None -> ()
+  | Some path -> (
+    try
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          Printf.fprintf oc "[serve] flight dump (%s)\n%s" reason text)
+    with Sys_error _ -> ())
+
+(* Observed at every loop head, like drain: a SIGUSR1 anywhere between
+   two heads costs one dump, and the handler itself never touches the
+   recorder. *)
+let check_usr1 srv =
+  if Atomic.exchange usr1_flag false then begin
+    Flight.record srv.flight ~kind:"signal" ~key:"sigusr1"
+      ~detail:"flight dump requested";
+    dump_flight srv ~reason:"SIGUSR1"
+  end
+
+let reason_name = function
+  | Instance.Overload -> "overload"
+  | Instance.Malformed _ -> "malformed"
+  | Instance.Invalid _ -> "invalid"
+  | Instance.Draining -> "draining"
+
 (* Rejections are not accepted work: no journal record, no drop
    accounting — one typed frame and done. *)
 let send_rejection srv out_fd (resp : Instance.response) =
   (match resp with
-  | Instance.Rejected { reason; _ } -> (
+  | Instance.Rejected { id; reason } -> (
+    Flight.record srv.flight ~kind:"reject" ~key:(string_of_int id)
+      ~detail:(reason_name reason);
     match reason with
     | Instance.Overload -> srv.rej_overload <- srv.rej_overload + 1
     | Instance.Malformed _ ->
@@ -229,11 +294,26 @@ let answer_entry srv out_fd (spec : Instance.spec) (resp : Instance.response) =
     | Some fd -> ( try write_frame fd json; None with Client_gone -> Some Client_gone)
   in
   let delivered = out_fd <> None && write_err = None in
-  if journaled || delivered then count_answered srv resp
+  if journaled || delivered then begin
+    count_answered srv resp;
+    match resp with
+    | Instance.Degraded { attempts; _ } ->
+      (* A quarantine is exactly the moment the black box exists for:
+         dump it while the evidence — the events leading here — is
+         still in the ring. *)
+      Flight.record srv.flight ~kind:"quarantine" ~key
+        ~detail:(Printf.sprintf "degraded after %d attempt(s)" attempts);
+      dump_flight srv ~reason:"quarantine"
+    | Instance.Done _ | Instance.Rejected _ ->
+      Flight.record srv.flight ~kind:"respond" ~key
+        ~detail:(if delivered then "ok" else "journaled")
+  end
   else begin
     (* Not durable and the client vanished mid-write: the answer is
        gone. Count the drop here, at the site, never by derivation. *)
     srv.dropped <- srv.dropped + 1;
+    Flight.record srv.flight ~kind:"drop" ~key
+      ~detail:"client gone, answer not durable";
     Tel.Metrics.counter "serve.dropped_disconnect" 1
   end;
   match write_err with Some e -> raise e | None -> ()
@@ -241,6 +321,7 @@ let answer_entry srv out_fd (spec : Instance.spec) (resp : Instance.response) =
 let enqueue_spec srv out_fd spec =
   match Admission.offer srv.adm ~now_us:(now_us ()) spec with
   | Admission.Enqueued -> (
+    Flight.record srv.flight ~kind:"accept" ~key:(Instance.key spec) ~detail:"";
     match srv.journal with
     | Some j -> ignore (Journal.accept j spec)
     | None -> ())
@@ -248,7 +329,42 @@ let enqueue_spec srv out_fd spec =
     send_rejection srv out_fd
       (Instance.Rejected { id = spec.Instance.id; reason })
 
+(* The typed Stats admin frame: counters, health, a GC snapshot, and
+   the flight recorder's retained window — live introspection without a
+   restart and without perturbing the instance ledger (no admission, no
+   journal record, not counted as accepted or responded). *)
+let admin_stats_json srv =
+  let wall_s = Unix.gettimeofday () -. srv.started in
+  let h = Health.summarize srv.health ~wall_s in
+  let gc = Memprobe.snapshot () in
+  let accepted, responded =
+    match srv.journal with
+    | Some j -> (Journal.accepted j, Journal.answered j)
+    | None -> (Admission.accepted_total srv.adm, srv.responded)
+  in
+  Printf.sprintf
+    "{\"status\":\"stats\",\"accepted\":%d,\"responded\":%d,\"completed\":%d,\
+     \"degraded\":%d,\"dropped\":%d,\"connections\":%d,\"queue_depth\":%d,\
+     \"health\":{\"completed\":%d,\"per_sec\":%.1f,\"p50_us\":%d,\
+     \"p99_us\":%d,\"max_us\":%d,\"heap_words\":%d,\"compactions\":%d},\
+     \"gc\":{\"minor_words\":%.0f,\"promoted_words\":%.0f,\
+     \"major_words\":%.0f,\"minor_collections\":%d,\"major_collections\":%d,\
+     \"compactions\":%d,\"heap_words\":%d},\"flight\":%s}"
+    accepted responded srv.completed srv.degraded srv.dropped srv.connections
+    (Admission.depth srv.adm) h.Health.completed h.Health.per_sec
+    h.Health.p50_us h.Health.p99_us h.Health.max_us h.Health.heap_words
+    h.Health.compactions gc.Memprobe.minor_words gc.Memprobe.promoted_words
+    gc.Memprobe.major_words gc.Memprobe.minor_collections
+    gc.Memprobe.major_collections gc.Memprobe.compactions
+    gc.Memprobe.heap_words
+    (Flight.to_json srv.flight)
+
 let process_payload srv out_fd payload =
+  match Instance.parse_admin payload with
+  | Some Instance.Stats ->
+    Flight.record srv.flight ~kind:"admin" ~key:"stats" ~detail:"";
+    write_frame out_fd (admin_stats_json srv)
+  | None -> (
   match Instance.parse payload with
   | Error (`Malformed msg) ->
     send_rejection srv out_fd
@@ -265,14 +381,18 @@ let process_payload srv out_fd payload =
         (* Already answered (this or a previous incarnation): replay
            the journaled bytes verbatim — never re-execute. *)
         srv.replayed <- srv.replayed + 1;
+        Flight.record srv.flight ~kind:"replay" ~key:(Instance.key spec)
+          ~detail:"answered from journal";
         Tel.Metrics.counter "serve.replayed" 1;
         write_frame out_fd bytes
       | Some (Journal.Pending _) ->
         (* An earlier accept owns this key and will answer it; a second
            response would break exactly-once. *)
         srv.suppressed <- srv.suppressed + 1;
+        Flight.record srv.flight ~kind:"suppress" ~key:(Instance.key spec)
+          ~detail:"duplicate of a pending key";
         Tel.Metrics.counter "serve.suppressed" 1
-      | None -> enqueue_spec srv out_fd spec))
+      | None -> enqueue_spec srv out_fd spec)))
 
 (* Dispatch one batch and answer it. [out_fd = None] (client gone,
    journal on) answers into the journal only. A client vanishing
@@ -325,6 +445,8 @@ let recover_pending srv =
     if pending <> [] then begin
       let n = List.length pending in
       srv.recovered_n <- n;
+      Flight.record srv.flight ~kind:"recover" ~key:"resume"
+        ~detail:(Printf.sprintf "%d accepted-unanswered instance(s)" n);
       Printf.eprintf
         "[serve] resume: re-dispatching %d accepted-unanswered instance(s)\n%!"
         n;
@@ -386,6 +508,7 @@ let serve_connection srv ~in_fd ~out_fd =
     end
   in
   let rec loop () =
+    check_usr1 srv;
     if draining () then finish ~torn:(Frame.buffered dec > 0)
     else
       match drain_decoder () with
@@ -438,12 +561,19 @@ let make_server cfg disp =
       (fun path -> Journal.open_ ~resume:cfg.resume ~path ())
       cfg.journal_path
   in
+  let flight_path =
+    match cfg.flight_dump with
+    | Some _ as p -> p
+    | None -> Option.map (fun p -> p ^ ".flight") cfg.journal_path
+  in
   {
     cfg;
     adm = Admission.create ~capacity:cfg.queue_capacity;
     disp;
     health = Health.create ();
     journal;
+    flight = Flight.create ~capacity:(max 1 cfg.flight_capacity) ();
+    flight_path;
     started = Unix.gettimeofday ();
     connections = 0;
     responded = 0;
@@ -498,8 +628,10 @@ let finalize srv =
 let with_server cfg f =
   (* A fresh serve call un-drains the process flag: the previous
      server's drain must not poison a bench re-run in the same
-     process. *)
+     process. Likewise a stale SIGUSR1 must not dump the new server's
+     empty ring on its first loop head. *)
   Atomic.set drain_flag 0;
+  Atomic.set usr1_flag false;
   let scfg =
     {
       Supervisor.retries = cfg.retries;
@@ -536,6 +668,7 @@ let serve_socket cfg ~path =
           Unix.bind lfd (Unix.ADDR_UNIX path);
           Unix.listen lfd 8;
           let rec accept_loop () =
+            check_usr1 srv;
             if not (draining ()) then
               if readable lfd ~timeout:0.25 then begin
                 match Unix.accept lfd with

@@ -18,6 +18,12 @@
       deterministically, then degrade to a [Degraded] response;
     - {b drain}: SIGTERM/SIGINT stop admission, finish the accepted
       backlog, flush telemetry, and exit 143/130 — never mid-write;
+    - {b inspection}: a bounded flight recorder keeps the last
+      [flight_capacity] service events in memory; SIGUSR1 dumps it
+      (with GC and {!Health} snapshots) to stderr and the flight file,
+      a quarantine dumps it automatically, and an [{"admin":"stats"}]
+      frame is answered with the same data as one typed JSON frame —
+      no restart, no effect on the instance ledger;
     - {b SIGKILL / power loss}: with [journal_path] set, every
       admitted instance is journaled at accept and its answer is
       journaled (and flushed) {e before} the response frame is
@@ -51,11 +57,18 @@ type config = {
           journaled; [true] raises {!Kill9} — equivalent to a SIGKILL
           at the worst point, since every journal record is already
           flushed *)
+  flight_capacity : int;
+      (** flight-recorder ring size: the last N service events are
+          retained in memory for dumps and the Stats admin frame *)
+  flight_dump : string option;
+      (** where flight dumps land beside stderr; defaults to
+          ["<journal_path>.flight"] when durable, else stderr only *)
 }
 
 val default_config : config
 (** jobs 1, queue 1024, batch 64, retries 2, timeout 10s, 1 MiB
-    frames, seed 0, no injection, no journal, no kill9. *)
+    frames, seed 0, no injection, no journal, no kill9, flight ring
+    of 256. *)
 
 type stats = {
   connections : int;
@@ -111,7 +124,9 @@ val draining : unit -> bool
 
 val install_signal_handlers : unit -> unit
 (** SIGTERM -> drain with 143, SIGINT -> drain with 130, SIGPIPE
-    ignored (a vanished client must surface as [EPIPE], not death). *)
+    ignored (a vanished client must surface as [EPIPE], not death),
+    SIGUSR1 -> dump the flight recorder (with GC and health snapshots)
+    at the next loop head — live inspection without a restart. *)
 
 val report : stats -> string
 (** Human summary, one line per concern; includes the

@@ -342,6 +342,340 @@ let cell_timings evs =
         track_evs)
     (by_track evs)
 
+(* ---------- allocation report ---------- *)
+
+(* Reconstructs per-phase allocation from the [minor_words] attributes
+   the memprobe adds to round / sim.run / cell / sweep End events.
+
+   Attribution mirrors [summarize]: each round's words go to the
+   innermost core span whose round extent contains it (or "other");
+   what a run allocated outside its rounds (the spawn segment,
+   inter-round bookkeeping) stays with "sim.run"; what a cell allocated
+   outside its runs (advice construction, row assembly) stays with
+   "cell"; and the sweep span's remainder — minus the cells, which run
+   on the same domain only under an inline pool — is "harness". Every
+   measured word lands in exactly one row, so the rows sum to the
+   measured total and the named-span coverage is 1 - other/total. *)
+
+type alloc_rollup = { a_spans : int; a_rounds : int; a_words : int }
+
+type alloc_data = {
+  a_events : int;
+  a_tracks : int;
+  a_runs : int;
+  a_rounds : int;
+  a_total_words : int;
+  a_other_words : int;
+  a_process_words : int option;
+  a_rows : (string * alloc_rollup) list;  (** sorted by words, descending *)
+  a_samples : (string * string * int) list;
+      (** (site, phase, samples), descending by samples *)
+}
+
+let azero = { a_spans = 0; a_rounds = 0; a_words = 0 }
+
+let add_arollup a b =
+  {
+    a_spans = a.a_spans + b.a_spans;
+    a_rounds = a.a_rounds + b.a_rounds;
+    a_words = a.a_words + b.a_words;
+  }
+
+let group_arollups l =
+  let sorted = List.sort (fun (a, _) (b, _) -> String.compare a b) l in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (k, v) :: rest -> (
+      match acc with
+      | (k', v') :: tl when String.equal k' k ->
+        go ((k', add_arollup v' v) :: tl) rest
+      | _ -> go ((k, v) :: acc) rest)
+  in
+  go [] sorted
+
+let alloc_summarize evs =
+  let contribs = ref [] in
+  let runs = ref 0 in
+  let rounds = ref 0 in
+  let cells_words = ref 0 in
+  let top_runs_words = ref 0 in
+  let sweep_words = ref 0 in
+  let process_words = ref None in
+  let samples = ref [] in
+  let tracks = by_track evs in
+  List.iter
+    (fun track_evs ->
+      (* Per-run accumulators (the summarize state machine, with words
+         in place of msgs/bits)... *)
+      let round_rows = ref [] in
+      let intervals = ref [] in
+      let stack = ref [] in
+      let cur_round = ref 0 in
+      let order = ref 0 in
+      (* ... and per-track cell scope. *)
+      let in_cell = ref false in
+      let cell_runs_words = ref 0 in
+      let close_interval (iname, lo0, depth, ord) hi =
+        intervals := { iname; lo = lo0 + 1; hi; depth; order = ord } :: !intervals
+      in
+      let finish_run run_words =
+        incr runs;
+        List.iter (fun sp -> close_interval sp !cur_round) !stack;
+        stack := [];
+        let best r =
+          List.fold_left
+            (fun best iv ->
+              if iv.lo <= r && r <= iv.hi then
+                match best with
+                | None -> Some iv
+                | Some b ->
+                  let w iv = iv.hi - iv.lo in
+                  if
+                    w iv < w b
+                    || (w iv = w b
+                       && (iv.depth > b.depth
+                          || (iv.depth = b.depth && iv.order > b.order)))
+                  then Some iv
+                  else Some b
+              else best)
+            None !intervals
+        in
+        let rounds_words = ref 0 in
+        List.iter
+          (fun (r, w) ->
+            incr rounds;
+            rounds_words := !rounds_words + w;
+            let name = match best r with Some iv -> iv.iname | None -> "other" in
+            contribs := (name, { azero with a_rounds = 1; a_words = w }) :: !contribs)
+          !round_rows;
+        List.iter
+          (fun iv -> contribs := (iv.iname, { azero with a_spans = 1 }) :: !contribs)
+          !intervals;
+        contribs :=
+          ( "sim.run",
+            { azero with a_spans = 1; a_words = run_words - !rounds_words } )
+          :: !contribs;
+        if !in_cell then cell_runs_words := !cell_runs_words + run_words
+        else top_runs_words := !top_runs_words + run_words;
+        round_rows := [];
+        intervals := [];
+        cur_round := 0
+      in
+      List.iter
+        (fun e ->
+          let mw () = attr_int "minor_words" e.Tel.attrs in
+          match (e.Tel.cat, e.Tel.name, e.Tel.ph) with
+          | "sim", "sim.run", Tel.Begin ->
+            round_rows := [];
+            intervals := [];
+            stack := [];
+            cur_round := 0
+          | "sim", "sim.run", Tel.End ->
+            Option.iter (fun w -> finish_run w) (mw ())
+          | "sim", "round", Tel.Begin ->
+            Option.iter (fun r -> cur_round := r) (attr_int "round" e.Tel.attrs)
+          | "sim", "round", Tel.End ->
+            Option.iter
+              (fun w -> round_rows := (!cur_round, w) :: !round_rows)
+              (mw ())
+          | "core", name, Tel.Begin ->
+            let r0 =
+              Option.value ~default:!cur_round (attr_int "round" e.Tel.attrs)
+            in
+            stack := (name, r0, List.length !stack, !order) :: !stack;
+            incr order
+          | "core", name, Tel.End -> (
+            let hi =
+              Option.value ~default:!cur_round (attr_int "round" e.Tel.attrs)
+            in
+            match !stack with
+            | (n, _, _, _) :: _ when not (String.equal n name) -> ()
+            | sp :: rest ->
+              stack := rest;
+              close_interval sp hi
+            | [] -> ())
+          | "exec", "cell", Tel.Begin ->
+            in_cell := true;
+            cell_runs_words := 0
+          | "exec", "cell", Tel.End ->
+            in_cell := false;
+            Option.iter
+              (fun w ->
+                cells_words := !cells_words + w;
+                contribs :=
+                  ( "cell",
+                    { azero with a_spans = 1; a_words = w - !cell_runs_words } )
+                  :: !contribs)
+              (mw ())
+          | "exec", "sweep", Tel.End ->
+            Option.iter (fun w -> sweep_words := !sweep_words + w) (mw ())
+          | "alloc", "alloc.process", _ ->
+            Option.iter (fun w -> process_words := Some w) (mw ())
+          | "alloc", "alloc.sample", _ -> (
+            let str k =
+              match List.assoc_opt k e.Tel.attrs with
+              | Some (Tel.Str s) -> Some s
+              | _ -> None
+            in
+            match (str "site", str "phase", attr_int "samples" e.Tel.attrs) with
+            | Some site, Some phase, Some n ->
+              samples := (site, phase, n) :: !samples
+            | _ -> ())
+          | _ -> ())
+        track_evs)
+    tracks;
+  (* The sweep's own-domain words, minus the cells (same domain only
+     under an inline pool — the subtraction makes the row ~0 under a
+     parallel pool instead of double-counting) and minus any runs that
+     executed outside cells. Clamped: never negative. *)
+  let harness = max 0 (!sweep_words - !cells_words - !top_runs_words) in
+  if harness > 0 then
+    contribs := ("harness", { azero with a_spans = 1; a_words = harness }) :: !contribs;
+  let rows =
+    group_arollups !contribs
+    |> List.filter (fun (_, r) -> r.a_words > 0 || r.a_spans > 0 || r.a_rounds > 0)
+    |> List.stable_sort (fun (_, a) (_, b) -> Int.compare b.a_words a.a_words)
+  in
+  let other_words =
+    match List.assoc_opt "other" rows with Some r -> r.a_words | None -> 0
+  in
+  {
+    a_events = List.length evs;
+    a_tracks = List.length tracks;
+    a_runs = !runs;
+    a_rounds = !rounds;
+    a_total_words = !cells_words + !top_runs_words + harness;
+    a_other_words = other_words;
+    a_process_words = !process_words;
+    a_rows = rows;
+    a_samples =
+      List.stable_sort
+        (fun (_, _, a) (_, _, b) -> Int.compare b a)
+        (List.sort compare !samples);
+  }
+
+let alloc_report ?(top = 15) evs =
+  let d = alloc_summarize evs in
+  if d.a_total_words = 0 then
+    "alloc: no allocation attributes in trace (record one with bap_tables \
+     --alloc-out)\n"
+  else
+    let pct x = 100. *. float_of_int x /. float_of_int d.a_total_words in
+    let head =
+      Printf.sprintf
+        "alloc: %d runs, %d rounds, %d minor words measured across %d tracks\n\
+         attributed to named spans: %.1f%% (other %.1f%%)\n"
+        d.a_runs d.a_rounds d.a_total_words d.a_tracks
+        (pct (d.a_total_words - d.a_other_words))
+        (pct d.a_other_words)
+    in
+    let head =
+      match d.a_process_words with
+      | Some p when p > 0 ->
+        head
+        ^ Printf.sprintf "process minor words: %d (span coverage %.1f%%)\n" p
+            (100. *. float_of_int d.a_total_words /. float_of_int p)
+      | _ -> head
+    in
+    let widest =
+      List.fold_left (fun m (_, r) -> max m r.a_words) 1 d.a_rows
+    in
+    let bar w =
+      let n = int_of_float (float_of_int w /. float_of_int widest *. 40.) in
+      String.make (max (min n 40) 1) '#'
+    in
+    let table =
+      Bap_stats.Table.render
+        ~headers:[ "phase"; "spans"; "rounds"; "minor_words"; "w/round"; "share"; "" ]
+        (List.map
+           (fun (name, r) ->
+             [
+               name;
+               string_of_int r.a_spans;
+               string_of_int r.a_rounds;
+               string_of_int r.a_words;
+               (if r.a_rounds > 0 then
+                  string_of_int (r.a_words / r.a_rounds)
+                else "-");
+               Printf.sprintf "%.1f%%" (pct r.a_words);
+               bar r.a_words;
+             ])
+           d.a_rows)
+    in
+    let sites =
+      match d.a_samples with
+      | [] -> "(no sampled allocation sites in trace)\n"
+      | all ->
+        let shown = List.filteri (fun i _ -> i < top) all in
+        let total = List.fold_left (fun acc (_, _, n) -> acc + n) 0 all in
+        let widest = List.fold_left (fun m (_, _, n) -> max m n) 1 all in
+        let sbar n =
+          let w = int_of_float (float_of_int n /. float_of_int widest *. 40.) in
+          String.make (max (min w 40) 1) '#'
+        in
+        Printf.sprintf "top sampled allocation sites (%d of %d, %d samples):\n"
+          (List.length shown) (List.length all) total
+        ^ Bap_stats.Table.render
+            ~headers:[ "site"; "phase"; "samples"; "" ]
+            (List.map
+               (fun (site, phase, n) ->
+                 [ site; phase; string_of_int n; sbar n ])
+               shown)
+        ^ "\n"
+    in
+    head ^ "\n" ^ table ^ "\n\n" ^ sites
+
+(* Parse the table [alloc_report] renders back into (phase, words)
+   rows — the round-trip bap_trace's own tests and scripts rely on.
+   Columns are split on runs of two or more spaces (names and sites
+   never contain those). *)
+let parse_alloc_report text =
+  let split_cols line =
+    let n = String.length line in
+    let out = ref [] and buf = Buffer.create 16 in
+    let rec go i =
+      if i >= n then begin
+        if Buffer.length buf > 0 then out := Buffer.contents buf :: !out
+      end
+      else if
+        line.[i] = ' ' && i + 1 < n && line.[i + 1] = ' '
+      then begin
+        if Buffer.length buf > 0 then out := Buffer.contents buf :: !out;
+        Buffer.clear buf;
+        let rec skip j = if j < n && line.[j] = ' ' then skip (j + 1) else j in
+        go (skip i)
+      end
+      else begin
+        Buffer.add_char buf line.[i];
+        go (i + 1)
+      end
+    in
+    go 0;
+    List.rev !out
+  in
+  let lines = String.split_on_char '\n' text in
+  let rec find_table = function
+    | [] -> []
+    | l :: rest -> (
+      match split_cols l with
+      | "phase" :: _ :: _ :: "minor_words" :: _ -> (
+        match rest with _sep :: rows -> rows | [] -> [])
+      | _ -> find_table rest)
+  in
+  let rec take acc = function
+    | [] -> List.rev acc
+    | l :: rest -> (
+      if String.trim l = "" then List.rev acc
+      else
+        match split_cols l with
+        | name :: _spans :: _rounds :: words :: _ -> (
+          match int_of_string_opt words with
+          | Some w -> take ((name, w) :: acc) rest
+          | None -> take acc rest)
+        | _ -> List.rev acc)
+  in
+  take [] (find_table lines)
+
 let critpath ?(top = 15) evs =
   let cells =
     List.sort

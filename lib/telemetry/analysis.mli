@@ -41,3 +41,38 @@ val diff : Telemetry.event list -> Telemetry.event list -> string
 val critpath : ?top:int -> Telemetry.event list -> string
 (** The [top] (default 15) slowest cells by wall time, with ASCII
     timing bars. Requires a trace recorded with wall-clock enabled. *)
+
+type alloc_rollup = { a_spans : int; a_rounds : int; a_words : int }
+
+type alloc_data = {
+  a_events : int;
+  a_tracks : int;
+  a_runs : int;
+  a_rounds : int;  (** rounds carrying a [minor_words] attribute *)
+  a_total_words : int;  (** sum of all rows — every measured word, once *)
+  a_other_words : int;  (** rounds covered by no core span *)
+  a_process_words : int option;
+      (** the process-wide total, when the trace carries an
+          [alloc.process] instant (written by [bap_tables --alloc-out]) *)
+  a_rows : (string * alloc_rollup) list;  (** sorted by words, descending *)
+  a_samples : (string * string * int) list;
+      (** [(site, phase, samples)] from the Memprof profiler, descending *)
+}
+
+val alloc_summarize : Telemetry.event list -> alloc_data
+(** Per-phase allocation attribution from the [minor_words] attributes
+    the memprobe adds to round / sim.run / cell / sweep End events.
+    Rounds attribute like {!summarize} (innermost covering core span,
+    else ["other"]); a run's words outside its rounds stay with
+    ["sim.run"], a cell's outside its runs with ["cell"], the sweep's
+    remainder with ["harness"] — so the rows partition the measured
+    total. *)
+
+val alloc_report : ?top:int -> Telemetry.event list -> string
+(** Human-readable allocation table (exact word counts, words/round,
+    share, ASCII bars) plus the [top] (default 15) sampled allocation
+    sites when the trace carries any. *)
+
+val parse_alloc_report : string -> (string * int) list
+(** Recover [(phase, minor_words)] rows from {!alloc_report} output —
+    the round-trip the CLI's tests pin down. *)

@@ -1,0 +1,309 @@
+(* Memprobe: the allocation half of the telemetry spine.
+
+   The span layer (PR 5) attributes rounds, messages and bits to phases;
+   this module attributes *allocation* — per-span GC deltas folded into
+   the sharded metrics registry under the innermost covering span, plus
+   an optional [Gc.Memprof]-backed sampling profiler that maps
+   allocation backtraces to phase names.
+
+   Everything is off by default. The fast path of every entry point is
+   one [Atomic.get] and a branch; with the probe disabled, instrumented
+   code allocates nothing and emits nothing, so tracing-off runs stay
+   byte-identical to a build without the probe.
+
+   Two GC primitives, deliberately separated:
+
+   - [Gc.minor_words ()] is *domain-local* in OCaml 5: it counts only
+     the words allocated by the calling domain. That makes it the one
+     correct primitive for per-span attribution under a domain pool —
+     a cell measured on its worker domain sees only its own words, so
+     per-span numbers are deterministic and independent of [--jobs].
+   - [Gc.quick_stat ()] is *process-global* (domains publish their
+     counters into it). It is the right primitive for whole-process
+     snapshots — heap size, compactions, promotion totals — and wrong
+     for per-span deltas, where other domains' allocation would bleed
+     into the interval. Per-phase deltas of its global fields are exact
+     at [--jobs 1] and documented as approximate above that.
+
+   All [Gc] reads in the repo are confined to this file: the D002 lint
+   rule pins [Gc.quick_stat]/[Gc.minor_words]/[Gc.Memprof.*] to
+   lib/telemetry the same way it pins the wall clock to the timing
+   shims, so allocation numbers flow through one audited probe. *)
+
+(* ---------- process snapshots (Gc.quick_stat) ---------- *)
+
+type snapshot = {
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
+  heap_words : int;
+}
+
+let snapshot () =
+  let s = Gc.quick_stat () in
+  {
+    minor_words = s.Gc.minor_words;
+    promoted_words = s.Gc.promoted_words;
+    major_words = s.Gc.major_words;
+    minor_collections = s.Gc.minor_collections;
+    major_collections = s.Gc.major_collections;
+    compactions = s.Gc.compactions;
+    heap_words = s.Gc.heap_words;
+  }
+
+(* Counter fields subtract; level fields (heap, compactions count as a
+   level too when read as "current") are kept from [after] so a delta
+   still answers "where is the heap now". *)
+let delta ~before ~after =
+  {
+    minor_words = after.minor_words -. before.minor_words;
+    promoted_words = after.promoted_words -. before.promoted_words;
+    major_words = after.major_words -. before.major_words;
+    minor_collections = after.minor_collections - before.minor_collections;
+    major_collections = after.major_collections - before.major_collections;
+    compactions = after.compactions - before.compactions;
+    heap_words = after.heap_words;
+  }
+
+(* ---------- enable/disable ---------- *)
+
+let on : bool Atomic.t = Atomic.make false
+let baseline : snapshot option Atomic.t = Atomic.make None
+let enabled () = Atomic.get on
+
+let enable () =
+  Atomic.set baseline (Some (snapshot ()));
+  Atomic.set on true
+
+let disable () = Atomic.set on false
+
+let process_delta () =
+  match Atomic.get baseline with
+  | Some before -> delta ~before ~after:(snapshot ())
+  | None -> snapshot ()
+
+let domain_minor_words () = Gc.minor_words ()
+
+(* ---------- per-span attribution (the metrics fold) ---------- *)
+
+(* A phase frame remembers where its interval started and accumulates
+   its children's totals, so on exit [self = total - children] lands
+   under the innermost covering span — the same "innermost wins"
+   convention the trace analysis uses for round attribution. Frames
+   live on a per-domain stack: spans never migrate domains (a fiber
+   runs its whole protocol on one domain; a pool task is a whole cell),
+   so no synchronization is needed. *)
+type frame = {
+  fname : string;
+  start_minor : float; (* domain-local *)
+  start_global : snapshot; (* process-global; exact at jobs=1 *)
+  mutable child_minor : float;
+  mutable child_promoted : float;
+  mutable child_major : float;
+  mutable child_minor_col : int;
+  mutable child_major_col : int;
+}
+
+let stack_key : frame list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let current_phase () =
+  match !(Domain.DLS.get stack_key) with [] -> None | fr :: _ -> Some fr.fname
+
+let phase name f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let st = Domain.DLS.get stack_key in
+    let fr =
+      {
+        fname = name;
+        start_minor = Gc.minor_words ();
+        start_global = snapshot ();
+        child_minor = 0.;
+        child_promoted = 0.;
+        child_major = 0.;
+        child_minor_col = 0;
+        child_major_col = 0;
+      }
+    in
+    st := fr :: !st;
+    let finish () =
+      match !st with
+      | top :: rest when top == fr ->
+        st := rest;
+        let total_minor = Gc.minor_words () -. fr.start_minor in
+        let g = delta ~before:fr.start_global ~after:(snapshot ()) in
+        (match rest with
+        | parent :: _ ->
+          parent.child_minor <- parent.child_minor +. total_minor;
+          parent.child_promoted <- parent.child_promoted +. g.promoted_words;
+          parent.child_major <- parent.child_major +. g.major_words;
+          parent.child_minor_col <- parent.child_minor_col + g.minor_collections;
+          parent.child_major_col <- parent.child_major_col + g.major_collections
+        | [] -> ());
+        let self_minor = total_minor -. fr.child_minor in
+        Telemetry.Metrics.counter ("alloc.spans/" ^ name) 1;
+        Telemetry.Metrics.counter
+          ("alloc.minor_words/" ^ name)
+          (int_of_float self_minor);
+        Telemetry.Metrics.counter
+          ("alloc.promoted_words/" ^ name)
+          (int_of_float (g.promoted_words -. fr.child_promoted));
+        Telemetry.Metrics.counter
+          ("alloc.major_words/" ^ name)
+          (int_of_float (g.major_words -. fr.child_major));
+        Telemetry.Metrics.counter
+          ("alloc.minor_collections/" ^ name)
+          (g.minor_collections - fr.child_minor_col);
+        Telemetry.Metrics.counter
+          ("alloc.major_collections/" ^ name)
+          (g.major_collections - fr.child_major_col);
+        Telemetry.Metrics.observe
+          ("alloc.span_minor_words/" ^ name)
+          (int_of_float total_minor)
+      | _ ->
+        (* Imbalanced unwind (an effect handler crossed the frame):
+           drop the frame wherever it sits rather than corrupt the
+           stack; its words stay with the enclosing span. *)
+        st := List.filter (fun g -> g != fr) !st
+    in
+    Fun.protect ~finally:finish f
+  end
+
+let phase_if cond name f = if cond then phase name f else f ()
+
+(* ---------- sampling profiler (Gc.Memprof) ---------- *)
+
+(* The sampler maps allocation backtraces to the phase on top of the
+   sampling domain's frame stack. Callbacks run at allocation points,
+   so they must never take a lock a slow path holds: samples accumulate
+   in per-domain tables (registered once per domain under a mutex, the
+   same discipline as the metrics shards) and are merged on read.
+
+   OCaml 5.1's runtime ships the Memprof interface but refuses to start
+   it under multicore ([Failure "Gc.memprof.start: not implemented in
+   multicore"]); 5.2 restored it. [start_sampling] therefore reports
+   availability instead of assuming it, and every consumer degrades to
+   "no sampled sites" with the failure reason in hand. *)
+
+type sample_table = (string * string, int ref) Hashtbl.t
+
+type sampler = {
+  tables_mu : Mutex.t;
+  mutable tables : sample_table list;
+}
+
+let sampler : sampler option Atomic.t = Atomic.make None
+let sampling_on : bool Atomic.t = Atomic.make false
+let sampling_error : string option Atomic.t = Atomic.make None
+
+let sampler_get () =
+  match Atomic.get sampler with
+  | Some s -> s
+  | None ->
+    let s = { tables_mu = Mutex.create (); tables = [] } in
+    if Atomic.compare_and_set sampler None (Some s) then s
+    else Option.get (Atomic.get sampler)
+
+let table_key : sample_table Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let t : sample_table = Hashtbl.create 64 in
+      let s = sampler_get () in
+      Mutex.lock s.tables_mu;
+      s.tables <- t :: s.tables;
+      Mutex.unlock s.tables_mu;
+      t)
+
+let site_of callstack =
+  match Printexc.backtrace_slots callstack with
+  | None -> "<unknown>"
+  | Some slots ->
+    let rec pick i =
+      if i >= Array.length slots then "<unknown>"
+      else
+        match Printexc.Slot.location slots.(i) with
+        | Some l
+          when not (Filename.basename l.Printexc.filename = "memprobe.ml") ->
+          Printf.sprintf "%s:%d" l.Printexc.filename l.Printexc.line_number
+        | _ -> pick (i + 1)
+    in
+    pick 0
+
+let record_sample (a : Gc.Memprof.allocation) =
+  let phase =
+    match current_phase () with Some p -> p | None -> "(no phase)"
+  in
+  let site = site_of a.Gc.Memprof.callstack in
+  let t = Domain.DLS.get table_key in
+  (match Hashtbl.find_opt t (phase, site) with
+  | Some r -> r := !r + a.Gc.Memprof.n_samples
+  | None -> Hashtbl.add t (phase, site) (ref a.Gc.Memprof.n_samples));
+  None
+
+let start_sampling ?(rate = 1e-4) () =
+  if Atomic.get sampling_on then true
+  else
+    try
+      (* 5.1 returns unit, 5.2 returns an abstract [t]; [ignore] keeps
+         the call well-typed on both compilers. *)
+      ignore
+        (Gc.Memprof.start ~sampling_rate:rate ~callstack_size:16
+           {
+             Gc.Memprof.null_tracker with
+             Gc.Memprof.alloc_minor = record_sample;
+             alloc_major = record_sample;
+           });
+      Atomic.set sampling_on true;
+      Atomic.set sampling_error None;
+      true
+    with Failure msg ->
+      Atomic.set sampling_error (Some msg);
+      false
+
+let stop_sampling () =
+  if Atomic.get sampling_on then begin
+    Gc.Memprof.stop ();
+    Atomic.set sampling_on false
+  end
+
+let sampling_failure () = Atomic.get sampling_error
+
+let samples () =
+  match Atomic.get sampler with
+  | None -> []
+  | Some s ->
+    let merged : sample_table = Hashtbl.create 64 in
+    Mutex.lock s.tables_mu;
+    let tables = s.tables in
+    Mutex.unlock s.tables_mu;
+    List.iter
+      (fun t ->
+        (* LINT: waive D003 commutative merge; the fold below is sorted *)
+        Hashtbl.iter
+          (fun key n ->
+            match Hashtbl.find_opt merged key with
+            | Some r -> r := !r + !n
+            | None -> Hashtbl.add merged key (ref !n))
+          t)
+      tables;
+    Hashtbl.fold (fun (phase, site) n acc -> (phase, site, !n) :: acc) merged []
+    |> List.sort compare
+
+(* Sampled sites ride the trace as instants on whatever track the
+   caller is on, sorted, so a trace file is self-contained for
+   [bap_trace alloc] and byte-stable for a fixed sample set. *)
+let flush_samples_to_trace () =
+  List.iter
+    (fun (phase, site, n) ->
+      Telemetry.instant ~cat:"alloc" ~name:"alloc.sample"
+        ~attrs:(fun () ->
+          [
+            ("phase", Telemetry.Str phase);
+            ("site", Telemetry.Str site);
+            ("samples", Telemetry.Int n);
+          ])
+        ())
+    (samples ())

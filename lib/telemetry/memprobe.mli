@@ -1,0 +1,104 @@
+(** Allocation observatory: per-span GC attribution and an optional
+    sampling profiler.
+
+    The probe is off by default; when off, every entry point is one
+    atomic load plus a branch and instrumented code emits nothing, so
+    results (and traces, when tracing is on) stay byte-identical to an
+    uninstrumented build. When on, {!phase} folds per-span GC deltas
+    into the {!Telemetry.Metrics} registry under the innermost covering
+    span, and callers can stamp spans with {!domain_minor_words} deltas.
+
+    All [Gc] reads in the repo are confined to this module (lint rule
+    D002, the same allowlist that pins the wall clock to the timing
+    shims). Code outside lib/telemetry reads allocation through this
+    interface only. *)
+
+type snapshot = {
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
+  heap_words : int;
+}
+(** A process-global GC snapshot ([Gc.quick_stat]-backed: cheap, no
+    heap walk). Word counters are cumulative since process start;
+    [heap_words] and [compactions] are current levels. *)
+
+val snapshot : unit -> snapshot
+(** Read the process-global counters. Safe from any domain; other
+    domains' allocation is included, so use {!domain_minor_words} for
+    per-span attribution instead. *)
+
+val delta : before:snapshot -> after:snapshot -> snapshot
+(** Pointwise difference of the cumulative fields; [heap_words] and
+    [compactions] keep the [after] levels (a delta still answers
+    "where is the heap now"). *)
+
+val enabled : unit -> bool
+(** One atomic load: is the probe on? Instrumented code branches on
+    this before touching any [Gc] counter or building any attribute. *)
+
+val enable : unit -> unit
+(** Turn the probe on and record the process baseline for
+    {!process_delta}. Idempotent (re-enabling resets the baseline). *)
+
+val disable : unit -> unit
+(** Turn the probe off. Accumulated metrics and samples survive. *)
+
+val process_delta : unit -> snapshot
+(** Process-global GC activity since {!enable} (absolute counters if
+    the probe was never enabled). The denominator for attribution
+    coverage: per-span minor words should account for ~all of it. *)
+
+val domain_minor_words : unit -> float
+(** Words allocated on the minor heap {e by the calling domain}
+    ([Gc.minor_words]). Domain-local, hence deterministic per span
+    regardless of [--jobs]; the primitive behind every per-span
+    [minor_words] attribute. *)
+
+val phase : string -> (unit -> 'a) -> 'a
+(** [phase name f] runs [f] and, when {!enabled}, folds the GC delta of
+    its extent into the metrics registry under [name] with self-time
+    semantics: a nested phase's words are subtracted from its parent,
+    so every word lands under the innermost covering span exactly once.
+    Counters written: [alloc.spans/name], [alloc.minor_words/name]
+    (domain-local, exact), [alloc.promoted_words/name],
+    [alloc.major_words/name], [alloc.minor_collections/name],
+    [alloc.major_collections/name] (process-global deltas, exact at
+    [--jobs 1]); histogram [alloc.span_minor_words/name] observes each
+    span's {e total} (children included). Exception-safe; when off it
+    is exactly [f ()]. *)
+
+val phase_if : bool -> string -> (unit -> 'a) -> 'a
+(** [phase_if cond name f] is {!phase} when [cond], else [f ()] — the
+    lock-step idiom: measure each protocol phase once (process 0), not
+    once per simulated process. *)
+
+val current_phase : unit -> string option
+(** Innermost open phase on the calling domain, if any (the sampler's
+    attribution key). *)
+
+val start_sampling : ?rate:float -> unit -> bool
+(** Start the [Gc.Memprof] sampling profiler at [rate] samples per word
+    (default [1e-4]). Returns [false] when the runtime refuses memprof
+    (OCaml 5.1 multicore does; 5.2 restored it) — the reason is kept in
+    {!sampling_failure} and everything else still works. *)
+
+val stop_sampling : unit -> unit
+(** Stop the profiler if it is running. Samples survive. *)
+
+val sampling_failure : unit -> string option
+(** Why the last {!start_sampling} returned [false], if it did. *)
+
+val samples : unit -> (string * string * int) list
+(** Merged [(phase, allocation site, sample count)] triples from every
+    domain, sorted. A site is ["file.ml:line"], or ["<unknown>"] when
+    the backtrace carries no location. *)
+
+val flush_samples_to_trace : unit -> unit
+(** Emit {!samples} as [alloc.sample] instants (cat ["alloc"]) on the
+    caller's current track, sorted — run this before
+    [Telemetry.shutdown] so the trace file is self-contained for
+    [bap_trace alloc]. *)

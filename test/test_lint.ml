@@ -54,6 +54,24 @@ let test_d002 () =
   check_ids "telemetry waiver does not leak to lib/sim" [ "D002" ]
     (lint ~path:"lib/sim/runtime.ml" "let f () = Unix.gettimeofday ()")
 
+(* The Gc leg of D002: allocation counters are read only through the
+   lib/telemetry memprobe. *)
+let test_d002_gc () =
+  check_ids "Gc.quick_stat in lib/core fires" [ "D002" ]
+    (lint ~path:"lib/core/x.ml" "let f () = Gc.quick_stat ()");
+  check_ids "Gc.minor_words in bin fires" [ "D002" ]
+    (lint ~path:"bin/bap_tables.ml" "let f () = Gc.minor_words ()");
+  check_ids "Gc.Memprof.start in lib/exec fires" [ "D002" ]
+    (lint ~path:"lib/exec/engine.ml"
+       "let f cb = Gc.Memprof.start ~sampling_rate:1e-4 cb");
+  check_ids "lib/telemetry is the memprobe's home" []
+    (lint ~path:"lib/telemetry/memprobe.ml" "let f () = Gc.quick_stat ()");
+  (* A local module happening to be named Gc is not the runtime's Gc:
+     the rule matches the catalogued functions, not the bare head. *)
+  check_ids "local module Gc stays quiet" []
+    (lint ~path:"lib/core/ba.ml"
+       "module Gc = Graded_core_set.Make (V)\nlet f x = Gc.run x")
+
 (* ---------- D003: Hashtbl iteration order ---------- *)
 
 let test_d003 () =
@@ -292,6 +310,7 @@ let suite =
     Alcotest.test_case "D001 rng" `Quick test_d001;
     Alcotest.test_case "D001 location" `Quick test_d001_location;
     Alcotest.test_case "D002 clock" `Quick test_d002;
+    Alcotest.test_case "D002 gc counters" `Quick test_d002_gc;
     Alcotest.test_case "D003 hashtbl order" `Quick test_d003;
     Alcotest.test_case "D003 waiver" `Quick test_d003_waiver;
     Alcotest.test_case "D004 poly compare" `Quick test_d004;

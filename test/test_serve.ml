@@ -596,6 +596,218 @@ let test_crash_restart_exactly_once () =
           Alcotest.(check int) "nothing dropped across incarnations" 0
             stats2.Server.dropped_disconnect))
 
+(* ---------- the flight recorder ---------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+module Flight = Bap_servelib.Flight
+module Memprobe = Bap_telemetry.Memprobe
+
+let test_flight_wraparound () =
+  let t = Flight.create ~capacity:4 () in
+  Alcotest.(check int) "fresh ring is empty" 0 (List.length (Flight.entries t));
+  for i = 0 to 9 do
+    Flight.record t ~kind:"k" ~key:(Printf.sprintf "key%d" i) ~detail:""
+  done;
+  Alcotest.(check int) "recorded counts everything" 10 (Flight.recorded t);
+  Alcotest.(check int) "retained is the capacity" 4 (Flight.retained t);
+  Alcotest.(check int) "dropped = recorded - retained" 6 (Flight.dropped t);
+  Alcotest.(check (list int)) "oldest-first window of the last 4" [ 6; 7; 8; 9 ]
+    (List.map (fun e -> e.Flight.seq) (Flight.entries t));
+  (* The dump renders the same window and admits the overwrites. *)
+  let h = Bap_servelib.Health.create () in
+  let text =
+    Flight.dump t ~gc:(Memprobe.snapshot ())
+      ~health:(Bap_servelib.Health.summarize h ~wall_s:1.)
+  in
+  Alcotest.(check bool) "dump admits overwrites" true
+    (contains text "6 overwritten");
+  Alcotest.(check bool) "dump holds the oldest retained key" true
+    (contains text "key6");
+  Alcotest.(check bool) "dump dropped the overwritten key" false
+    (contains text "key5");
+  (* And the JSON form round-trips through the project parser. *)
+  let module Json = Bap_telemetry.Json in
+  let j = Json.parse (Flight.to_json t) in
+  Alcotest.(check (option int)) "json recorded" (Some 10)
+    (Json.to_int (Json.member "recorded" j));
+  Alcotest.(check (option int)) "json dropped" (Some 6)
+    (Json.to_int (Json.member "dropped" j));
+  match Json.to_list (Json.member "entries" j) with
+  | Some es -> Alcotest.(check int) "json window size" 4 (List.length es)
+  | None -> Alcotest.fail "entries missing from flight json"
+
+let test_flight_sigusr1_dump () =
+  (* The live-inspection round-trip: SIGUSR1 lands while the loop is
+     serving, the next loop head dumps the black box to the flight
+     file, and the stream itself is untouched. *)
+  with_temp_path "bap_flight" (fun dump_path ->
+      Sys.remove dump_path;
+      Server.install_signal_handlers ();
+      let c2s_r, c2s_w = Unix.pipe () in
+      let s2c_r, s2c_w = Unix.pipe () in
+      let cfg =
+        { (quiet_config ~jobs:1) with Server.flight_dump = Some dump_path }
+      in
+      let server =
+        Domain.spawn (fun () -> Server.serve_fds cfg ~in_fd:c2s_r ~out_fd:s2c_w)
+      in
+      List.iter
+        (fun s ->
+          let wire = Frame.encode (Instance.request_json s) in
+          let b = Bytes.of_string wire in
+          ignore (Unix.write c2s_w b 0 (Bytes.length b)))
+        (List.init 2 spec_i);
+      (* Read both responses first: the server is provably live and past
+         its startup (which discards stale pre-start signals). *)
+      let dec = Frame.decoder () in
+      let buf = Bytes.create 4096 in
+      let got = ref 0 in
+      while !got < 2 do
+        (match Unix.read s2c_r buf 0 (Bytes.length buf) with
+        | 0 -> Alcotest.fail "server closed before answering"
+        | k -> Frame.feed dec buf ~pos:0 ~len:k);
+        let rec drain () =
+          match Frame.next dec with
+          | Frame.Frame _ ->
+            incr got;
+            drain ()
+          | Frame.Await | Frame.Oversized _ -> ()
+        in
+        drain ()
+      done;
+      Unix.kill (Unix.getpid ()) Sys.sigusr1;
+      (* The dump lands at the next loop head; wait for the file rather
+         than racing the signal's delivery point. *)
+      let rec await tries =
+        if Sys.file_exists dump_path then ()
+        else if tries = 0 then Alcotest.fail "flight dump never appeared"
+        else begin
+          (try ignore (Unix.select [] [] [] 0.05)
+           with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          await (tries - 1)
+        end
+      in
+      await 100;
+      Unix.close c2s_w;
+      let stats = Domain.join server in
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        [ c2s_r; s2c_r; s2c_w ];
+      Alcotest.(check int) "stream served to completion" 2 stats.Server.responded;
+      Alcotest.(check int) "nothing dropped" 0 stats.Server.dropped_disconnect;
+      let text = read_file dump_path in
+      Alcotest.(check bool) "dump names the signal" true (contains text "sigusr1");
+      Alcotest.(check bool) "dump carries the gc snapshot" true
+        (contains text "[flight] gc:");
+      Alcotest.(check bool) "dump carries the health snapshot" true
+        (contains text "[flight] health:"))
+
+let test_flight_quarantine_dump () =
+  (* A quarantined instance is the crash-adjacent event: the black box
+     must be written at that moment, not only on demand. *)
+  with_temp_path "bap_flightq" (fun dump_path ->
+      Sys.remove dump_path;
+      let c2s_r, c2s_w = Unix.pipe () in
+      let s2c_r, s2c_w = Unix.pipe () in
+      let wire = Frame.encode (Instance.request_json (spec_i 0)) in
+      ignore
+        (Unix.write c2s_w (Bytes.of_string wire) 0 (String.length wire));
+      Unix.close c2s_w;
+      let cfg =
+        {
+          (quiet_config ~jobs:1) with
+          Server.flight_dump = Some dump_path;
+          inject = Some (fun ~key:_ ~attempt:_ -> Some Supervisor.Inject_crash);
+          retries = 1;
+        }
+      in
+      let stats = Server.serve_fds cfg ~in_fd:c2s_r ~out_fd:s2c_w in
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        [ c2s_r; s2c_r; s2c_w ];
+      Alcotest.(check int) "instance degraded, not lost" 1 stats.Server.degraded;
+      Alcotest.(check bool) "quarantine dumped the black box" true
+        (Sys.file_exists dump_path);
+      let text = read_file dump_path in
+      Alcotest.(check bool) "dump names the quarantine" true
+        (contains text "quarantine");
+      Alcotest.(check bool) "dump retains the admission" true
+        (contains text "accept"))
+
+let test_admin_stats_frame () =
+  (* {"admin":"stats"} answered from server state: a typed Stats frame
+     with counters, health, gc, and the flight window — and no effect
+     on the instance ledger. *)
+  let c2s_r, c2s_w = Unix.pipe () in
+  let s2c_r, s2c_w = Unix.pipe () in
+  let frames =
+    [ Instance.request_json (spec_i 0); "{\"admin\":\"stats\"}" ]
+  in
+  List.iter
+    (fun p ->
+      let wire = Frame.encode p in
+      ignore (Unix.write c2s_w (Bytes.of_string wire) 0 (String.length wire)))
+    frames;
+  Unix.close c2s_w;
+  let stats = Server.serve_fds (quiet_config ~jobs:1) ~in_fd:c2s_r ~out_fd:s2c_w in
+  Unix.close s2c_w;
+  let dec = Frame.decoder () in
+  let buf = Bytes.create 65536 in
+  let rec slurp () =
+    match Unix.read s2c_r buf 0 (Bytes.length buf) with
+    | 0 -> ()
+    | k ->
+      Frame.feed dec buf ~pos:0 ~len:k;
+      slurp ()
+  in
+  slurp ();
+  let rec collect acc =
+    match Frame.next dec with
+    | Frame.Frame p -> collect (p :: acc)
+    | Frame.Await | Frame.Oversized _ -> List.rev acc
+  in
+  let responses = collect [] in
+  List.iter
+    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    [ c2s_r; s2c_r ];
+  Alcotest.(check int) "one response per frame" 2 (List.length responses);
+  Alcotest.(check int) "admin frame not counted as accepted" 1
+    stats.Server.accepted;
+  let module Json = Bap_telemetry.Json in
+  let stats_resp =
+    List.find
+      (fun p ->
+        match Json.to_string (Json.member "status" (Json.parse p)) with
+        | Some "stats" -> true
+        | _ -> false)
+      responses
+  in
+  let j = Json.parse stats_resp in
+  Alcotest.(check (option int)) "stats sees the accepted instance" (Some 1)
+    (Json.to_int (Json.member "accepted" j));
+  (match Json.member "gc" j with
+  | Some _ -> ()
+  | None -> Alcotest.fail "stats frame missing the gc snapshot");
+  (match Json.member "health" j with
+  | Some _ -> ()
+  | None -> Alcotest.fail "stats frame missing the health snapshot");
+  match Option.bind (Json.member "flight" j) (Json.member "recorded") with
+  | Some r -> (
+    match Json.to_int (Some r) with
+    | Some n when n >= 1 -> ()
+    | _ -> Alcotest.fail "flight window empty in stats frame")
+  | None -> Alcotest.fail "stats frame missing the flight window"
+
 let suite =
   [
     QCheck_alcotest.to_alcotest qcheck_roundtrip;
@@ -636,4 +848,12 @@ let suite =
       `Quick test_dropped_disconnect_explicit;
     Alcotest.test_case "serve: crash-restart answers exactly once" `Quick
       test_crash_restart_exactly_once;
+    Alcotest.test_case "flight: ring wraparound keeps the newest window" `Quick
+      test_flight_wraparound;
+    Alcotest.test_case "flight: SIGUSR1 dumps mid-stream, stream unharmed" `Quick
+      test_flight_sigusr1_dump;
+    Alcotest.test_case "flight: quarantine dumps the black box" `Quick
+      test_flight_quarantine_dump;
+    Alcotest.test_case "serve: admin stats frame outside the ledger" `Quick
+      test_admin_stats_frame;
   ]
